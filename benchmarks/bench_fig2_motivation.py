@@ -1,0 +1,138 @@
+"""Figure 2 — the motivating measurements (paper section 3).
+
+The paper trains a 120-tree, depth-10 forest on Higgs, runs it under FIL
+(reorg format + shared-data), and shows three problems:
+
+* (a) the average address distance between adjacent threads grows with
+  the tree level, and load efficiency collapses to ~13.7 % at levels
+  7–10 (overall 27.2 %),
+* (b) the block-wise reduction consumes 35–72 % of inference time as the
+  forest grows from 10 to 200 trees,
+* (c) per-thread execution time varies widely (CV = 49.1 %).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import common
+from repro.core.fil import FILEngine
+from repro.datasets import load_dataset, train_test_split
+from repro.strategies import coefficient_of_variation
+from repro.trees import RandomForestTrainer
+
+PAPER = {
+    "deep_level_efficiency": 0.137,
+    "overall_efficiency": 0.272,
+    "reduction_share_range": (0.35, 0.72),
+    "thread_cv": 0.491,
+}
+
+
+def _higgs_fig2_forest(n_trees: int = 120, max_depth: int = 10):
+    data = load_dataset("Higgs", scale=common.dataset_scale("Higgs"), seed=3)
+    split = train_test_split(data, seed=3)
+    forest = RandomForestTrainer(
+        n_trees=n_trees,
+        max_depth=max_depth,
+        depth_jitter=0.5,
+        feature_fraction=0.5,
+        seed=3,
+    ).fit(split.train)
+    return forest, split
+
+
+def run_fig2a():
+    """Per-level address distance and load efficiency under FIL."""
+    forest, split = _higgs_fig2_forest()
+    spec = common.bench_spec("P100")
+    engine = FILEngine(forest, spec)
+    result = engine.predict(split.test.X[:400], collect_level_stats=True)
+    stats = result.batches[0].level_stats
+    distances = stats.mean_distance()
+    efficiency = stats.efficiency()
+    valid = ~np.isnan(distances)
+    return {
+        "levels": np.nonzero(valid)[0],
+        "distances": distances[valid],
+        "efficiency": efficiency[valid],
+    }
+
+
+def run_fig2b(tree_counts=(10, 40, 80, 120, 160, 200)):
+    """Reduction share of total time vs forest size."""
+    data = load_dataset("Higgs", scale=common.dataset_scale("Higgs"), seed=3)
+    split = train_test_split(data, seed=3)
+    spec = common.bench_spec("P100")
+    shares = []
+    for n_trees in tree_counts:
+        forest = RandomForestTrainer(
+            n_trees=n_trees, max_depth=10, depth_jitter=0.5,
+            feature_fraction=0.5, seed=3,
+        ).fit(split.train)
+        result = FILEngine(forest, spec).predict(split.test.X)
+        shares.append(result.batches[0].breakdown.reduction_share)
+    return {"tree_counts": list(tree_counts), "shares": shares}
+
+
+def run_fig2c():
+    """Per-thread execution-time spread under FIL (1000 samples)."""
+    forest, split = _higgs_fig2_forest()
+    spec = common.bench_spec("P100")
+    result = FILEngine(forest, spec).predict(split.test.X[:1000])
+    steps = result.batches[0].per_thread_steps
+    return {
+        "cv": coefficient_of_variation(steps),
+        "max_over_min": float(steps.max() / max(steps[steps > 0].min(), 1)),
+        "n_threads": int(steps.shape[0]),
+    }
+
+
+def test_fig2a_address_distance(benchmark):
+    data = benchmark.pedantic(run_fig2a, rounds=1, iterations=1)
+    rows = [
+        [int(l), float(d), float(e)]
+        for l, d, e in zip(data["levels"], data["distances"], data["efficiency"])
+    ]
+    report = common.format_table(
+        "Figure 2(a): FIL reorg format, address distance by tree level",
+        ["level", "mean adjacent-lane distance (B)", "load efficiency"],
+        rows,
+    )
+    deep = data["efficiency"][-2:].mean()
+    report += (
+        f"\npaper: distance grows with level; deep-level efficiency ~13.7%\n"
+        f"measured: deep-level efficiency {deep:.1%}\n"
+    )
+    common.write_result("fig2a_address_distance", report)
+    # Shape assertions: distance grows, efficiency shrinks.
+    assert data["distances"][-1] > data["distances"][0]
+    assert data["efficiency"][-1] < data["efficiency"][0]
+
+
+def test_fig2b_reduction_overhead(benchmark):
+    data = benchmark.pedantic(run_fig2b, rounds=1, iterations=1)
+    rows = list(map(list, zip(data["tree_counts"], data["shares"])))
+    report = common.format_table(
+        "Figure 2(b): block-reduction share of FIL inference time",
+        ["trees", "reduction share"],
+        rows,
+    )
+    report += "paper: 35%-72%, growing with the tree count\n"
+    common.write_result("fig2b_reduction_overhead", report)
+    assert data["shares"][-1] > data["shares"][0]
+    assert max(data["shares"]) > 0.3
+
+
+def test_fig2c_load_imbalance(benchmark):
+    data = benchmark.pedantic(run_fig2c, rounds=1, iterations=1)
+    report = common.format_table(
+        "Figure 2(c): per-thread execution-time spread under FIL",
+        ["metric", "measured", "paper"],
+        [
+            ["CV of per-thread time", data["cv"], PAPER["thread_cv"]],
+            ["max/min across threads", data["max_over_min"], "up to 10x"],
+        ],
+    )
+    common.write_result("fig2c_load_imbalance", report)
+    assert data["cv"] > 0.2

@@ -1,0 +1,110 @@
+"""Figure 9 and section 7.5 — strong and weak scaling on 1-128 V100s.
+
+Strong scaling: each inference set is partitioned evenly across N GPUs;
+Tahoe scales near-linearly for the large datasets and saturates for the
+small ones (HOCK, gisette, phishing) whose shards stop offering enough
+parallelism.  Weak scaling: the dataset is duplicated with the GPU count;
+with no inter-GPU communication the per-GPU time stays flat (paper: <5%
+variance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import common
+from repro.core import TahoeEngine
+from repro.gpusim.multigpu import simulate_multi_gpu, weak_scaling_times
+
+GPU_COUNTS = [1, 2, 4, 8, 16, 32, 64, 128]
+SMALL_SETS = {"HOCK", "phishing"}
+DATASETS = ["HOCK", "Higgs", "SUSY", "covtype", "year", "phishing", "aloi", "letter"]
+#: Inference-pool size for the large datasets (the paper partitions the
+#: full inference split of up to millions of samples).
+POOL = 20_000
+
+
+def _time_fn(name, spec):
+    forest = common.workload(name).forest
+    X = common.inference_pool(name, POOL)
+    engine = TahoeEngine(forest, spec)
+
+    def run(n_samples: int) -> float:
+        rows = X[: max(1, min(n_samples, X.shape[0]))]
+        return engine.predict(rows).total_time
+
+    return run, X.shape[0]
+
+
+def run_strong_scaling():
+    spec = common.bench_spec("V100")
+    out = {}
+    for name in DATASETS:
+        time_fn, n = _time_fn(name, spec)
+        # The full-size dataset stands in for the paper's full inference
+        # split; shards below one sample are clamped inside the model.
+        result = simulate_multi_gpu(time_fn, n, GPU_COUNTS)
+        out[name] = result
+    return out
+
+
+def run_weak_scaling():
+    """Weak scaling on the regular bench split.
+
+    Per-GPU load is constant by construction, so the large figure 9 pool
+    is unnecessary here; the claim under test is the absence of
+    inter-GPU communication effects.
+    """
+    spec = common.bench_spec("V100")
+    out = {}
+    for name in ("Higgs", "letter"):
+        forest = common.workload(name).forest
+        X = common.inference_X(name)
+        engine = TahoeEngine(forest, spec)
+
+        def time_fn(n_samples: int) -> float:
+            return engine.predict(X[: max(1, min(n_samples, X.shape[0]))]).total_time
+
+        out[name] = weak_scaling_times(time_fn, X.shape[0], GPU_COUNTS)
+    return out
+
+
+def test_fig9_strong_scaling(benchmark):
+    data = benchmark.pedantic(run_strong_scaling, rounds=1, iterations=1)
+    rows = []
+    for name in DATASETS:
+        rows.append([name] + [f"{s:.1f}" for s in data[name].speedups])
+    report = common.format_table(
+        "Figure 9: strong-scaling speedup on 1-128 simulated V100s",
+        ["dataset"] + [f"{g} GPUs" for g in GPU_COUNTS],
+        rows,
+    )
+    report += (
+        "paper: near-linear for large datasets; HOCK/gisette/phishing\n"
+        "saturate because small per-GPU shards lack parallelism.\n"
+    )
+    common.write_result("fig9_strong_scaling", report)
+    for name in DATASETS:
+        speedups = data[name].speedups
+        assert speedups[-1] >= speedups[0]  # never slower with more GPUs
+    # Large datasets scale much further than the small ones.
+    large_final = np.mean([data[n].speedups[-1] for n in DATASETS if n not in SMALL_SETS])
+    small_final = np.mean([data[n].speedups[-1] for n in SMALL_SETS])
+    assert large_final > 2 * small_final
+
+
+def test_weak_scaling_flat(benchmark):
+    data = benchmark.pedantic(run_weak_scaling, rounds=1, iterations=1)
+    rows = []
+    for name, times in data.items():
+        variance = (max(times) - min(times)) / min(times)
+        rows.append([name, f"{min(times):.2e}", f"{max(times):.2e}", f"{variance:.1%}"])
+    report = common.format_table(
+        "Section 7.5: weak scaling — per-GPU time as the dataset is duplicated",
+        ["dataset", "min time (s)", "max time (s)", "variance"],
+        rows,
+    )
+    report += "paper: <5% variance (no inter-GPU communication)\n"
+    common.write_result("weak_scaling", report)
+    for name, times in data.items():
+        assert (max(times) - min(times)) / min(times) < 0.05

@@ -1,0 +1,13 @@
+"""Benchmark suite configuration.
+
+Every benchmark uses the pytest-benchmark fixture with a single round —
+the interesting measurements are the *simulated* GPU times and counters,
+which each test prints and writes to ``benchmarks/results/``; wall-clock
+timing of the simulation itself is secondary.
+"""
+
+import sys
+from pathlib import Path
+
+# Make `import common` work regardless of the pytest rootdir.
+sys.path.insert(0, str(Path(__file__).resolve().parent))

@@ -1,0 +1,217 @@
+"""Command-line interface.
+
+Drives the library end to end without writing Python::
+
+    python -m repro specs
+    python -m repro train --dataset Higgs --scale 0.004 --out forest.json
+    python -m repro convert --forest forest.json
+    python -m repro profile --forest forest.json
+    python -m repro rank --forest forest.json --gpu P100 --batch 10000
+    python -m repro predict --forest forest.json --dataset Higgs --gpu P100
+
+Every subcommand prints a compact human-readable report; ``predict``
+compares Tahoe against the FIL baseline on the dataset's inference
+split.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import FILEngine, TahoeEngine
+from repro.datasets import DATASET_ORDER, DATASETS, load_dataset, train_test_split
+from repro.formats import build_adaptive_layout, build_reorg_layout
+from repro.gpusim.specs import GPU_SPECS
+from repro.perfmodel import measure_hardware_parameters, rank_strategies
+from repro.trees import train_forest_for_spec
+from repro.trees.io import load_forest, save_forest
+
+__all__ = ["main"]
+
+
+def _cmd_specs(args: argparse.Namespace) -> int:
+    print(f"{'name':22} {'gen':8} {'SMs':>4} {'BW GB/s':>8} {'SMEM/blk':>9} {'latency':>9}")
+    for key, spec in GPU_SPECS.items():
+        print(
+            f"{key + ' (' + spec.name + ')':22} {spec.generation:8} "
+            f"{spec.sm_count:>4} {spec.global_bw / 1e9:>8.0f} "
+            f"{spec.shared_mem_per_block:>9} {spec.memory_latency * 1e9:>7.0f}ns"
+        )
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    print(f"{'#':>2} {'dataset':10} {'samples':>9} {'attrs':>6} {'type':>5} "
+          f"{'trees':>6} {'depth':>6}")
+    for name in DATASET_ORDER:
+        s = DATASETS[name]
+        print(
+            f"{s.index:>2} {s.name:10} {s.n_samples:>9} {s.n_attributes:>6} "
+            f"{s.forest_type:>5} {s.n_trees:>6} {s.max_depth:>6}"
+        )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    workload = train_forest_for_spec(
+        args.dataset,
+        scale=args.scale,
+        tree_scale=args.tree_scale,
+        seed=args.seed,
+    )
+    forest = workload.forest
+    save_forest(forest, args.out)
+    depths = forest.tree_depths()
+    print(
+        f"trained {forest.n_trees} trees on {args.dataset} "
+        f"(depths {depths.min()}-{depths.max()}, {forest.n_nodes} nodes) -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    forest = load_forest(args.forest)
+    reorg = build_reorg_layout(forest)
+    adaptive = build_adaptive_layout(forest)
+    swaps = sum(int(t.flip.sum()) for t in adaptive.forest.trees)
+    print(f"forest: {forest.n_trees} trees, {forest.n_nodes} nodes")
+    print(f"reorg layout:    {reorg.total_bytes:>10} B (node size {reorg.node_size})")
+    print(
+        f"adaptive layout: {adaptive.total_bytes:>10} B "
+        f"(node size {adaptive.node_size}, "
+        f"{1 - adaptive.total_bytes / reorg.total_bytes:.1%} saved)"
+    )
+    print(f"node rearrangement swapped {swaps} children")
+    print(f"similarity tree order: {adaptive.tree_order[:12]}{'...' if forest.n_trees > 12 else ''}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.trees.analysis import structure_profile
+
+    forest = load_forest(args.forest)
+    info = structure_profile(forest)
+    print(f"trees: {info['n_trees']}   nodes: {info['n_nodes']}")
+    print(
+        f"depths: {info['depth_min']}-{info['depth_max']} "
+        f"(mean {info['depth_mean']:.1f})"
+    )
+    hist = "  ".join(f"d{d}:{c}" for d, c in info["depth_histogram"].items())
+    print(f"depth histogram: {hist}")
+    print(
+        f"hot-path skew: {info['hot_path_skew']:.2f} "
+        f"-> node-rearrangement benefit: {info['node_rearrangement_benefit']}"
+    )
+    print(
+        f"work dispersion: {info['work_dispersion']:.2f} "
+        f"-> tree-rearrangement benefit: {info['tree_rearrangement_benefit']}"
+    )
+    return 0
+
+
+def _cmd_rank(args: argparse.Namespace) -> int:
+    forest = load_forest(args.forest)
+    spec = GPU_SPECS[args.gpu]
+    layout = build_adaptive_layout(forest)
+    hw = measure_hardware_parameters(spec)
+    print(f"predicted batch time on {spec.name}, batch={args.batch}:")
+    for choice in rank_strategies(layout, args.batch, spec, hw):
+        t = choice.predicted_time
+        label = "inapplicable" if t == float("inf") else f"{t * 1e3:10.4f} ms"
+        note = choice.prediction.note
+        print(f"  {choice.name:26} {label}  {note}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    forest = load_forest(args.forest)
+    spec = GPU_SPECS[args.gpu]
+    data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    split = train_test_split(data, seed=args.seed)
+    X = split.test.X[: args.limit] if args.limit else split.test.X
+    tahoe = TahoeEngine(forest, spec)
+    fil = FILEngine(forest, spec)
+    rt = tahoe.predict(X, batch_size=args.batch)
+    rf = fil.predict(X, batch_size=args.batch)
+    if not np.allclose(rt.predictions, rf.predictions, atol=1e-5):
+        print("WARNING: engines disagree on predictions", file=sys.stderr)
+        return 1
+    print(f"samples: {X.shape[0]}, batch: {args.batch or X.shape[0]}")
+    print(f"FIL:   {rf.total_time * 1e3:9.3f} ms simulated")
+    print(
+        f"Tahoe: {rt.total_time * 1e3:9.3f} ms simulated "
+        f"({', '.join(sorted(set(rt.strategies_used)))})"
+    )
+    print(f"speedup: {rf.total_time / rt.total_time:.2f}x")
+    if args.verbose:
+        from repro.gpusim.report import format_strategy_report
+
+        print("\n[FIL first batch]")
+        print(format_strategy_report(rf.batches[0]))
+        print("\n[Tahoe first batch]")
+        print(format_strategy_report(rt.batches[0]))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Tahoe reproduction command-line interface"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("specs", help="list the simulated GPU models").set_defaults(
+        func=_cmd_specs
+    )
+    sub.add_parser("datasets", help="list the Table 2 dataset registry").set_defaults(
+        func=_cmd_datasets
+    )
+
+    p = sub.add_parser("train", help="train a forest for a registry dataset")
+    p.add_argument("--dataset", required=True, choices=DATASET_ORDER)
+    p.add_argument("--scale", type=float, default=0.01)
+    p.add_argument("--tree-scale", type=float, default=0.04, dest="tree_scale")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", type=Path, required=True)
+    p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser("convert", help="report adaptive-format conversion stats")
+    p.add_argument("--forest", type=Path, required=True)
+    p.set_defaults(func=_cmd_convert)
+
+    p = sub.add_parser("profile", help="structural profile of a saved forest")
+    p.add_argument("--forest", type=Path, required=True)
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("rank", help="rank strategies with the performance models")
+    p.add_argument("--forest", type=Path, required=True)
+    p.add_argument("--gpu", choices=sorted(GPU_SPECS), default="P100")
+    p.add_argument("--batch", type=int, default=10000)
+    p.set_defaults(func=_cmd_rank)
+
+    p = sub.add_parser("predict", help="run Tahoe vs FIL on a dataset's inference split")
+    p.add_argument("--forest", type=Path, required=True)
+    p.add_argument("--dataset", required=True, choices=DATASET_ORDER)
+    p.add_argument("--gpu", choices=sorted(GPU_SPECS), default="P100")
+    p.add_argument("--scale", type=float, default=0.01)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--batch", type=int, default=None)
+    p.add_argument("--limit", type=int, default=None)
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=_cmd_predict)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,31 @@
+"""Tahoe: the adaptive inference engine (paper section 6.2, Algorithm 1).
+
+* :class:`~repro.core.engine.TahoeEngine` — offline hardware detection,
+  online adaptive-format conversion (with per-stage timing for the
+  section 7.4 overhead analysis), per-batch model-guided strategy
+  selection, inference-time edge-probability counting, and incremental-
+  learning reconversion.
+* :class:`~repro.core.fil.FILEngine` — the RAPIDS FIL baseline: reorg
+  format + shared-data strategy, no rearrangement, fixed-width records.
+* :mod:`repro.core.metrics` — throughput / speedup / CV helpers used by
+  every benchmark.
+"""
+
+from repro.core.config import TahoeConfig
+from repro.core.engine import ConversionStats, EngineResult, TahoeEngine
+from repro.core.fil import FILEngine
+from repro.core.metrics import geometric_mean, speedup, throughput
+from repro.core.multi import MultiGPUResult, MultiGPUTahoeEngine
+
+__all__ = [
+    "ConversionStats",
+    "EngineResult",
+    "FILEngine",
+    "MultiGPUResult",
+    "MultiGPUTahoeEngine",
+    "TahoeConfig",
+    "TahoeEngine",
+    "geometric_mean",
+    "speedup",
+    "throughput",
+]

@@ -1,0 +1,43 @@
+"""Tahoe engine configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TahoeConfig"]
+
+
+@dataclass(frozen=True)
+class TahoeConfig:
+    """Knobs of the Tahoe engine.
+
+    Defaults are the paper's (section 7.1: ``T_nodes=4``, ``L_hash=128``,
+    ``M=64``; all three format techniques on; LSH-based similarity).
+
+    Attributes:
+        t_nodes: nodes per SimHash token.
+        l_hash: SimHash checksum length in bits.
+        m_chunks: LSH chunk count.
+        node_rearrangement: apply probability-based child swapping.
+        tree_rearrangement: apply similarity-based tree ordering.
+        variable_width: use the just-wide-enough attribute index.
+        similarity_method: ``"lsh"`` (online) or ``"pairwise"`` (exact,
+            quadratic — the section 7.4 baseline).
+        strategy_override: force a strategy by name instead of using the
+            performance models (ablation hook).
+        count_edge_probabilities: blend inference-time routing back into
+            the forest's visit counts (Algorithm 1 line 16), so the next
+            conversion reflects the inference distribution.
+        edge_count_decay: blending factor for the above.
+    """
+
+    t_nodes: int = 4
+    l_hash: int = 128
+    m_chunks: int = 64
+    node_rearrangement: bool = True
+    tree_rearrangement: bool = True
+    variable_width: bool = True
+    similarity_method: str = "lsh"
+    strategy_override: str | None = None
+    count_edge_probabilities: bool = False
+    edge_count_decay: float = 0.9

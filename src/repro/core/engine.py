@@ -1,0 +1,270 @@
+"""The Tahoe engine (Algorithm 1).
+
+Workflow, exactly as the paper stages it:
+
+* **Offline (once per platform)** — microbenchmark the hardware
+  parameters of Table 1.
+* **Online, on forest (re)load** — fetch edge probabilities, rearrange
+  nodes, detect tree similarity, convert to the adaptive format, ship the
+  converted forest to the GPU.  Each stage is wall-clock timed into
+  :class:`ConversionStats` for the section 7.4 overhead analysis, and the
+  whole procedure re-runs whenever the forest is updated (incremental
+  learning).
+* **Per batch** — evaluate the four performance models, execute the
+  strategy with the shortest predicted time, and (optionally) count edge
+  probabilities observed during inference for the next conversion.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import TahoeConfig
+from repro.formats.layout import ForestLayout, NodeRecordLayout, build_interleaved_layout
+from repro.formats.node_rearrange import rearrange_forest_nodes
+from repro.formats.tree_rearrange import similarity_tree_order
+from repro.gpusim.specs import GPUSpec
+from repro.perfmodel.microbench import measure_hardware_parameters
+from repro.perfmodel.notation import HardwareParams
+from repro.perfmodel.selector import rank_strategies
+from repro.strategies import StrategyNotApplicable, StrategyResult
+from repro.trees.forest import Forest
+from repro.trees.probabilities import update_visit_counts
+
+__all__ = ["ConversionStats", "EngineResult", "TahoeEngine"]
+
+
+@dataclass
+class ConversionStats:
+    """Wall-clock seconds of the online CPU part (section 7.4's five stages)."""
+
+    t_fetch_probabilities: float = 0.0
+    t_node_rearrangement: float = 0.0
+    t_similarity_detection: float = 0.0
+    t_format_conversion: float = 0.0
+    t_copy_to_gpu: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.t_fetch_probabilities
+            + self.t_node_rearrangement
+            + self.t_similarity_detection
+            + self.t_format_conversion
+            + self.t_copy_to_gpu
+        )
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one :meth:`TahoeEngine.predict` call.
+
+    Attributes:
+        predictions: final per-sample predictions.
+        total_time: simulated GPU seconds over all batches.
+        batches: per-batch strategy results.
+        strategies_used: strategy name per batch.
+    """
+
+    predictions: np.ndarray
+    total_time: float
+    batches: list[StrategyResult] = field(default_factory=list)
+    strategies_used: list[str] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        n = self.predictions.shape[0]
+        return n / self.total_time if self.total_time > 0 else float("inf")
+
+
+class TahoeEngine:
+    """Tree structure-aware adaptive inference engine.
+
+    Args:
+        forest: trained forest (visit counts carry the edge
+            probabilities learned during training).
+        spec: GPU to run on.
+        config: engine configuration; defaults are the paper's.
+        hardware: pre-measured hardware parameters (reuse across engines
+            on the same GPU; measured on demand otherwise).
+    """
+
+    def __init__(
+        self,
+        forest: Forest,
+        spec: GPUSpec,
+        config: TahoeConfig = TahoeConfig(),
+        hardware: HardwareParams | None = None,
+    ) -> None:
+        self.spec = spec
+        self.config = config
+        self.hardware = hardware or measure_hardware_parameters(spec)
+        self.layout: ForestLayout | None = None
+        self.conversion_stats = ConversionStats()
+        self._convert(forest)
+
+    # ------------------------------------------------------------------
+    # Online part: format optimisation (Algorithm 1, lines 5-7)
+    # ------------------------------------------------------------------
+    def _convert(self, forest: Forest) -> None:
+        stats = ConversionStats()
+        t0 = time.perf_counter()
+        # Stage 1: fetch the tree ensemble and edge probabilities "from
+        # GPU" — materialise the per-tree probability arrays.
+        edge_probs = [tree.edge_probabilities() for tree in forest.trees]
+        del edge_probs
+        t1 = time.perf_counter()
+        stats.t_fetch_probabilities = t1 - t0
+        # Stage 2: probability-based node rearrangement.
+        structured = (
+            rearrange_forest_nodes(forest)
+            if self.config.node_rearrangement
+            else forest
+        )
+        t2 = time.perf_counter()
+        stats.t_node_rearrangement = t2 - t1
+        # Stage 3: similarity detection (SimHash + LSH).
+        if self.config.tree_rearrangement and forest.n_trees > 1:
+            order = similarity_tree_order(
+                structured,
+                t_nodes=self.config.t_nodes,
+                l_hash=self.config.l_hash,
+                m_chunks=self.config.m_chunks,
+                method=self.config.similarity_method,
+            )
+        else:
+            order = None
+        t3 = time.perf_counter()
+        stats.t_similarity_detection = t3 - t2
+        # Stage 4: convert to the adaptive format.
+        record = (
+            NodeRecordLayout.variable(structured)
+            if self.config.variable_width
+            else NodeRecordLayout.fixed()
+        )
+        layout = build_interleaved_layout(structured, record, order, "adaptive")
+        t4 = time.perf_counter()
+        stats.t_format_conversion = t4 - t3
+        # Stage 5: copy the converted forest "to GPU" — materialise the
+        # flat device image (address/record arrays).
+        from repro.gpusim.trace import flatten_layout
+
+        flatten_layout(layout)
+        stats.t_copy_to_gpu = time.perf_counter() - t4
+        self.layout = layout
+        self.forest = layout.forest
+        self.conversion_stats = stats
+
+    def update_forest(self, forest: Forest) -> ConversionStats:
+        """Incremental learning hook: reconvert for an updated forest."""
+        self._convert(forest)
+        return self.conversion_stats
+
+    # ------------------------------------------------------------------
+    # Inference (Algorithm 1, lines 8-16)
+    # ------------------------------------------------------------------
+    def select_strategy_name(self, n_batch: int) -> str:
+        """The strategy the performance models pick for this batch size."""
+        ranked = rank_strategies(self.layout, n_batch, self.spec, self.hardware)
+        if self.config.strategy_override is not None:
+            return self.config.strategy_override
+        return ranked[0].name
+
+    def predict(
+        self,
+        X: np.ndarray,
+        batch_size: int | None = None,
+        collect_level_stats: bool = False,
+    ) -> EngineResult:
+        """Run inference over ``X`` batch by batch.
+
+        Args:
+            X: sample matrix.
+            batch_size: samples per batch (whole input when omitted) —
+                the paper's high-parallelism regime uses 100K, the
+                low-parallelism one 100.
+            collect_level_stats: gather per-level coalescing statistics
+                on each batch (figure 2a analysis).
+        """
+        X = np.asarray(X, dtype=np.float32)
+        n = X.shape[0]
+        if batch_size is None or batch_size >= n:
+            batch_size = n
+        predictions = np.zeros(n, dtype=np.float64)
+        batches: list[StrategyResult] = []
+        used: list[str] = []
+        total_time = 0.0
+        for start in range(0, n, batch_size):
+            rows = np.arange(start, min(start + batch_size, n), dtype=np.int64)
+            result = self._run_batch(X, rows, collect_level_stats)
+            predictions[rows] = result.predictions
+            batches.append(result)
+            used.append(result.strategy)
+            total_time += result.time
+        if self.config.count_edge_probabilities:
+            updated = self.forest.with_trees(
+                [
+                    update_visit_counts(tree, X, decay=self.config.edge_count_decay)
+                    for tree in self.forest.trees
+                ]
+            )
+            # Counts feed the *next* conversion; trigger it immediately so
+            # subsequent batches see the refreshed probabilities.
+            self._convert(updated)
+        return EngineResult(
+            predictions=predictions,
+            total_time=total_time,
+            batches=batches,
+            strategies_used=used,
+        )
+
+    def _probe_coalescing(self, X: np.ndarray, rows: np.ndarray) -> None:
+        """Measure the layout's forest-read coalescing rate (COA_rate).
+
+        Algorithm 1 line 2 lists COA_rate among the trained-forest inputs;
+        a 32-sample probe trace on the real layout measures it once per
+        conversion, and the performance models use it in place of the
+        paper's fixed "half bandwidth" assumption.
+        """
+        from repro.formats.tree_rearrange import round_robin_assignment
+        from repro.gpusim.trace import trace_tree_parallel
+
+        probe_rows = rows[: min(32, rows.shape[0])]
+        assignments = round_robin_assignment(self.forest.n_trees, 64)
+        trace = trace_tree_parallel(
+            self.layout, X, probe_rows, assignments, self.spec
+        )
+        self.layout.metadata["coa_rate"] = max(
+            0.01, trace.counters.forest_global.load_efficiency
+        )
+
+    def _run_batch(
+        self, X: np.ndarray, rows: np.ndarray, collect_level_stats: bool
+    ) -> StrategyResult:
+        if "coa_rate" not in self.layout.metadata:
+            self._probe_coalescing(X, rows)
+        ranked = rank_strategies(self.layout, rows.shape[0], self.spec, self.hardware)
+        if self.config.strategy_override is not None:
+            ranked = [c for c in ranked if c.name == self.config.strategy_override]
+            if not ranked:
+                raise ValueError(
+                    f"unknown strategy override {self.config.strategy_override!r}"
+                )
+        for choice in ranked:
+            if choice.predicted_time == float("inf") and self.config.strategy_override is None:
+                continue
+            try:
+                strategy = choice.instantiate()
+                return strategy.run(
+                    self.layout,
+                    X,
+                    self.spec,
+                    sample_rows=rows,
+                    collect_level_stats=collect_level_stats,
+                )
+            except StrategyNotApplicable:
+                continue
+        raise RuntimeError("no applicable inference strategy for this batch")

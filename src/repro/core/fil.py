@@ -1,0 +1,79 @@
+"""The FIL baseline engine (paper sections 2–3).
+
+RAPIDS FIL as the paper describes it: forests stored in the reorg format
+(training tree order, trained child order, fixed 4-byte attribute index)
+and evaluated with the shared-data algorithm — samples staged in shared
+memory, trees dealt round-robin over the block's threads, one block-wise
+reduction per sample.  No structure awareness anywhere: this is the
+baseline every Tahoe speedup in section 7 is measured against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.engine import EngineResult
+from repro.formats.reorg import build_reorg_layout
+from repro.gpusim.specs import GPUSpec
+from repro.strategies import SharedDataStrategy, StrategyResult
+from repro.trees.forest import Forest
+
+__all__ = ["FILEngine"]
+
+
+def fil_block_size(n_trees: int, spec: GPUSpec, cap: int = 256) -> int:
+    """FIL's block size: enough threads to hold every tree in one
+    round-robin round (maximum per-block parallelism, no balance
+    awareness), warp-rounded and capped."""
+    warps = max(1, (min(n_trees, cap) + spec.warp_size - 1) // spec.warp_size)
+    return min(cap, warps * spec.warp_size)
+
+
+class FILEngine:
+    """Reorg format + shared-data strategy, unconditionally."""
+
+    def __init__(self, forest: Forest, spec: GPUSpec) -> None:
+        self.spec = spec
+        self.layout = build_reorg_layout(forest)
+        self.forest = self.layout.forest
+        # FIL is industry-quality: it sizes its sample stages for device
+        # occupancy just like any tuned kernel.  Its structural handicaps
+        # are the ones the paper documents -- reorg layout, training-order
+        # round-robin assignment, one-round-wide blocks, and the
+        # unconditional block-wise reduction.
+        self._strategy = SharedDataStrategy(
+            threads_per_block=fil_block_size(forest.n_trees, spec),
+        )
+
+    def predict(
+        self,
+        X: np.ndarray,
+        batch_size: int | None = None,
+        collect_level_stats: bool = False,
+    ) -> EngineResult:
+        """Run inference over ``X`` batch by batch (shared data only)."""
+        X = np.asarray(X, dtype=np.float32)
+        n = X.shape[0]
+        if batch_size is None or batch_size >= n:
+            batch_size = n
+        predictions = np.zeros(n, dtype=np.float64)
+        batches: list[StrategyResult] = []
+        total_time = 0.0
+        for start in range(0, n, batch_size):
+            rows = np.arange(start, min(start + batch_size, n), dtype=np.int64)
+            result = self._strategy.run(
+                self.layout,
+                X,
+                self.spec,
+                sample_rows=rows,
+                collect_level_stats=collect_level_stats,
+            )
+            predictions[rows] = result.predictions
+            batches.append(result)
+            total_time += result.time
+        return EngineResult(
+            predictions=predictions,
+            total_time=total_time,
+            batches=batches,
+            strategies_used=["shared_data"] * len(batches),
+        )

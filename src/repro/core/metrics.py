@@ -1,0 +1,42 @@
+"""Metric helpers shared by benchmarks and examples."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["throughput", "speedup", "geometric_mean", "accuracy"]
+
+
+def throughput(n_samples: int, seconds: float) -> float:
+    """Samples per second (inf for a zero-time batch)."""
+    if seconds <= 0:
+        return math.inf
+    return n_samples / seconds
+
+
+def speedup(baseline_seconds: float, seconds: float) -> float:
+    """Baseline time over measured time."""
+    if seconds <= 0:
+        return math.inf
+    return baseline_seconds / seconds
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of positive values (the paper averages speedups)."""
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("geometric mean of an empty sequence")
+    if np.any(values <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.log(values).mean()))
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of correct hard predictions (classification sanity checks)."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError("shape mismatch")
+    return float((predictions == labels).mean())

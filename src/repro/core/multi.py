@@ -1,0 +1,111 @@
+"""Multi-GPU inference (paper section 7.5).
+
+The paper evaluates Tahoe on an NVIDIA DGX-2 cluster with up to 128 GPUs
+by partitioning the inference set evenly (strong scaling) or duplicating
+it (weak scaling), with effectively no inter-GPU communication.
+:class:`MultiGPUTahoeEngine` packages that data-parallel deployment: one
+:class:`~repro.core.engine.TahoeEngine` per (simulated) GPU, even sample
+sharding, completion time = the slowest shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import TahoeConfig
+from repro.core.engine import EngineResult, TahoeEngine
+from repro.gpusim.specs import GPUSpec
+from repro.perfmodel.microbench import measure_hardware_parameters
+from repro.trees.forest import Forest
+
+__all__ = ["MultiGPUResult", "MultiGPUTahoeEngine"]
+
+
+@dataclass
+class MultiGPUResult:
+    """Outcome of a multi-GPU predict call.
+
+    Attributes:
+        predictions: per-sample predictions, original order.
+        total_time: completion time — the slowest GPU's simulated time
+            (shards run concurrently; there is no communication).
+        per_gpu: each shard's engine result, in GPU order.
+    """
+
+    predictions: np.ndarray
+    total_time: float
+    per_gpu: list[EngineResult] = field(default_factory=list)
+
+    @property
+    def n_gpus(self) -> int:
+        return len(self.per_gpu)
+
+    @property
+    def throughput(self) -> float:
+        n = self.predictions.shape[0]
+        return n / self.total_time if self.total_time > 0 else float("inf")
+
+
+class MultiGPUTahoeEngine:
+    """Data-parallel Tahoe across ``n_gpus`` identical GPUs.
+
+    Every GPU holds the full converted forest (the paper replicates the
+    model; only samples are partitioned).  The hardware microbenchmarks
+    and the forest conversion run once and are shared.
+    """
+
+    def __init__(
+        self,
+        forest: Forest,
+        spec: GPUSpec,
+        n_gpus: int,
+        config: TahoeConfig = TahoeConfig(),
+    ) -> None:
+        if n_gpus < 1:
+            raise ValueError("n_gpus must be >= 1")
+        self.n_gpus = n_gpus
+        self.spec = spec
+        hardware = measure_hardware_parameters(spec)
+        # One engine per GPU; conversion is deterministic, so the layouts
+        # are identical replicas (as the paper's deployment replicates
+        # the converted forest to every device).
+        self.engines = [
+            TahoeEngine(forest, spec, config, hardware=hardware)
+            for _ in range(n_gpus)
+        ]
+
+    def predict(
+        self, X: np.ndarray, batch_size: int | None = None
+    ) -> MultiGPUResult:
+        """Partition ``X`` evenly and run every shard.
+
+        Shards are contiguous sample ranges; GPU ``g`` takes rows
+        ``[g * ceil(n / n_gpus), ...)``.  Completion time is the slowest
+        shard's simulated time.
+        """
+        X = np.asarray(X, dtype=np.float32)
+        n = X.shape[0]
+        if n == 0:
+            raise ValueError("empty inference batch")
+        shard = -(-n // self.n_gpus)
+        predictions = np.zeros(n, dtype=np.float64)
+        per_gpu: list[EngineResult] = []
+        slowest = 0.0
+        for g, engine in enumerate(self.engines):
+            lo, hi = g * shard, min((g + 1) * shard, n)
+            if lo >= hi:
+                break
+            result = engine.predict(X[lo:hi], batch_size=batch_size)
+            predictions[lo:hi] = result.predictions
+            per_gpu.append(result)
+            slowest = max(slowest, result.total_time)
+        return MultiGPUResult(
+            predictions=predictions, total_time=slowest, per_gpu=per_gpu
+        )
+
+    def update_forest(self, forest: Forest) -> None:
+        """Incremental learning: reconvert and redistribute the forest."""
+        for engine in self.engines:
+            engine.update_forest(forest)

@@ -1,0 +1,32 @@
+"""Dataset substrate.
+
+The paper evaluates on 15 datasets from the UCI repository and LIBSVM
+(Table 2).  Raw data is not available offline, so this package provides a
+registry of synthetic equivalents that reproduce each dataset's row count,
+attribute count, task type, and the paper's forest hyper-parameters
+(``N_trees``, ``D_tree``), at a configurable scale factor.
+
+Public API::
+
+    from repro.datasets import DATASETS, load_dataset, train_test_split
+
+    spec = DATASETS["Higgs"]
+    data = load_dataset("Higgs", scale=0.01, seed=7)
+    train, test = train_test_split(data, train_fraction=0.7, seed=7)
+"""
+
+from repro.datasets.registry import DATASETS, DATASET_ORDER, DatasetSpec, load_dataset
+from repro.datasets.splits import Split, train_test_split
+from repro.datasets.synthetic import Dataset, make_classification, make_regression
+
+__all__ = [
+    "DATASETS",
+    "DATASET_ORDER",
+    "DatasetSpec",
+    "Dataset",
+    "Split",
+    "load_dataset",
+    "make_classification",
+    "make_regression",
+    "train_test_split",
+]

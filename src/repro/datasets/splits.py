@@ -1,0 +1,62 @@
+"""Train/inference splitting.
+
+The paper uses 70 % of each dataset for training and 30 % for inference
+(section 7.1); these helpers reproduce that protocol deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.synthetic import Dataset
+
+__all__ = ["Split", "train_test_split"]
+
+
+@dataclass
+class Split:
+    """A train/inference partition of a dataset."""
+
+    train: Dataset
+    test: Dataset
+
+    @property
+    def n_train(self) -> int:
+        return self.train.n_samples
+
+    @property
+    def n_test(self) -> int:
+        return self.test.n_samples
+
+
+def train_test_split(
+    data: Dataset, train_fraction: float = 0.7, seed: int = 0
+) -> Split:
+    """Shuffle and split a dataset into train/inference parts.
+
+    Args:
+        data: dataset to split.
+        train_fraction: fraction of rows assigned to the training part
+            (the paper uses 0.7).
+        seed: shuffle seed.
+
+    Raises:
+        ValueError: if ``train_fraction`` is outside (0, 1) or the dataset
+            is too small to give both parts at least one row.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError(f"train_fraction must be in (0, 1), got {train_fraction}")
+    n = data.n_samples
+    n_train = int(round(n * train_fraction))
+    if n_train == 0 or n_train == n:
+        raise ValueError(
+            f"split of {n} samples at fraction {train_fraction} leaves an empty part"
+        )
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    return Split(
+        train=data.subset(order[:n_train]),
+        test=data.subset(order[n_train:]),
+    )

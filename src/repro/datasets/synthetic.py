@@ -1,0 +1,211 @@
+"""Synthetic data generators.
+
+The generators are deliberately structured so that forests trained on the
+data exhibit the properties Tahoe exploits:
+
+* **Skewed branch probabilities** — informative features are drawn from
+  skewed mixtures, so one side of a learned split is visited far more often
+  than the other.  This is what makes probability-based node rearrangement
+  (paper section 4.1) effective.
+* **Heterogeneous tree depth** — the label depends on feature interactions of
+  varying order, so trees trained on bootstrap samples / boosting rounds end
+  up with different effective depths, producing the load imbalance the paper
+  measures (section 3, figure 2c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Dataset", "make_classification", "make_regression"]
+
+
+@dataclass
+class Dataset:
+    """An in-memory dataset: a feature matrix and a target vector.
+
+    Attributes:
+        X: float32 array of shape ``(n_samples, n_attributes)``.
+        y: float32 array of shape ``(n_samples,)``.  For classification this
+            holds 0/1 labels; for regression, continuous targets.
+        task: ``"classification"`` or ``"regression"``.
+        name: human-readable dataset name.
+    """
+
+    X: np.ndarray
+    y: np.ndarray
+    task: str = "classification"
+    name: str = "synthetic"
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {self.X.shape}")
+        if self.y.ndim != 1:
+            raise ValueError(f"y must be 1-D, got shape {self.y.shape}")
+        if self.X.shape[0] != self.y.shape[0]:
+            raise ValueError(
+                f"X and y disagree on sample count: {self.X.shape[0]} != {self.y.shape[0]}"
+            )
+        if self.task not in ("classification", "regression"):
+            raise ValueError(f"unknown task {self.task!r}")
+
+    @property
+    def n_samples(self) -> int:
+        return self.X.shape[0]
+
+    @property
+    def n_attributes(self) -> int:
+        return self.X.shape[1]
+
+    def subset(self, indices: np.ndarray) -> "Dataset":
+        """Return a new dataset restricted to ``indices`` (rows)."""
+        return Dataset(
+            X=self.X[indices],
+            y=self.y[indices],
+            task=self.task,
+            name=self.name,
+            metadata=dict(self.metadata),
+        )
+
+
+def _raw_features(
+    rng: np.random.Generator, n_samples: int, n_attributes: int, n_informative: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Draw a feature matrix whose informative columns are skewed.
+
+    Half of the informative columns are *rare-indicator* features — zero
+    for most rows with a heavy positive tail on a small fraction — the
+    kind real tabular data is full of (capital gains, click counts,
+    physics triggers).  Splits on such columns route 70-95 % of samples
+    down one edge, producing the skewed edge probabilities that
+    probability-based node rearrangement exploits (paper section 4.1).
+    The rest mix an exponential component (heavy right skew) with a
+    Gaussian; noise columns are plain Gaussians.  Returns the matrix and
+    the indices of the informative columns.
+    """
+    X = rng.standard_normal((n_samples, n_attributes)).astype(np.float32)
+    informative = rng.choice(n_attributes, size=n_informative, replace=False)
+    for j in informative:
+        if rng.random() < 0.5:
+            rate = rng.uniform(0.05, 0.3)
+            active = rng.random(n_samples) < rate
+            spikes = rng.exponential(scale=2.0, size=n_samples) + 0.5
+            X[:, j] = np.where(active, spikes, 0.0).astype(np.float32)
+        else:
+            skew = rng.uniform(0.5, 2.0)
+            X[:, j] = (
+                rng.exponential(scale=skew, size=n_samples)
+                - 0.3 * rng.standard_normal(n_samples)
+            ).astype(np.float32)
+    return X, informative
+
+
+def _interaction_score(
+    rng: np.random.Generator, X: np.ndarray, informative: np.ndarray
+) -> np.ndarray:
+    """Compute a target score from the informative columns.
+
+    Mixes linear terms, pairwise interactions, and threshold indicator
+    terms of varying order so trees of different depths are needed to fit
+    different parts of the signal.
+    """
+    n_samples = X.shape[0]
+    score = np.zeros(n_samples, dtype=np.float64)
+    weights = rng.uniform(-1.0, 1.0, size=informative.size)
+    for w, j in zip(weights, informative):
+        score += w * X[:, j]
+    # Pairwise interactions between random informative pairs.
+    n_pairs = max(1, informative.size // 2)
+    for _ in range(n_pairs):
+        a, b = rng.choice(informative, size=2, replace=informative.size < 2)
+        score += rng.uniform(-0.5, 0.5) * X[:, a] * X[:, b]
+    # Indicator terms: deep-interaction signal that forces deeper splits.
+    n_indicators = max(1, informative.size // 3)
+    for _ in range(n_indicators):
+        cols = rng.choice(informative, size=min(3, informative.size), replace=False)
+        thresholds = rng.uniform(-0.5, 1.5, size=cols.size)
+        indicator = np.ones(n_samples, dtype=bool)
+        for c, t in zip(cols, thresholds):
+            indicator &= X[:, c] > t
+        score += rng.uniform(0.5, 2.0) * indicator
+    return score
+
+
+def make_classification(
+    n_samples: int,
+    n_attributes: int,
+    n_informative: int | None = None,
+    class_balance: float = 0.5,
+    label_noise: float = 0.05,
+    seed: int = 0,
+    name: str = "synthetic-classification",
+) -> Dataset:
+    """Generate a binary classification dataset.
+
+    Args:
+        n_samples: number of rows.
+        n_attributes: number of feature columns.
+        n_informative: number of columns that carry signal; defaults to
+            ``min(n_attributes, max(4, n_attributes // 8))``.
+        class_balance: fraction of samples labelled positive (the decision
+            threshold on the latent score is chosen by quantile).
+        label_noise: fraction of labels flipped uniformly at random.
+        seed: RNG seed (fully deterministic output).
+        name: dataset name recorded on the result.
+    """
+    if n_samples <= 0 or n_attributes <= 0:
+        raise ValueError("n_samples and n_attributes must be positive")
+    if not 0.0 < class_balance < 1.0:
+        raise ValueError("class_balance must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    if n_informative is None:
+        n_informative = min(n_attributes, max(4, n_attributes // 8))
+    n_informative = min(n_informative, n_attributes)
+    X, informative = _raw_features(rng, n_samples, n_attributes, n_informative)
+    score = _interaction_score(rng, X, informative)
+    threshold = np.quantile(score, 1.0 - class_balance)
+    y = (score > threshold).astype(np.float32)
+    if label_noise > 0:
+        flip = rng.random(n_samples) < label_noise
+        y[flip] = 1.0 - y[flip]
+    return Dataset(
+        X=X,
+        y=y,
+        task="classification",
+        name=name,
+        metadata={"informative": informative.tolist(), "seed": seed},
+    )
+
+
+def make_regression(
+    n_samples: int,
+    n_attributes: int,
+    n_informative: int | None = None,
+    noise: float = 0.1,
+    seed: int = 0,
+    name: str = "synthetic-regression",
+) -> Dataset:
+    """Generate a regression dataset with the same latent structure.
+
+    Args mirror :func:`make_classification`; ``noise`` is the standard
+    deviation of additive Gaussian noise on the target.
+    """
+    if n_samples <= 0 or n_attributes <= 0:
+        raise ValueError("n_samples and n_attributes must be positive")
+    rng = np.random.default_rng(seed)
+    if n_informative is None:
+        n_informative = min(n_attributes, max(4, n_attributes // 8))
+    n_informative = min(n_informative, n_attributes)
+    X, informative = _raw_features(rng, n_samples, n_attributes, n_informative)
+    score = _interaction_score(rng, X, informative)
+    y = (score + noise * rng.standard_normal(n_samples)).astype(np.float32)
+    return Dataset(
+        X=X,
+        y=y,
+        task="regression",
+        name=name,
+        metadata={"informative": informative.tolist(), "seed": seed},
+    )

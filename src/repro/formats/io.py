@@ -1,0 +1,132 @@
+"""Layout (de)serialisation — the "converted forest" artifact.
+
+Tahoe's conversion is the expensive online step (section 7.4); a
+production deployment would convert once and ship the converted image to
+every GPU / every process.  This module packages a
+:class:`~repro.formats.layout.ForestLayout` into a single ``.npz``
+archive (numpy's zip container): the forest arrays, the address map, and
+the format metadata, restoring to an identical layout.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.formats.layout import ForestLayout, NodeRecordLayout
+from repro.trees.forest import Forest
+from repro.trees.tree import DecisionTree
+
+__all__ = ["save_layout", "load_layout"]
+
+_FORMAT_VERSION = 1
+
+
+def save_layout(layout: ForestLayout, path: str | Path) -> None:
+    """Write a layout to ``path`` as a ``.npz`` archive."""
+    forest = layout.forest
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "format_name": layout.format_name,
+        "n_trees": forest.n_trees,
+        "n_attributes": forest.n_attributes,
+        "task": forest.task,
+        "aggregation": forest.aggregation,
+        "base_score": forest.base_score,
+        "learning_rate": forest.learning_rate,
+        "name": forest.name,
+        "tree_order": list(layout.tree_order),
+        "record": {
+            "attr_bytes": layout.record.attr_bytes,
+            "threshold_bytes": layout.record.threshold_bytes,
+            "flags_bytes": layout.record.flags_bytes,
+        },
+        "total_bytes": layout.total_bytes,
+        "tree_sizes": [t.n_nodes for t in forest.trees],
+        # Persist only JSON-safe metadata (drop runtime caches).
+        "metadata": {
+            k: v
+            for k, v in layout.metadata.items()
+            if not k.startswith("_") and _json_safe(v)
+        },
+    }
+    arrays = {
+        "header": np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        "level_base": layout.level_base,
+        "level_slots": layout.level_slots,
+        "feature": np.concatenate([t.feature for t in forest.trees]),
+        "threshold": np.concatenate([t.threshold for t in forest.trees]),
+        "left": np.concatenate([t.left for t in forest.trees]),
+        "right": np.concatenate([t.right for t in forest.trees]),
+        "value": np.concatenate([t.value for t in forest.trees]),
+        "default_left": np.concatenate([t.default_left for t in forest.trees]),
+        "visit_count": np.concatenate([t.visit_count for t in forest.trees]),
+        "flip": np.concatenate([t.flip for t in forest.trees]),
+        "address": np.concatenate(layout.node_address),
+    }
+    with open(path, "wb") as fh:
+        np.savez_compressed(fh, **arrays)
+
+
+def load_layout(path: str | Path) -> ForestLayout:
+    """Restore a layout written by :func:`save_layout`.
+
+    Raises:
+        ValueError: on an unknown archive version.
+    """
+    with np.load(path) as data:
+        header = json.loads(bytes(data["header"].tobytes()).decode())
+        if header.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported layout version: {header.get('format_version')!r}"
+            )
+        sizes = header["tree_sizes"]
+        bounds = np.concatenate([[0], np.cumsum(sizes)])
+        trees = []
+        addresses = []
+        for i in range(header["n_trees"]):
+            lo, hi = bounds[i], bounds[i + 1]
+            trees.append(
+                DecisionTree(
+                    feature=data["feature"][lo:hi],
+                    threshold=data["threshold"][lo:hi],
+                    left=data["left"][lo:hi],
+                    right=data["right"][lo:hi],
+                    value=data["value"][lo:hi],
+                    default_left=data["default_left"][lo:hi],
+                    visit_count=data["visit_count"][lo:hi],
+                    flip=data["flip"][lo:hi],
+                )
+            )
+            addresses.append(data["address"][lo:hi].astype(np.int64))
+        forest = Forest(
+            trees=trees,
+            n_attributes=header["n_attributes"],
+            task=header["task"],
+            aggregation=header["aggregation"],
+            base_score=header["base_score"],
+            learning_rate=header["learning_rate"],
+            name=header["name"],
+        )
+        record = NodeRecordLayout(**header["record"])
+        return ForestLayout(
+            forest=forest,
+            record=record,
+            tree_order=list(header["tree_order"]),
+            node_address=addresses,
+            level_base=data["level_base"].astype(np.int64),
+            level_slots=data["level_slots"].astype(np.int64),
+            total_bytes=int(header["total_bytes"]),
+            format_name=header["format_name"],
+            metadata=dict(header.get("metadata", {})),
+        )
+
+
+def _json_safe(value) -> bool:
+    try:
+        json.dumps(value)
+        return True
+    except (TypeError, ValueError):
+        return False

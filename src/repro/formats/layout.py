@@ -1,0 +1,210 @@
+"""Node records and the interleaved level-major address scheme.
+
+Both the reorg format (FIL, paper section 2) and the adaptive format
+(section 4.3) store the forest level by level: all trees' nodes at heap
+slot 0 of a level, then all trees' nodes at slot 1, and so on — so that
+threads traversing different trees along the *same* branch pattern touch
+contiguous addresses.  The two formats differ in
+
+* the order of trees within a slot group (adaptive: similarity order),
+* which child sits at the left slot (adaptive: the more probable one), and
+* the node record size (adaptive: variable-width attribute index).
+
+A :class:`ForestLayout` maps every ``(tree position, node id)`` to a byte
+address in the simulated GPU allocation; holes (heap slots with no node)
+are part of the allocation, exactly as FIL's dense interleaved storage
+NULL-pads them (figure 1).  Levels are sized to the widest slot actually
+used by any tree, so empty tails of a level are not allocated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.trees.forest import Forest
+from repro.trees.tree import LEAF, DecisionTree
+
+__all__ = [
+    "NodeRecordLayout",
+    "ForestLayout",
+    "attr_index_bytes",
+    "heap_positions",
+    "build_interleaved_layout",
+]
+
+
+def attr_index_bytes(n_distinct_attributes: int) -> int:
+    """Bytes needed to index ``n_distinct_attributes`` attributes (1/2/4).
+
+    This is the paper's variable-length representation: "the length is
+    just enough to index all attributes" (section 4.3).
+    """
+    if n_distinct_attributes < 1:
+        raise ValueError("need at least one attribute")
+    if n_distinct_attributes <= 256:
+        return 1
+    if n_distinct_attributes <= 65536:
+        return 2
+    return 4
+
+
+@dataclass(frozen=True)
+class NodeRecordLayout:
+    """Byte layout of one stored tree node.
+
+    A record holds the attribute index, the split threshold (shared with
+    the leaf value — a node is either a split or a leaf), and one flags
+    byte packing the leaf marker, default direction, and the
+    rearrangement flip bit.
+
+    Attributes:
+        attr_bytes: width of the attribute index (4 in FIL's fixed-length
+            format; 1/2/4 in the adaptive format).
+        threshold_bytes: width of the threshold / leaf value (float32).
+        flags_bytes: packed flag byte(s).
+    """
+
+    attr_bytes: int = 4
+    threshold_bytes: int = 4
+    flags_bytes: int = 1
+
+    @property
+    def node_size(self) -> int:
+        """Total bytes per node record (the paper's ``S_node``)."""
+        return self.attr_bytes + self.threshold_bytes + self.flags_bytes
+
+    @staticmethod
+    def fixed() -> "NodeRecordLayout":
+        """FIL's fixed-length record: 4-byte attribute index."""
+        return NodeRecordLayout(attr_bytes=4)
+
+    @staticmethod
+    def variable(forest: Forest) -> "NodeRecordLayout":
+        """Adaptive record sized to the forest's distinct attribute count."""
+        n_distinct = max(1, forest.distinct_attributes().size)
+        return NodeRecordLayout(attr_bytes=attr_index_bytes(n_distinct))
+
+
+def heap_positions(tree: DecisionTree) -> tuple[np.ndarray, np.ndarray]:
+    """Per-node ``(level, slot)`` in the complete-binary-tree embedding.
+
+    ``slot`` is the position within the level, in ``[0, 2^level)``; the
+    root is ``(0, 0)`` and the children of ``(l, s)`` are ``(l+1, 2s)``
+    and ``(l+1, 2s+1)``.
+    """
+    n = tree.n_nodes
+    level = np.zeros(n, dtype=np.int32)
+    slot = np.zeros(n, dtype=np.int64)
+    frontier = [0]
+    while frontier:
+        nxt = []
+        for node in frontier:
+            lo, hi = tree.left[node], tree.right[node]
+            if lo != LEAF:
+                level[lo] = level[node] + 1
+                slot[lo] = 2 * slot[node]
+                nxt.append(int(lo))
+            if hi != LEAF:
+                level[hi] = level[node] + 1
+                slot[hi] = 2 * slot[node] + 1
+                nxt.append(int(hi))
+        frontier = nxt
+    return level, slot
+
+
+@dataclass
+class ForestLayout:
+    """A forest laid out in simulated GPU memory.
+
+    Attributes:
+        forest: the forest in *layout order* (trees permuted, children
+            possibly swapped).  Prediction semantics are preserved.
+        record: node record layout (determines ``S_node``).
+        tree_order: original tree index stored at each layout position.
+        node_address: per layout tree, int64 array mapping node id to its
+            byte address within the forest allocation.
+        level_base: byte offset of each level's slot-group region.
+        level_slots: number of heap slots allocated per level.
+        total_bytes: size of the whole allocation, including NULL holes.
+        format_name: ``"reorg"`` or ``"adaptive"``.
+    """
+
+    forest: Forest
+    record: NodeRecordLayout
+    tree_order: list[int]
+    node_address: list[np.ndarray]
+    level_base: np.ndarray
+    level_slots: np.ndarray
+    total_bytes: int
+    format_name: str
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def n_trees(self) -> int:
+        return self.forest.n_trees
+
+    @property
+    def node_size(self) -> int:
+        return self.record.node_size
+
+    @property
+    def n_levels(self) -> int:
+        return int(self.level_slots.shape[0])
+
+    def addresses_for(self, tree_pos: int, node_ids: np.ndarray) -> np.ndarray:
+        """Byte addresses of ``node_ids`` within layout tree ``tree_pos``."""
+        return self.node_address[tree_pos][node_ids]
+
+    def occupancy(self) -> float:
+        """Fraction of allocated node records actually holding a node."""
+        stored = sum(tree.n_nodes for tree in self.forest.trees)
+        allocated = int(self.level_slots.sum()) * self.n_trees
+        return stored / allocated if allocated else 0.0
+
+
+def build_interleaved_layout(
+    forest: Forest,
+    record: NodeRecordLayout,
+    tree_order: list[int] | None,
+    format_name: str,
+) -> ForestLayout:
+    """Shared constructor for level-major interleaved layouts.
+
+    Args:
+        forest: forest whose trees are already in their final *structural*
+            form (node rearrangement applied or not).
+        record: node record layout.
+        tree_order: permutation placing original tree ``tree_order[p]`` at
+            layout position ``p``; ``None`` keeps training order.
+        format_name: label recorded on the result.
+    """
+    if tree_order is None:
+        tree_order = list(range(forest.n_trees))
+    laid_out = forest.reordered(tree_order)
+    n_trees = laid_out.n_trees
+    positions = [heap_positions(tree) for tree in laid_out.trees]
+    n_levels = 1 + max(int(level.max()) for level, _ in positions)
+    level_slots = np.zeros(n_levels, dtype=np.int64)
+    for level, slot in positions:
+        np.maximum.at(level_slots, level, slot + 1)
+    level_base = np.zeros(n_levels, dtype=np.int64)
+    size = record.node_size
+    for lv in range(1, n_levels):
+        level_base[lv] = level_base[lv - 1] + level_slots[lv - 1] * n_trees * size
+    total_bytes = int(level_base[-1] + level_slots[-1] * n_trees * size)
+    node_address = []
+    for pos, (level, slot) in enumerate(positions):
+        addr = level_base[level] + (slot * n_trees + pos) * size
+        node_address.append(addr.astype(np.int64))
+    return ForestLayout(
+        forest=laid_out,
+        record=record,
+        tree_order=list(tree_order),
+        node_address=node_address,
+        level_base=level_base,
+        level_slots=level_slots,
+        total_bytes=total_bytes,
+        format_name=format_name,
+    )

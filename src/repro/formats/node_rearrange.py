@@ -1,0 +1,51 @@
+"""Probability-based node rearrangement (paper section 4.1).
+
+For every decision node, if the left child's edge probability is lower
+than the right child's, the two children (with their whole subtrees) are
+swapped, so the *more probable* child always occupies the left heap slot.
+Hot paths of different trees then fall on the same in-level slots and the
+interleaved layout coalesces their accesses.
+
+Swapping inverts the node's branch predicate; the tree records that in its
+``flip`` bit so predictions are bit-for-bit unchanged (tests assert this).
+"""
+
+from __future__ import annotations
+
+from repro.trees.forest import Forest
+from repro.trees.tree import DecisionTree
+
+__all__ = ["rearrange_nodes_by_probability", "rearrange_forest_nodes", "count_swaps"]
+
+
+def rearrange_nodes_by_probability(tree: DecisionTree) -> DecisionTree:
+    """Return a copy of ``tree`` with hot children swapped to the left.
+
+    The method walks top-down (as in the paper); descendants move with
+    their parent implicitly because child pointers are swapped, not node
+    storage.
+    """
+    out = tree.copy()
+    p_left, p_right = out.edge_probabilities()
+    for node in range(out.n_nodes):
+        if out.is_leaf[node]:
+            continue
+        if p_left[node] < p_right[node]:
+            out.left[node], out.right[node] = out.right[node], out.left[node]
+            out.flip[node] = ~out.flip[node]
+            out.default_left[node] = ~out.default_left[node]
+    out.validate()
+    return out
+
+
+def rearrange_forest_nodes(forest: Forest) -> Forest:
+    """Apply node rearrangement to every tree of a forest."""
+    return forest.with_trees(
+        [rearrange_nodes_by_probability(tree) for tree in forest.trees]
+    )
+
+
+def count_swaps(tree: DecisionTree) -> int:
+    """Number of nodes whose children would be swapped (diagnostics)."""
+    p_left, p_right = tree.edge_probabilities()
+    return int(((p_left < p_right) & ~tree.is_leaf).sum())

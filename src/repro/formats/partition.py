@@ -1,0 +1,166 @@
+"""Forest partitioning for the splitting-shared-forest strategy.
+
+Splits a laid-out forest into parts that each fit one block's shared
+memory (paper section 5.1).  Lives in :mod:`repro.formats` because both
+the strategy (to execute) and the performance models (to predict part
+count and per-part balance) need it.
+
+Partitioning is *work-balanced*: a first greedy pass finds the minimal
+part count the byte capacity allows, and a second pass re-cuts the
+layout order into contiguous segments of roughly equal expected
+traversal work (expected node visits per sample, from the trees' node
+probabilities).  Every part's block walks the whole batch through its
+trees, so the heaviest part gates the kernel — bytes-only packing can
+easily produce a 4x work spread between parts when deep and shallow
+trees mix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.layout import ForestLayout, heap_positions
+
+__all__ = ["PartitionError", "partition_trees", "cached_partition", "tree_work"]
+
+
+class PartitionError(Exception):
+    """A single tree exceeds the shared-memory capacity."""
+
+
+def tree_work(layout: ForestLayout) -> np.ndarray:
+    """Expected node visits per sample for each layout tree.
+
+    The sum of a tree's node probabilities is exactly the expected length
+    of one root-to-leaf walk under the training distribution.
+    """
+    cached = layout.metadata.get("_tree_work")
+    if cached is None:
+        cached = np.array(
+            [float(t.node_probabilities().sum()) for t in layout.forest.trees]
+        )
+        layout.metadata["_tree_work"] = cached
+    return cached
+
+
+def _slot_profiles(layout: ForestLayout) -> list[np.ndarray]:
+    profiles = []
+    for tree in layout.forest.trees:
+        level, slot = heap_positions(tree)
+        slots = np.zeros(int(level.max()) + 1, dtype=np.int64)
+        np.maximum.at(slots, level, slot + 1)
+        profiles.append(slots)
+    return profiles
+
+
+def _segment_bytes(trial: np.ndarray, count: int, node_size: int) -> int:
+    return int(trial.sum()) * count * node_size
+
+
+def _merge_profile(cur: np.ndarray, profile: np.ndarray) -> np.ndarray:
+    width = max(cur.shape[0], profile.shape[0])
+    trial = np.zeros(width, dtype=np.int64)
+    trial[: cur.shape[0]] = cur
+    trial[: profile.shape[0]] = np.maximum(trial[: profile.shape[0]], profile)
+    return trial
+
+
+def _greedy(
+    profiles: list[np.ndarray],
+    node_size: int,
+    capacity: int,
+    work: np.ndarray | None = None,
+    work_target: float = float("inf"),
+) -> list[list[int]]:
+    """Contiguous greedy packing under a byte capacity and a work target."""
+    parts: list[list[int]] = []
+    current: list[int] = []
+    cur_max = np.zeros(0, dtype=np.int64)
+    cur_work = 0.0
+    for pos, profile in enumerate(profiles):
+        solo_bytes = _segment_bytes(profile, 1, node_size)
+        if solo_bytes > capacity:
+            raise PartitionError(
+                f"tree at position {pos} needs {solo_bytes} B alone "
+                f"(> {capacity} B of shared memory)"
+            )
+        trial = _merge_profile(cur_max, profile)
+        trial_bytes = _segment_bytes(trial, len(current) + 1, node_size)
+        w = float(work[pos]) if work is not None else 0.0
+        over_work = current and cur_work + w > work_target and cur_work > 0
+        if current and (trial_bytes > capacity or over_work):
+            parts.append(current)
+            current, cur_max, cur_work = [pos], profile.copy(), w
+        else:
+            current.append(pos)
+            cur_max = trial
+            cur_work += w
+    if current:
+        parts.append(current)
+    return parts
+
+
+def partition_trees(
+    layout: ForestLayout, capacity: int, max_parts: int | None = None
+) -> list[list[int]]:
+    """Split layout tree positions into work-balanced capacity-bounded parts.
+
+    Contiguous in layout order, so similarity-adjacent trees stay in the
+    same part (which keeps each part's shared-memory image hot-path
+    coherent).  Uses the exact interleaved-layout size formula: a part
+    holding trees T occupies ``sum_l max_slots(l) * |T| * node_size``
+    bytes.
+
+    ``max_parts`` caps the part count (e.g. at the GPU's concurrent-block
+    limit — beyond it extra parts serialise into waves).  Within the cap,
+    a binary search on the per-part work budget finds the most balanced
+    contiguous partition the byte capacity allows.
+
+    Raises:
+        PartitionError: if any single tree exceeds the capacity.
+    """
+    node_size = layout.node_size
+    profiles = _slot_profiles(layout)
+    # Pass 1: minimal part count under the byte capacity alone.
+    base = _greedy(profiles, node_size, capacity)
+    p_min = len(base)
+    if p_min <= 1:
+        return base
+    work = tree_work(layout)
+    # Always allow up to twice the byte-minimal part count: splitting a
+    # byte-full part of many shallow trees is the only way to balance it,
+    # and the wave cost of extra blocks is priced by the time model.
+    if max_parts is None:
+        max_parts = 2 * p_min
+    max_parts = max(max_parts, 2 * p_min)
+
+    def max_work(parts):
+        return max(float(work[p].sum()) for p in parts)
+
+    # Binary search the smallest per-part work budget whose greedy cut
+    # stays within max_parts.
+    lo, hi = float(work.max()), float(work.sum())
+    best = base
+    for _ in range(24):
+        mid = 0.5 * (lo + hi)
+        trial = _greedy(profiles, node_size, capacity, work=work, work_target=mid)
+        if len(trial) <= max_parts:
+            if max_work(trial) < max_work(best) or (
+                max_work(trial) == max_work(best) and len(trial) < len(best)
+            ):
+                best = trial
+            hi = mid
+        else:
+            lo = mid
+    return best
+
+
+def cached_partition(
+    layout: ForestLayout, capacity: int, max_parts: int | None = None
+) -> list[list[int]]:
+    """Partition with memoisation on the layout (keyed by arguments)."""
+    cache = layout.metadata.setdefault("_partitions", {})
+    key = (capacity, max_parts)
+    if key not in cache:
+        cache[key] = partition_trees(layout, capacity, max_parts)
+    return cache[key]

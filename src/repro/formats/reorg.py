@@ -1,0 +1,29 @@
+"""FIL's reorg forest format (paper section 2, figure 1).
+
+Level-major interleaved storage with trees in training order, children in
+trained order, and a fixed 4-byte attribute index.  This is the baseline
+layout Tahoe's adaptive format is measured against.
+"""
+
+from __future__ import annotations
+
+from repro.formats.layout import ForestLayout, NodeRecordLayout, build_interleaved_layout
+from repro.trees.forest import Forest
+
+__all__ = ["build_reorg_layout"]
+
+
+def build_reorg_layout(forest: Forest) -> ForestLayout:
+    """Lay out a forest in the reorg format.
+
+    The forest is stored as trained: no node swaps, no tree reordering,
+    fixed-width records.
+    """
+    layout = build_interleaved_layout(
+        forest,
+        record=NodeRecordLayout.fixed(),
+        tree_order=None,
+        format_name="reorg",
+    )
+    layout.metadata["description"] = "FIL reorg format (fixed 4-byte attribute index)"
+    return layout

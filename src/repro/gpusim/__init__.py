@@ -1,0 +1,57 @@
+"""Trace-driven GPU simulator.
+
+This package replaces the paper's physical GPUs (section 7.1: Tesla K80,
+P100, V100).  It is an *analytical, trace-driven* model: inference
+strategies emit the exact per-warp memory-access traces a CUDA kernel
+would, and the simulator
+
+* coalesces each warp access into 128-byte global-memory transactions,
+* tracks requested vs. fetched bytes (the paper's load-efficiency metric),
+* models shared-memory traffic with bank-conflict serialisation,
+* prices cub-style block-wise and global segmented reductions, and
+* converts aggregate traffic into time through per-generation bandwidth,
+  occupancy and launch-latency parameters (:mod:`repro.gpusim.specs`).
+
+The model is bandwidth-centric — the same assumption the paper's own
+performance models (section 6) make — with a critical-path correction for
+load imbalance: traversal time scales by ``max / mean`` per-thread work,
+so balancing trees across threads shortens simulated time exactly as it
+shortens wall-clock time on hardware.
+"""
+
+from repro.gpusim.counters import LevelStats, MemoryCounters, TrafficCounters
+from repro.gpusim.engine_sim import ExecutionBreakdown, execution_time
+from repro.gpusim.memory import coalesced_transactions, transactions_per_row
+from repro.gpusim.multigpu import MultiGPUResult, simulate_multi_gpu
+from repro.gpusim.reduction import block_reduction_time, global_reduction_time
+from repro.gpusim.report import format_strategy_report
+from repro.gpusim.specs import GPU_SPECS, GPUSpec
+from repro.gpusim.trace import (
+    FlatForest,
+    TraceResult,
+    flatten_layout,
+    trace_sample_parallel,
+    trace_tree_parallel,
+)
+
+__all__ = [
+    "ExecutionBreakdown",
+    "FlatForest",
+    "GPU_SPECS",
+    "GPUSpec",
+    "LevelStats",
+    "MemoryCounters",
+    "MultiGPUResult",
+    "TraceResult",
+    "TrafficCounters",
+    "block_reduction_time",
+    "coalesced_transactions",
+    "execution_time",
+    "flatten_layout",
+    "format_strategy_report",
+    "global_reduction_time",
+    "simulate_multi_gpu",
+    "trace_sample_parallel",
+    "trace_tree_parallel",
+    "transactions_per_row",
+]

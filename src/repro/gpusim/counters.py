@@ -1,0 +1,120 @@
+"""Performance counters.
+
+The simulator's NVProf stand-in (the paper uses NVProf in section 7.3).
+Counters are split by traffic class so the benchmarks can report exactly
+the quantities the paper does:
+
+* global-memory traffic when accessing the *forest* (load efficiency =
+  requested / fetched bytes — the paper's memory-coalescence metric),
+* global-memory traffic when accessing *samples*,
+* shared-memory reads/writes with bank-conflict serialisation factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["MemoryCounters", "TrafficCounters", "LevelStats"]
+
+
+@dataclass
+class MemoryCounters:
+    """Traffic totals for one memory class.
+
+    Attributes:
+        requested_bytes: bytes the threads actually asked for.
+        fetched_bytes: bytes moved by the memory system (transactions x
+            transaction size for global memory; serialised bank cycles x
+            4 bytes for shared memory).
+        transactions: number of memory transactions issued.
+        accesses: number of individual lane-level accesses.
+    """
+
+    requested_bytes: int = 0
+    fetched_bytes: int = 0
+    transactions: int = 0
+    accesses: int = 0
+
+    def add(self, requested: int, fetched: int, transactions: int, accesses: int) -> None:
+        self.requested_bytes += int(requested)
+        self.fetched_bytes += int(fetched)
+        self.transactions += int(transactions)
+        self.accesses += int(accesses)
+
+    def merge(self, other: "MemoryCounters") -> None:
+        self.add(other.requested_bytes, other.fetched_bytes, other.transactions, other.accesses)
+
+    @property
+    def load_efficiency(self) -> float:
+        """Requested / fetched — the paper's coalescing-quality metric."""
+        if self.fetched_bytes == 0:
+            return 1.0
+        return self.requested_bytes / self.fetched_bytes
+
+
+@dataclass
+class TrafficCounters:
+    """All traffic classes for one simulated kernel."""
+
+    forest_global: MemoryCounters = field(default_factory=MemoryCounters)
+    sample_global: MemoryCounters = field(default_factory=MemoryCounters)
+    output_global: MemoryCounters = field(default_factory=MemoryCounters)
+    shared_read: MemoryCounters = field(default_factory=MemoryCounters)
+    shared_write: MemoryCounters = field(default_factory=MemoryCounters)
+
+    def merge(self, other: "TrafficCounters") -> None:
+        self.forest_global.merge(other.forest_global)
+        self.sample_global.merge(other.sample_global)
+        self.output_global.merge(other.output_global)
+        self.shared_read.merge(other.shared_read)
+        self.shared_write.merge(other.shared_write)
+
+    @property
+    def global_fetched_bytes(self) -> int:
+        return (
+            self.forest_global.fetched_bytes
+            + self.sample_global.fetched_bytes
+            + self.output_global.fetched_bytes
+        )
+
+    @property
+    def shared_bytes(self) -> int:
+        return self.shared_read.fetched_bytes + self.shared_write.fetched_bytes
+
+
+@dataclass
+class LevelStats:
+    """Per-tree-level access statistics for the figure 2(a) experiment.
+
+    ``distance_sum[l] / pair_count[l]`` is the mean byte distance between
+    addresses issued by threads with adjacent lane ids at level ``l`` —
+    exactly the quantity figure 2(a) plots.
+    """
+
+    max_levels: int
+    distance_sum: np.ndarray = field(default=None)
+    pair_count: np.ndarray = field(default=None)
+    requested: np.ndarray = field(default=None)
+    fetched: np.ndarray = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.distance_sum is None:
+            self.distance_sum = np.zeros(self.max_levels, dtype=np.float64)
+        if self.pair_count is None:
+            self.pair_count = np.zeros(self.max_levels, dtype=np.int64)
+        if self.requested is None:
+            self.requested = np.zeros(self.max_levels, dtype=np.int64)
+        if self.fetched is None:
+            self.fetched = np.zeros(self.max_levels, dtype=np.int64)
+
+    def mean_distance(self) -> np.ndarray:
+        """Mean adjacent-lane address distance per level (NaN where unseen)."""
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return self.distance_sum / self.pair_count
+
+    def efficiency(self) -> np.ndarray:
+        """Per-level load efficiency (requested / fetched)."""
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return self.requested / self.fetched

@@ -1,0 +1,188 @@
+"""Traffic-to-time conversion.
+
+Turns a :class:`~repro.gpusim.counters.TrafficCounters` plus launch
+geometry into simulated execution time.  The model is bandwidth-centric
+(the same assumption the paper's analytic models make, section 6):
+
+* global traffic is priced at peak bandwidth scaled by an occupancy-based
+  utilisation factor (low-parallelism launches cannot saturate the memory
+  system — this is why the paper's low-parallelism speedups are smaller),
+* shared traffic is priced at aggregate shared bandwidth scaled by how
+  many SMs have resident blocks,
+* reductions use the linear ``B_rate`` / ``G_rate`` model (equations 2–3),
+* the traversal portion is stretched by the load-imbalance factor
+  ``max / mean`` per-thread work — idle threads do not shorten the
+  critical path, which is exactly the effect figure 2(c) shows, and
+* every kernel launch pays a fixed latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpusim.counters import TrafficCounters
+from repro.gpusim.reduction import block_reduction_time, global_reduction_time
+from repro.gpusim.specs import GPUSpec
+
+__all__ = ["ExecutionBreakdown", "execution_time", "imbalance_factor"]
+
+
+def imbalance_factor(per_thread_steps: np.ndarray | None) -> float:
+    """Critical-path stretch: max / mean of per-thread work (>= 1)."""
+    if per_thread_steps is None or len(per_thread_steps) == 0:
+        return 1.0
+    steps = np.asarray(per_thread_steps, dtype=np.float64)
+    mean = steps.mean()
+    if mean <= 0:
+        return 1.0
+    return max(1.0, float(steps.max() / mean))
+
+
+@dataclass
+class ExecutionBreakdown:
+    """Simulated kernel time, decomposed.
+
+    All times in seconds.  ``total`` is the quantity benchmarks report;
+    the components let the figure 2(b) and section 7.3 experiments
+    attribute time to reductions and memory classes.
+    """
+
+    t_global: float
+    t_shared: float
+    t_block_reduce: float
+    t_global_reduce: float
+    t_launch: float
+    imbalance: float
+    bw_utilization: float
+    total: float
+    t_chain: float = 0.0
+    latency_bound: bool = False
+
+    @property
+    def t_traversal(self) -> float:
+        """Traversal time: bandwidth- or latency-bound, whichever is
+        larger (roofline)."""
+        return max((self.t_global + self.t_shared) * self.imbalance, self.t_chain)
+
+    @property
+    def reduction_share(self) -> float:
+        """Fraction of total time spent in reductions (figure 2b metric)."""
+        if self.total <= 0:
+            return 0.0
+        return (self.t_block_reduce + self.t_global_reduce) / self.total
+
+
+def execution_time(
+    counters: TrafficCounters,
+    spec: GPUSpec,
+    n_threads: int,
+    threads_per_block: int,
+    n_blocks: int,
+    block_reduction_events: int = 0,
+    block_reduction_width: int | None = None,
+    global_reduction_events: int = 0,
+    global_reduction_blocks: int = 0,
+    per_thread_steps: np.ndarray | None = None,
+    chain_steps: float = 0.0,
+    block_shared_bytes: int = 0,
+    sample_first_touch_bytes: int | None = None,
+    forest_footprint_bytes: int | None = None,
+    n_kernels: int = 1,
+) -> ExecutionBreakdown:
+    """Convert traffic into simulated time.
+
+    The traversal is priced roofline-style: the larger of the
+    bandwidth-bound time (fetched bytes / effective bandwidth, stretched
+    by load imbalance) and the latency-bound time (``chain_steps``
+    dependent loads x memory latency).  At high occupancy bandwidth
+    dominates and layout quality matters; at low occupancy latency
+    dominates and both engines converge — reproducing the paper's
+    smaller low-parallelism speedups.
+
+    Args:
+        counters: traffic produced by the trace engine (plus any staging
+            traffic the strategy added).
+        spec: GPU model.
+        n_threads: total concurrently-launched *active* threads (drives
+            bandwidth utilisation; idle lanes issue no loads).
+        threads_per_block: block size (drives block-reduction cost).
+        n_blocks: launched blocks (drives shared-bandwidth utilisation
+            and reduction concurrency).
+        block_reduction_events: number of cub::BlockReduce invocations
+            across all blocks.
+        block_reduction_width: partial results combined per block-wise
+            reduction (defaults to the block size) — the paper's
+            ``Num_of_threads`` in equation 2.  Under the shared-data
+            strategy this is the number of tree-holding threads, which is
+            why reduction overhead grows with the tree count
+            (figure 2b).
+        global_reduction_events: number of device-wide segmented
+            reductions.
+        global_reduction_blocks: blocks participating in each global
+            reduction.
+        per_thread_steps: per-thread work vector for the imbalance factor.
+        n_kernels: kernel launches performed.
+    """
+    if threads_per_block <= 0 or n_blocks <= 0:
+        raise ValueError("threads_per_block and n_blocks must be positive")
+    util = spec.bandwidth_utilization(n_threads)
+    # Two-tier global pricing: traffic past the first touch of a cached
+    # working set is served by the L2, not DRAM.  Sample rows enjoy tight
+    # temporal locality (a thread re-reads its row once per tree level),
+    # so their re-reads are always L2-resident; the forest is only
+    # re-served from L2 when the whole laid-out image fits.
+    dram_bytes = counters.global_fetched_bytes
+    l2_bytes = 0
+    sample_fetched = counters.sample_global.fetched_bytes
+    if sample_first_touch_bytes is not None and sample_fetched > 0:
+        hot = max(0, sample_fetched - min(sample_fetched, sample_first_touch_bytes))
+        dram_bytes -= hot
+        l2_bytes += hot
+    forest_fetched = counters.forest_global.fetched_bytes
+    if (
+        forest_footprint_bytes is not None
+        and 0 < forest_footprint_bytes <= spec.l2_capacity
+        and forest_fetched > 0
+    ):
+        hot = max(0, forest_fetched - min(forest_fetched, forest_footprint_bytes))
+        dram_bytes -= hot
+        l2_bytes += hot
+    t_global = dram_bytes / (spec.global_bw * util) + l2_bytes / (spec.l2_bw * util)
+    resident_cap = spec.concurrent_blocks(threads_per_block, block_shared_bytes)
+    concurrency = min(n_blocks, resident_cap)
+    sm_fraction = min(1.0, max(concurrency, 1) / spec.sm_count)
+    t_shared = counters.shared_bytes / (spec.shared_bw * sm_fraction)
+    reduce_concurrency = max(1, concurrency)
+    if block_reduction_width is None:
+        block_reduction_width = threads_per_block
+    t_block_reduce = (
+        block_reduction_time(spec, block_reduction_width, block_reduction_events)
+        / reduce_concurrency
+        if block_reduction_events
+        else 0.0
+    )
+    t_global_reduce = (
+        global_reduction_time(spec, max(global_reduction_blocks, 1), global_reduction_events)
+        if global_reduction_events
+        else 0.0
+    )
+    stretch = imbalance_factor(per_thread_steps)
+    t_launch = n_kernels * spec.kernel_launch_latency
+    t_chain = chain_steps * spec.memory_latency
+    t_bandwidth = (t_global + t_shared) * stretch
+    t_traversal = max(t_bandwidth, t_chain)
+    total = t_traversal + t_block_reduce + t_global_reduce + t_launch
+    return ExecutionBreakdown(
+        t_global=t_global,
+        t_shared=t_shared,
+        t_block_reduce=t_block_reduce,
+        t_global_reduce=t_global_reduce,
+        t_launch=t_launch,
+        imbalance=stretch,
+        bw_utilization=util,
+        total=total,
+        t_chain=t_chain,
+        latency_bound=t_chain > t_bandwidth,
+    )

@@ -1,0 +1,155 @@
+"""Global-memory coalescing and shared-memory bank-conflict models.
+
+Global memory: a warp's lane addresses are grouped into transactions of
+``transaction_bytes`` (128 B, the size the paper's motivating example
+uses), and each transaction moves only the 32-byte *sectors* its lanes
+actually touch — the granularity of NVIDIA's memory system.  Distinct
+128-byte segments cost one transaction each; fetched bytes = touched
+sectors x 32; requested bytes = active lanes x access size.  A fully
+random 4-byte access pattern therefore floors at 4/32 = 12.5 % load
+efficiency — matching the ~13.7 % the paper measures with NVProf at the
+deep tree levels (section 3).
+
+Shared memory: 32 banks of 4 bytes.  Lanes hitting the same bank at
+different 4-byte words serialise; the per-access cost multiplier is the
+maximum bank multiplicity of the warp access.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "transactions_per_row",
+    "coalesced_transactions",
+    "adjacent_lane_distances",
+    "bank_conflict_factor",
+]
+
+_SENTINEL = np.int64(np.iinfo(np.int64).max)
+
+
+SECTOR_BYTES = 32
+
+
+def _distinct_per_row(start: np.ndarray, end: np.ndarray, active: np.ndarray):
+    """Distinct [start, end] granule count per row (ends inclusive).
+
+    ``start``/``end`` are granule indices per lane; inactive lanes are
+    excluded.  Straddling accesses (end > start) count their extra
+    granules.
+    """
+    start_m = np.where(active, start, _SENTINEL)
+    spans = np.where(active, end - start, 0)
+    start_sorted = np.sort(start_m, axis=1)
+    # A new granule starts at each distinct index among active lanes;
+    # transitions into the inactive-lane sentinel region must not count.
+    fresh = (np.diff(start_sorted, axis=1) > 0) & (start_sorted[:, 1:] != _SENTINEL)
+    first_active = start_sorted[:, 0] != _SENTINEL
+    return first_active.astype(np.int64) + fresh.sum(axis=1) + spans.sum(axis=1)
+
+
+def transactions_per_row(
+    addresses: np.ndarray,
+    active: np.ndarray,
+    transaction_bytes: int = 128,
+    access_bytes: int = 4,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-row transaction and sector counts for a batch of warp accesses.
+
+    Args:
+        addresses: int64 array (rows, lanes); each row is one warp access
+            (all lanes executing the same load instruction).
+        active: boolean mask (rows, lanes); inactive lanes issue nothing.
+        transaction_bytes: memory transaction size (coalescing window).
+        access_bytes: bytes requested per lane.  Accesses that straddle a
+            granule boundary count the extra granule.
+
+    Returns:
+        ``(transactions, sectors, requested)`` — int64 arrays of shape
+        (rows,).  Fetched bytes are ``sectors * 32`` (the memory system
+        moves 32-byte sectors, not whole 128-byte lines).
+    """
+    addresses = np.asarray(addresses, dtype=np.int64)
+    active = np.asarray(active, dtype=bool)
+    transactions = _distinct_per_row(
+        addresses // transaction_bytes,
+        (addresses + access_bytes - 1) // transaction_bytes,
+        active,
+    )
+    sectors = _distinct_per_row(
+        addresses // SECTOR_BYTES,
+        (addresses + access_bytes - 1) // SECTOR_BYTES,
+        active,
+    )
+    requested = active.sum(axis=1).astype(np.int64) * access_bytes
+    return transactions, sectors, requested
+
+
+def coalesced_transactions(
+    addresses: np.ndarray,
+    active: np.ndarray | None = None,
+    transaction_bytes: int = 128,
+    access_bytes: int = 4,
+) -> tuple[int, int, int]:
+    """Total ``(transactions, fetched_bytes, requested_bytes)`` over a
+    batch of warp rows."""
+    addresses = np.atleast_2d(np.asarray(addresses, dtype=np.int64))
+    if active is None:
+        active = np.ones_like(addresses, dtype=bool)
+    active = np.atleast_2d(np.asarray(active, dtype=bool))
+    tx, sectors, req = transactions_per_row(
+        addresses, active, transaction_bytes, access_bytes
+    )
+    return int(tx.sum()), int(sectors.sum()) * SECTOR_BYTES, int(req.sum())
+
+
+def adjacent_lane_distances(
+    addresses: np.ndarray, active: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Byte distance between addresses of adjacent active lanes.
+
+    Reproduces figure 2(a)'s metric: for each warp row, the |difference|
+    of addresses issued by lanes ``i`` and ``i+1`` when both are active.
+
+    Returns:
+        ``(distance_sum, pair_count)`` per row.
+    """
+    addresses = np.asarray(addresses, dtype=np.int64)
+    active = np.asarray(active, dtype=bool)
+    both = active[:, 1:] & active[:, :-1]
+    diffs = np.abs(addresses[:, 1:] - addresses[:, :-1])
+    distance_sum = np.where(both, diffs, 0).sum(axis=1).astype(np.float64)
+    pair_count = both.sum(axis=1).astype(np.int64)
+    return distance_sum, pair_count
+
+
+def bank_conflict_factor(
+    addresses: np.ndarray,
+    active: np.ndarray,
+    n_banks: int = 32,
+    bank_width: int = 4,
+) -> np.ndarray:
+    """Per-row shared-memory serialisation factor.
+
+    The factor is the maximum number of active lanes whose addresses map
+    to the same bank but different 4-byte words (same-word accesses
+    broadcast for free).  A conflict-free access has factor 1; rows with
+    no active lane get factor 0.
+    """
+    addresses = np.asarray(addresses, dtype=np.int64)
+    active = np.asarray(active, dtype=bool)
+    rows = addresses.shape[0]
+    factor = np.zeros(rows, dtype=np.int64)
+    r_idx, l_idx = np.nonzero(active)
+    if r_idx.size == 0:
+        return factor
+    words = addresses[r_idx, l_idx] // bank_width
+    banks = words % n_banks
+    # Distinct (row, bank, word) triples; the multiplicity of each
+    # (row, bank) among them is that bank's conflict degree for the row.
+    triples = np.unique(np.stack([r_idx, banks, words], axis=1), axis=0)
+    row_bank = triples[:, 0] * np.int64(n_banks) + triples[:, 1]
+    uniq_rb, degree = np.unique(row_bank, return_counts=True)
+    np.maximum.at(factor, uniq_rb // n_banks, degree)
+    return factor

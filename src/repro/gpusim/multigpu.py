@@ -1,0 +1,77 @@
+"""Multi-GPU scaling model (paper section 7.5, figure 9).
+
+The paper's scaling experiments are pure data parallelism: the inference
+set is partitioned (strong scaling) or duplicated (weak scaling) across
+GPUs, with "almost no communication between GPUs".  The model therefore
+runs the single-GPU engine on one shard — all shards are statistically
+identical — and takes the shard time as the multi-GPU time.  Saturation
+for small datasets (HOCK, gisette, phishing in figure 9) emerges from the
+launch-latency and bandwidth-utilisation terms of the time model: a tiny
+shard cannot fill the GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["MultiGPUResult", "simulate_multi_gpu", "weak_scaling_times"]
+
+
+@dataclass
+class MultiGPUResult:
+    """Strong-scaling outcome for one dataset.
+
+    Attributes:
+        gpu_counts: the N_G values simulated.
+        times: per-configuration completion time = slowest shard.
+        speedups: single-GPU time / multi-GPU time.
+    """
+
+    gpu_counts: list[int]
+    times: list[float]
+    speedups: list[float]
+
+
+def simulate_multi_gpu(
+    time_for_samples: Callable[[int], float],
+    n_samples: int,
+    gpu_counts: list[int],
+) -> MultiGPUResult:
+    """Strong scaling: partition ``n_samples`` across each GPU count.
+
+    Args:
+        time_for_samples: callable returning the single-GPU inference time
+            for a shard of the given size (built from the engine under
+            test).
+        n_samples: total inference samples.
+        gpu_counts: GPU counts to evaluate (the paper uses 1..128 V100s).
+    """
+    if n_samples <= 0:
+        raise ValueError("n_samples must be positive")
+    times = []
+    for n_gpus in gpu_counts:
+        if n_gpus < 1:
+            raise ValueError("gpu counts must be >= 1")
+        shard = max(1, int(np.ceil(n_samples / n_gpus)))
+        times.append(float(time_for_samples(shard)))
+    base = times[gpu_counts.index(1)] if 1 in gpu_counts else times[0] * gpu_counts[0]
+    speedups = [base / t if t > 0 else float("inf") for t in times]
+    return MultiGPUResult(gpu_counts=list(gpu_counts), times=times, speedups=speedups)
+
+
+def weak_scaling_times(
+    time_for_samples: Callable[[int], float],
+    n_samples: int,
+    gpu_counts: list[int],
+) -> list[float]:
+    """Weak scaling: every GPU keeps a full-size shard.
+
+    The dataset is duplicated ``N_G`` times and split evenly, so each GPU
+    processes ``n_samples`` regardless of scale; with no inter-GPU
+    communication the time should stay flat (the paper reports < 5 %
+    variance).
+    """
+    return [float(time_for_samples(n_samples)) for _ in gpu_counts]

@@ -1,0 +1,35 @@
+"""Reduction cost model.
+
+The paper prices two reduction primitives (section 6):
+
+* **block-wise reduction** (cub::BlockReduce) — one per sample under the
+  shared-data strategy; cost proportional to the number of threads in the
+  block with offline-measured rate ``B_rate`` (equation 2),
+* **global segmented reduction** (cub::DeviceSegmentedReduce) — one per
+  sample batch under splitting-shared-forest; cost proportional to the
+  number of participating thread blocks with rate ``G_rate`` (equation 3).
+
+The simulator uses the same linear model; the rates live on the
+:class:`~repro.gpusim.specs.GPUSpec` and are what the "offline hardware
+parameter detection" microbenchmarks (Algorithm 1) report.
+"""
+
+from __future__ import annotations
+
+from repro.gpusim.specs import GPUSpec
+
+__all__ = ["block_reduction_time", "global_reduction_time"]
+
+
+def block_reduction_time(spec: GPUSpec, threads_per_block: int, n_reductions: int = 1) -> float:
+    """Total time for ``n_reductions`` block-wise reductions, seconds."""
+    if threads_per_block <= 0:
+        raise ValueError("threads_per_block must be positive")
+    return spec.block_reduce_rate * threads_per_block * n_reductions
+
+
+def global_reduction_time(spec: GPUSpec, n_blocks: int, n_reductions: int = 1) -> float:
+    """Total time for ``n_reductions`` global segmented reductions, seconds."""
+    if n_blocks <= 0:
+        raise ValueError("n_blocks must be positive")
+    return spec.global_reduce_rate * n_blocks * n_reductions

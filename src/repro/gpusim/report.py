@@ -1,0 +1,54 @@
+"""Human-readable reports for simulated executions.
+
+Formats a :class:`~repro.strategies.base.StrategyResult` the way NVProf
+summaries read: time breakdown, per-traffic-class volumes and
+efficiencies, occupancy and imbalance indicators.  Used by the CLI's
+``predict --verbose`` and handy in notebooks.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_strategy_report"]
+
+
+def _bytes(n: int) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{n} B"
+        n /= 1024
+    return f"{n:.1f} GiB"
+
+
+def format_strategy_report(result) -> str:
+    """Multi-line report for one strategy execution."""
+    b = result.breakdown
+    c = result.counters
+    lines = [
+        f"strategy: {result.strategy}  "
+        f"(batch {result.batch_size}, {result.n_blocks} blocks x "
+        f"{result.threads_per_block} threads)",
+        f"  simulated time: {b.total * 1e3:.4f} ms  "
+        f"({result.throughput:,.0f} samples/s)",
+        "  breakdown:",
+        f"    traversal   {b.t_traversal * 1e3:10.4f} ms "
+        f"({'latency' if b.latency_bound else 'bandwidth'}-bound, "
+        f"imbalance x{b.imbalance:.2f}, bw util {b.bw_utilization:.0%})",
+        f"    block red.  {b.t_block_reduce * 1e3:10.4f} ms",
+        f"    global red. {b.t_global_reduce * 1e3:10.4f} ms",
+        f"    launch      {b.t_launch * 1e3:10.4f} ms",
+        "  traffic:",
+    ]
+    for label, counter in (
+        ("forest (global)", c.forest_global),
+        ("samples (global)", c.sample_global),
+        ("shared reads", c.shared_read),
+        ("shared writes", c.shared_write),
+    ):
+        if counter.accesses == 0:
+            continue
+        lines.append(
+            f"    {label:17} requested {_bytes(counter.requested_bytes):>11}  "
+            f"fetched {_bytes(counter.fetched_bytes):>11}  "
+            f"efficiency {counter.load_efficiency:6.1%}"
+        )
+    return "\n".join(lines)

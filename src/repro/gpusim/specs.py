@@ -1,0 +1,209 @@
+"""GPU hardware specifications.
+
+One :class:`GPUSpec` per generation the paper evaluates (section 7.1):
+Tesla K80 (Kepler), Tesla P100 (Pascal), Tesla V100 (Volta).  Core numbers
+(SM counts, memory bandwidth, shared-memory capacity) come from NVIDIA's
+public data sheets; the reduction-rate and latency constants are model
+parameters calibrated so the simulator reproduces the paper's measured
+*ratios* (e.g. figure 2b's 35–72 % reduction share, and the paper's
+observation that K80 suffers most from uncoalesced traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GPUSpec", "GPU_SPECS", "KEPLER_K80", "PASCAL_P100", "VOLTA_V100"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Hardware model parameters for one GPU generation.
+
+    Attributes:
+        name: marketing name ("Tesla P100").
+        generation: microarchitecture ("Pascal").
+        warp_size: threads per warp (32 on every generation).
+        transaction_bytes: global-memory transaction size; the paper's
+            motivating analysis uses 128 bytes.
+        sm_count: number of streaming multiprocessors.
+        max_threads_per_block: CUDA limit (1024).
+        max_resident_threads_per_sm: occupancy ceiling per SM.
+        shared_mem_per_block: usable shared memory per thread block, bytes.
+        global_bw: peak global-memory bandwidth, bytes/second.
+        shared_bw: aggregate shared-memory bandwidth, bytes/second.
+        block_reduce_rate: seconds per (thread in block) for one
+            cub::BlockReduce — the paper's offline-measured ``B_rate``.
+        global_reduce_rate: seconds per thread block for one
+            cub::DeviceSegmentedReduce — the paper's ``G_rate``.
+        kernel_launch_latency: fixed per-batch host-side cost, seconds —
+            kernel launch, host synchronisation, and the result copy.
+            Dominates tiny (low-parallelism) batches for *both* engines,
+            which is why the paper's low-parallelism speedups are far
+            smaller than its high-parallelism ones.
+        min_bw_utilization: bandwidth floor for severely underoccupied
+            launches (a handful of warps still see a fraction of peak
+            bandwidth thanks to deep memory pipelining).
+        memory_latency: global-memory load-to-use latency, seconds.  A
+            thread's traversal is a chain of dependent loads, so at low
+            occupancy execution is latency-bound: time = chain length x
+            this latency, independent of coalescing — which is why the
+            paper's low-parallelism speedups are smaller than its
+            high-parallelism ones.
+        l2_bw: L2-cache bandwidth, bytes/second.  Global traffic whose
+            working set fits the L2 is first-touched from DRAM and then
+            re-served from L2 — decisive for strategies that re-read a
+            small sample batch once per tree level (direct, shared
+            forest, splitting).
+        l2_capacity: L2 size in bytes.
+    """
+
+    name: str
+    generation: str
+    warp_size: int
+    transaction_bytes: int
+    sm_count: int
+    max_threads_per_block: int
+    max_resident_threads_per_sm: int
+    shared_mem_per_block: int
+    global_bw: float
+    shared_bw: float
+    block_reduce_rate: float
+    global_reduce_rate: float
+    kernel_launch_latency: float
+    min_bw_utilization: float
+    memory_latency: float
+    l2_bw: float
+    l2_capacity: int
+
+    @property
+    def threads_for_peak_bw(self) -> int:
+        """Concurrent threads needed to saturate global bandwidth.
+
+        Roughly a quarter of full occupancy keeps the memory system busy;
+        below this the simulator scales effective bandwidth down.
+        """
+        return self.sm_count * self.max_resident_threads_per_sm // 4
+
+    @property
+    def max_concurrent_blocks(self) -> int:
+        """Thread blocks the GPU can keep resident at once (256-thread blocks)."""
+        return self.sm_count * (self.max_resident_threads_per_sm // 256)
+
+    def concurrent_blocks(self, threads_per_block: int, shared_bytes: int = 0) -> int:
+        """Resident-block capacity for a given block shape (occupancy).
+
+        Per SM, residency is bounded by the hardware block slots (32),
+        the thread budget, and the shared-memory pool: a block that fills
+        shared memory runs alone on its SM while a slim 32-thread block
+        can have dozens of resident copies.  This is what lets small-
+        block strategies hide latency and amortise reductions.
+        """
+        if threads_per_block <= 0:
+            raise ValueError("threads_per_block must be positive")
+        per_sm = min(32, self.max_resident_threads_per_sm // threads_per_block)
+        if shared_bytes > 0:
+            per_sm = min(per_sm, max(1, self.shared_mem_per_block // shared_bytes))
+        return self.sm_count * max(1, per_sm)
+
+    def bandwidth_utilization(self, n_threads: int) -> float:
+        """Effective fraction of peak bandwidth for ``n_threads`` resident."""
+        if n_threads <= 0:
+            return self.min_bw_utilization
+        return min(1.0, max(self.min_bw_utilization, n_threads / self.threads_for_peak_bw))
+
+    def scaled(self, compute: float = 1.0, shared_capacity: float = 1.0) -> "GPUSpec":
+        """A proportionally smaller (or larger) GPU of the same generation.
+
+        ``compute`` scales the SM count and with it both bandwidths — the
+        per-SM character (latencies, reduction rates, transaction size)
+        is untouched, so a 1/16-scale V100 behaves like a V100 whose
+        saturation point sits at 1/16 of the threads.  The benchmark
+        harness pairs this with the dataset/forest scale factors so that
+        the paper's "high parallelism" batches still saturate the device
+        (DESIGN.md section 5).  ``shared_capacity`` scales the per-block
+        shared memory, preserving the paper's forest-size-to-capacity
+        ratios under scaled-down tree counts.
+        """
+        if compute <= 0 or shared_capacity <= 0:
+            raise ValueError("scale factors must be positive")
+        import dataclasses
+
+        return dataclasses.replace(
+            self,
+            name=f"{self.name} (x{compute:g} compute, x{shared_capacity:g} smem)",
+            sm_count=max(1, int(round(self.sm_count * compute))),
+            global_bw=self.global_bw * compute,
+            shared_bw=self.shared_bw * compute,
+            l2_bw=self.l2_bw * compute,
+            l2_capacity=max(4096, int(round(self.l2_capacity * compute))),
+            shared_mem_per_block=max(256, int(round(self.shared_mem_per_block * shared_capacity))),
+        )
+
+
+KEPLER_K80 = GPUSpec(
+    name="Tesla K80",
+    generation="Kepler",
+    warp_size=32,
+    transaction_bytes=128,
+    sm_count=13,
+    max_threads_per_block=1024,
+    max_resident_threads_per_sm=2048,
+    shared_mem_per_block=48 * 1024,
+    global_bw=240e9,
+    shared_bw=1.4e12,
+    block_reduce_rate=5.5e-7,
+    global_reduce_rate=6.0e-6,
+    kernel_launch_latency=3.5e-4,
+    min_bw_utilization=0.04,
+    memory_latency=7e-7,
+    l2_bw=5.0e11,
+    l2_capacity=1_572_864,
+)
+
+PASCAL_P100 = GPUSpec(
+    name="Tesla P100",
+    generation="Pascal",
+    warp_size=32,
+    transaction_bytes=128,
+    sm_count=56,
+    max_threads_per_block=1024,
+    max_resident_threads_per_sm=2048,
+    shared_mem_per_block=48 * 1024,
+    global_bw=732e9,
+    shared_bw=9.5e12,
+    block_reduce_rate=4.4e-7,
+    global_reduce_rate=2.5e-6,
+    kernel_launch_latency=3.0e-4,
+    min_bw_utilization=0.03,
+    memory_latency=5e-7,
+    l2_bw=2.0e12,
+    l2_capacity=4_194_304,
+)
+
+VOLTA_V100 = GPUSpec(
+    name="Tesla V100",
+    generation="Volta",
+    warp_size=32,
+    transaction_bytes=128,
+    sm_count=80,
+    max_threads_per_block=1024,
+    max_resident_threads_per_sm=2048,
+    shared_mem_per_block=96 * 1024,
+    global_bw=900e9,
+    shared_bw=13.8e12,
+    block_reduce_rate=3.6e-7,
+    global_reduce_rate=2.0e-6,
+    kernel_launch_latency=2.5e-4,
+    min_bw_utilization=0.03,
+    memory_latency=4e-7,
+    l2_bw=2.5e12,
+    l2_capacity=6_291_456,
+)
+
+#: Registry keyed by the short names used throughout the benchmarks.
+GPU_SPECS: dict[str, GPUSpec] = {
+    "K80": KEPLER_K80,
+    "P100": PASCAL_P100,
+    "V100": VOLTA_V100,
+}

@@ -1,0 +1,416 @@
+"""Lockstep traversal trace engine.
+
+Simulates SIMT execution of forest traversal at warp granularity and
+produces exact memory-access traces.  Two thread-to-work mappings cover
+all four inference strategies (paper sections 2 and 5):
+
+* :func:`trace_tree_parallel` — FIL's shared-data mapping: the threads of
+  a block split the *trees* round-robin and every thread walks its trees
+  for the same sample; samples stream one after another.  At a given
+  lockstep instruction, warp lanes sit at the same level of *different*
+  trees — the access pattern whose (un)coalescing figure 2(a) plots.
+* :func:`trace_sample_parallel` — the direct / shared-forest / splitting
+  mappings: every thread owns one *sample* and the block's threads walk
+  the same tree together; warp lanes sit at the same level of the same
+  tree for 32 different samples.
+
+Both return a :class:`TraceResult` with per-traffic-class counters, the
+per-thread work vector (for load-imbalance CV), and the per-sample sum of
+leaf values (so the simulated kernel's predictions can be checked against
+the reference predictor bit-for-bit).
+
+Address spaces are disjoint: the forest lives at byte 0, samples at
+``SAMPLE_BASE``, outputs at ``OUTPUT_BASE`` — matching distinct
+allocations on a real device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.formats.layout import ForestLayout
+from repro.gpusim.counters import LevelStats, TrafficCounters
+from repro.gpusim.memory import (
+    adjacent_lane_distances,
+    bank_conflict_factor,
+    transactions_per_row,
+)
+from repro.gpusim.specs import GPUSpec
+from repro.trees.tree import LEAF
+
+__all__ = [
+    "FlatForest",
+    "TraceResult",
+    "flatten_layout",
+    "trace_tree_parallel",
+    "trace_sample_parallel",
+    "SAMPLE_BASE",
+    "OUTPUT_BASE",
+]
+
+SAMPLE_BASE = np.int64(1) << 40
+OUTPUT_BASE = np.int64(1) << 41
+
+_ATT_BYTES = 4  # float32 attributes (the paper's S_att)
+
+
+@dataclass
+class FlatForest:
+    """A layout's trees concatenated into flat arrays for vectorised
+    traversal.
+
+    ``offsets[p]`` is the flat index of layout-tree ``p``'s root; child
+    pointers stay tree-local, so the flat index of a node is always
+    ``offsets[p] + local_id``.
+    """
+
+    offsets: np.ndarray
+    feature: np.ndarray
+    threshold: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    value: np.ndarray
+    default_left: np.ndarray
+    flip: np.ndarray
+    is_leaf: np.ndarray
+    address: np.ndarray
+    n_attributes: int
+    node_size: int
+
+
+def flatten_layout(layout: ForestLayout) -> FlatForest:
+    """Build (and cache on the layout) the flat traversal arrays."""
+    cached = layout.metadata.get("_flat")
+    if cached is not None:
+        return cached
+    trees = layout.forest.trees
+    sizes = np.array([t.n_nodes for t in trees], dtype=np.int64)
+    offsets = np.zeros(len(trees) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    flat = FlatForest(
+        offsets=offsets,
+        feature=np.concatenate([t.feature for t in trees]),
+        threshold=np.concatenate([t.threshold for t in trees]),
+        left=np.concatenate([t.left for t in trees]),
+        right=np.concatenate([t.right for t in trees]),
+        value=np.concatenate([t.value for t in trees]),
+        default_left=np.concatenate([t.default_left for t in trees]),
+        flip=np.concatenate([t.flip for t in trees]),
+        is_leaf=np.concatenate([t.is_leaf for t in trees]),
+        address=np.concatenate(layout.node_address),
+        n_attributes=layout.forest.n_attributes,
+        node_size=layout.node_size,
+    )
+    layout.metadata["_flat"] = flat
+    return flat
+
+
+@dataclass
+class TraceResult:
+    """Outcome of tracing one block-sized piece of work.
+
+    Attributes:
+        leaf_sum: per-sample sum of leaf values over the traversed trees
+            (raw margins; the strategy applies the forest's aggregation).
+        per_thread_steps: node visits per simulated thread — the
+            load-imbalance signal (figure 2c / table 3).
+        counters: traffic per memory class.
+        level_stats: per-level coalescing stats when requested.
+        node_visits: total node fetches issued.
+    """
+
+    leaf_sum: np.ndarray
+    per_thread_steps: np.ndarray
+    counters: TrafficCounters
+    level_stats: LevelStats | None
+    node_visits: int
+
+
+def _as_warp_rows(arr: np.ndarray, warp_size: int) -> np.ndarray:
+    """Reshape (rows, lanes) lane-major data into (rows*warps, warp_size)."""
+    rows, lanes = arr.shape
+    if lanes % warp_size != 0:
+        raise ValueError(f"lane count {lanes} not a multiple of warp size {warp_size}")
+    return arr.reshape(rows * (lanes // warp_size), warp_size)
+
+
+def _account_node_fetch(
+    counters: TrafficCounters,
+    level_stats: LevelStats | None,
+    level: int,
+    addr: np.ndarray,
+    alive: np.ndarray,
+    node_space: str,
+    spec: GPUSpec,
+    node_size: int,
+) -> None:
+    """Charge one lockstep node fetch (already reshaped to warp rows)."""
+    if node_space == "global":
+        tx, sectors, req = transactions_per_row(
+            addr, alive, spec.transaction_bytes, node_size
+        )
+        total_tx = int(tx.sum())
+        total_req = int(req.sum())
+        fetched = int(sectors.sum()) * 32
+        counters.forest_global.add(total_req, fetched, total_tx, int(alive.sum()))
+        if level_stats is not None and level < level_stats.max_levels:
+            dist, pairs = adjacent_lane_distances(addr, alive)
+            level_stats.distance_sum[level] += float(dist.sum())
+            level_stats.pair_count[level] += int(pairs.sum())
+            level_stats.requested[level] += total_req
+            level_stats.fetched[level] += fetched
+    elif node_space == "shared":
+        # Conflict factor f serialises the warp access into f replays:
+        # effective bytes moved = requested bytes of the row times f.
+        factor = bank_conflict_factor(addr, alive)
+        per_row_req = alive.sum(axis=1).astype(np.int64) * node_size
+        req = int(per_row_req.sum())
+        fetched = int((per_row_req * np.maximum(factor, 1)).sum())
+        counters.shared_read.add(req, fetched, int(factor.sum()), int(alive.sum()))
+    else:
+        raise ValueError(f"unknown node_space {node_space!r}")
+
+
+def _account_sample_fetch(
+    counters: TrafficCounters,
+    addr: np.ndarray,
+    active: np.ndarray,
+    sample_space: str,
+    spec: GPUSpec,
+) -> None:
+    """Charge one lockstep attribute fetch (warp rows)."""
+    if sample_space == "global":
+        tx, sectors, req = transactions_per_row(
+            addr, active, spec.transaction_bytes, _ATT_BYTES
+        )
+        total_tx = int(tx.sum())
+        counters.sample_global.add(
+            int(req.sum()), int(sectors.sum()) * 32, total_tx, int(active.sum())
+        )
+    elif sample_space == "shared":
+        factor = bank_conflict_factor(addr, active)
+        per_row_req = active.sum(axis=1).astype(np.int64) * _ATT_BYTES
+        req = int(per_row_req.sum())
+        fetched = int((per_row_req * np.maximum(factor, 1)).sum())
+        counters.shared_read.add(req, fetched, int(factor.sum()), int(active.sum()))
+    else:
+        raise ValueError(f"unknown sample_space {sample_space!r}")
+
+
+def _traverse_chunk(
+    flat: FlatForest,
+    X: np.ndarray,
+    sample_rows: np.ndarray,
+    tree_of_lane: np.ndarray,
+    shared_rows: np.ndarray | None,
+    counters: TrafficCounters,
+    level_stats: LevelStats | None,
+    spec: GPUSpec,
+    node_space: str,
+    sample_space: str,
+    leaf_sum: np.ndarray,
+    step_rows: np.ndarray,
+    warp_major: bool,
+) -> int:
+    """Lockstep-traverse one (rows x lanes) tile; returns node visits.
+
+    Args:
+        sample_rows: (rows, lanes) sample index per slot, or (rows,) when
+            every lane of a row shares the sample (tree-parallel).
+        tree_of_lane: (lanes,) layout tree position per lane (-1 = idle)
+            for tree-parallel, or a scalar array broadcast for
+            sample-parallel (every lane same tree).
+        shared_rows: shared-memory row index per slot when samples are
+            cached in shared memory (None otherwise).
+        leaf_sum: per-sample accumulator, indexed by sample row.
+        step_rows: per-thread step accumulator (lanes,) for tree-parallel
+            or flattened (rows*lanes,) for sample-parallel.
+        warp_major: True when the (rows, lanes) tile is already
+            warp-shaped (sample-parallel); False when lanes span a whole
+            block and must be re-chunked into warps for accounting.
+    """
+    rows = sample_rows.shape[0]
+    lanes = tree_of_lane.shape[0] if tree_of_lane.ndim == 1 else tree_of_lane.shape[1]
+    sample_2d = sample_rows if sample_rows.ndim == 2 else np.broadcast_to(
+        sample_rows[:, None], (rows, lanes)
+    )
+    tree_2d = np.broadcast_to(tree_of_lane, (rows, lanes))
+    alive = np.broadcast_to(tree_of_lane >= 0, (rows, lanes)).copy()
+    cur = np.zeros((rows, lanes), dtype=np.int64)
+    base = flat.offsets[np.maximum(tree_2d, 0)]
+    visits = 0
+    level = 0
+    n_att = flat.n_attributes
+    while alive.any():
+        idx = base + cur
+        addr = np.where(alive, flat.address[idx], np.int64(-1))
+        if warp_major:
+            warp_addr, warp_alive = addr, alive
+        else:
+            warp_addr = _as_warp_rows(addr, spec.warp_size)
+            warp_alive = _as_warp_rows(alive, spec.warp_size)
+        _account_node_fetch(
+            counters, level_stats, level, warp_addr, warp_alive,
+            node_space, spec, flat.node_size,
+        )
+        visits += int(alive.sum())
+        if warp_major:
+            # Sample-parallel: one thread per slot, accumulator is flat.
+            step_rows += alive.reshape(-1)
+        else:
+            # Tree-parallel: lanes are block threads, rows are samples.
+            step_rows += alive.sum(axis=0)
+        leaf_here = alive & flat.is_leaf[idx]
+        if leaf_here.any():
+            contrib = np.where(leaf_here, flat.value[idx], 0.0).astype(np.float64)
+            np.add.at(leaf_sum, sample_2d[leaf_here], contrib[leaf_here])
+        decide = alive & ~leaf_here
+        if decide.any():
+            feat = np.where(decide, flat.feature[idx], 0)
+            if sample_space == "shared":
+                srow = shared_rows if shared_rows is not None else sample_2d
+                srow2d = srow if srow.ndim == 2 else np.broadcast_to(srow[:, None], (rows, lanes))
+                s_addr = (srow2d.astype(np.int64) * n_att + feat) * _ATT_BYTES
+            else:
+                s_addr = SAMPLE_BASE + (sample_2d.astype(np.int64) * n_att + feat) * _ATT_BYTES
+            if warp_major:
+                w_s_addr, w_decide = s_addr, decide
+            else:
+                w_s_addr = _as_warp_rows(s_addr, spec.warp_size)
+                w_decide = _as_warp_rows(decide, spec.warp_size)
+            _account_sample_fetch(counters, w_s_addr, w_decide, sample_space, spec)
+            vals = X[sample_2d, feat]
+            missing = np.isnan(vals)
+            go_left = (vals < flat.threshold[idx]) ^ flat.flip[idx]
+            go_left = np.where(missing, flat.default_left[idx], go_left)
+            nxt = np.where(go_left, flat.left[idx], flat.right[idx])
+            cur = np.where(decide, nxt, cur)
+        alive = decide
+        level += 1
+        if level > 64:
+            raise RuntimeError("traversal exceeded 64 levels; corrupt tree?")
+    return visits
+
+
+def trace_tree_parallel(
+    layout: ForestLayout,
+    X: np.ndarray,
+    sample_rows: np.ndarray,
+    assignments: list[np.ndarray],
+    spec: GPUSpec,
+    node_space: str = "global",
+    sample_space: str = "shared",
+    shared_batch_rows: np.ndarray | None = None,
+    collect_level_stats: bool = False,
+    max_levels: int = 32,
+    chunk: int = 1024,
+) -> TraceResult:
+    """Trace FIL's shared-data mapping for one thread block.
+
+    Args:
+        layout: forest layout (reorg or adaptive).
+        X: full sample matrix (float32).
+        sample_rows: row indices of the samples this block processes.
+        assignments: per-thread arrays of layout tree positions (from
+            :func:`repro.formats.tree_rearrange.round_robin_assignment`).
+        spec: GPU model.
+        node_space / sample_space: where nodes / samples are read from.
+        shared_batch_rows: shared-memory row slot of each sample when
+            samples are staged in shared memory (defaults to position in
+            the batch).
+        collect_level_stats: gather figure 2(a) per-level statistics.
+        max_levels: level-stats capacity.
+        chunk: samples traversed per vectorised tile.
+
+    The number of threads is ``len(assignments)`` (padded to a warp
+    multiple); rounds iterate over each thread's tree list.
+    """
+    flat = flatten_layout(layout)
+    n_threads = len(assignments)
+    pad_threads = ((n_threads + spec.warp_size - 1) // spec.warp_size) * spec.warp_size
+    n_rounds = max((a.shape[0] for a in assignments), default=0)
+    counters = TrafficCounters()
+    level_stats = LevelStats(max_levels) if collect_level_stats else None
+    leaf_sum = np.zeros(X.shape[0], dtype=np.float64)
+    per_thread_steps = np.zeros(pad_threads, dtype=np.int64)
+    sample_rows = np.asarray(sample_rows, dtype=np.int64)
+    if shared_batch_rows is None:
+        shared_batch_rows = np.arange(sample_rows.shape[0], dtype=np.int64)
+    visits = 0
+    for k in range(n_rounds):
+        tree_of_lane = np.full(pad_threads, -1, dtype=np.int64)
+        for t, assigned in enumerate(assignments):
+            if k < assigned.shape[0]:
+                tree_of_lane[t] = assigned[k]
+        for start in range(0, sample_rows.shape[0], chunk):
+            rows = sample_rows[start : start + chunk]
+            srows = shared_batch_rows[start : start + chunk]
+            visits += _traverse_chunk(
+                flat, X, rows, tree_of_lane, srows,
+                counters, level_stats, spec, node_space, sample_space,
+                leaf_sum, per_thread_steps, warp_major=False,
+            )
+    return TraceResult(
+        leaf_sum=leaf_sum,
+        per_thread_steps=per_thread_steps[:n_threads],
+        counters=counters,
+        level_stats=level_stats,
+        node_visits=visits,
+    )
+
+
+def trace_sample_parallel(
+    layout: ForestLayout,
+    X: np.ndarray,
+    sample_rows: np.ndarray,
+    tree_positions: np.ndarray,
+    spec: GPUSpec,
+    node_space: str = "global",
+    sample_space: str = "global",
+    collect_level_stats: bool = False,
+    max_levels: int = 32,
+    chunk_warps: int = 64,
+) -> TraceResult:
+    """Trace the one-sample-per-thread mapping.
+
+    Every thread owns one sample from ``sample_rows`` and walks every tree
+    in ``tree_positions`` (the block's tree set — the whole forest for the
+    direct and shared-forest strategies, one part for splitting).
+    """
+    flat = flatten_layout(layout)
+    sample_rows = np.asarray(sample_rows, dtype=np.int64)
+    n = sample_rows.shape[0]
+    warp = spec.warp_size
+    pad = ((n + warp - 1) // warp) * warp
+    padded = np.full(pad, -1, dtype=np.int64)
+    padded[:n] = sample_rows
+    grid = padded.reshape(-1, warp)
+    valid = grid >= 0
+    counters = TrafficCounters()
+    level_stats = LevelStats(max_levels) if collect_level_stats else None
+    leaf_sum = np.zeros(X.shape[0], dtype=np.float64)
+    per_thread_steps = np.zeros(pad, dtype=np.int64)
+    visits = 0
+    tree_positions = np.asarray(tree_positions, dtype=np.int64)
+    for p in tree_positions:
+        for w0 in range(0, grid.shape[0], chunk_warps):
+            rows = grid[w0 : w0 + chunk_warps]
+            mask = valid[w0 : w0 + chunk_warps]
+            tree_of_lane = np.where(mask, p, -1)
+            steps_view = per_thread_steps[w0 * warp : w0 * warp + rows.size]
+            visits += _traverse_chunk(
+                flat, X, np.maximum(rows, 0), tree_of_lane, None,
+                counters, level_stats, spec, node_space, sample_space,
+                leaf_sum, steps_view, warp_major=True,
+            )
+    # Padding lanes pointed at sample row 0 but were inactive (tree -1),
+    # so leaf_sum is exact; steps for pad threads are zero.
+    return TraceResult(
+        leaf_sum=leaf_sum,
+        per_thread_steps=per_thread_steps[:n],
+        counters=counters,
+        level_stats=level_stats,
+        node_visits=visits,
+    )

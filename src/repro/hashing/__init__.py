@@ -1,0 +1,31 @@
+"""Tree-similarity hashing.
+
+Implements the paper's similarity machinery (section 4.2, figure 3):
+
+* :mod:`repro.hashing.simhash` — path tokenisation and SimHash checksums
+  (SHA-1 token hashing, node-probability weights),
+* :mod:`repro.hashing.rabin_karp` — the rolling polynomial hash used as the
+  LSH chunk hash,
+* :mod:`repro.hashing.lsh` — checksum normalisation, chunking, collision
+  counting, bucket grouping and the resulting tree order,
+* :mod:`repro.hashing.pairwise` — the O(N_trees^2) pairwise-comparison
+  baseline the paper measures SimHash+LSH against (section 7.4 reports a
+  >37x speedup for the similarity-detection step).
+"""
+
+from repro.hashing.lsh import CollisionTable, lsh_collisions, order_trees_by_similarity
+from repro.hashing.pairwise import pairwise_order, pairwise_similarity_matrix
+from repro.hashing.rabin_karp import rabin_karp
+from repro.hashing.simhash import normalize_checksum, simhash_checksum, tokenize_tree
+
+__all__ = [
+    "CollisionTable",
+    "lsh_collisions",
+    "normalize_checksum",
+    "order_trees_by_similarity",
+    "pairwise_order",
+    "pairwise_similarity_matrix",
+    "rabin_karp",
+    "simhash_checksum",
+    "tokenize_tree",
+]

@@ -1,0 +1,134 @@
+"""LSH bucketing and the similarity-based tree order (paper section 4.2).
+
+Each tree's normalised SimHash checksum is divided into ``m_chunks`` equal
+chunks; every chunk is Rabin–Karp hashed.  Two trees whose chunk hashes
+collide at the same chunk position are similar; the number of colliding
+chunk positions is the pair's collision count.  The final tree order
+greedily chains trees by descending collision count (figure 3: "T2, T3,
+T1, because T2 and T3 have the largest number of collisions, and T3 and T1
+have the second largest").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hashing.rabin_karp import rabin_karp
+from repro.hashing.simhash import normalize_checksum, simhash_checksum
+from repro.trees.tree import DecisionTree
+
+__all__ = ["CollisionTable", "lsh_collisions", "order_trees_by_similarity"]
+
+
+@dataclass
+class CollisionTable:
+    """Pairwise collision counts plus the per-chunk buckets behind them.
+
+    Attributes:
+        counts: symmetric int32 matrix, ``counts[a, b]`` = number of chunk
+            positions at which trees ``a`` and ``b`` collide.
+        buckets: per chunk position, a mapping from chunk hash to the list
+            of tree indices that produced it.
+    """
+
+    counts: np.ndarray
+    buckets: list[dict[int, list[int]]]
+
+    @property
+    def n_trees(self) -> int:
+        return self.counts.shape[0]
+
+    def most_similar_pair(self) -> tuple[int, int]:
+        """The tree pair with the most collisions (ties break lexicographically)."""
+        n = self.n_trees
+        if n < 2:
+            raise ValueError("need at least two trees")
+        masked = self.counts.copy()
+        np.fill_diagonal(masked, -1)
+        flat = int(np.argmax(masked))
+        return flat // n, flat % n
+
+
+def _chunk_hashes(normalized: np.ndarray, m_chunks: int) -> list[int]:
+    """Rabin–Karp hash of each of the ``m_chunks`` equal slices."""
+    l_hash = normalized.shape[0]
+    if m_chunks <= 0:
+        raise ValueError("m_chunks must be positive")
+    if l_hash % m_chunks != 0:
+        raise ValueError(f"l_hash={l_hash} is not divisible by m_chunks={m_chunks}")
+    width = l_hash // m_chunks
+    return [
+        rabin_karp(normalized[i * width : (i + 1) * width]) for i in range(m_chunks)
+    ]
+
+
+def lsh_collisions(
+    trees: list[DecisionTree],
+    t_nodes: int = 4,
+    l_hash: int = 128,
+    m_chunks: int = 64,
+) -> CollisionTable:
+    """Compute the pairwise collision table for a list of trees.
+
+    Paper defaults: ``t_nodes=4``, ``l_hash=128``, ``m_chunks=64``
+    (section 7.1).
+    """
+    n = len(trees)
+    signatures = [
+        _chunk_hashes(
+            normalize_checksum(simhash_checksum(t, t_nodes=t_nodes, l_hash=l_hash)),
+            m_chunks,
+        )
+        for t in trees
+    ]
+    counts = np.zeros((n, n), dtype=np.int32)
+    buckets: list[dict[int, list[int]]] = []
+    for chunk in range(m_chunks):
+        bucket: dict[int, list[int]] = defaultdict(list)
+        for tree_idx in range(n):
+            bucket[signatures[tree_idx][chunk]].append(tree_idx)
+        buckets.append(dict(bucket))
+        for members in bucket.values():
+            if len(members) < 2:
+                continue
+            arr = np.array(members)
+            counts[np.ix_(arr, arr)] += 1
+    np.fill_diagonal(counts, 0)
+    return CollisionTable(counts=counts, buckets=buckets)
+
+
+def order_trees_by_similarity(
+    collisions: CollisionTable | np.ndarray,
+) -> list[int]:
+    """Greedy similarity chain over the collision (or similarity) matrix.
+
+    Starts from the most-similar pair and repeatedly appends the unplaced
+    tree most similar to the chain's tail, so neighbours in the resulting
+    order are structurally similar — which is what makes the interleaved
+    adaptive format coalesce and what balances per-thread work after
+    round-robin assignment.
+    """
+    counts = collisions.counts if isinstance(collisions, CollisionTable) else collisions
+    counts = np.asarray(counts)
+    n = counts.shape[0]
+    if n == 0:
+        return []
+    if n == 1:
+        return [0]
+    masked = counts.astype(np.float64).copy()
+    np.fill_diagonal(masked, -np.inf)
+    flat = int(np.argmax(masked))
+    a, b = flat // n, flat % n
+    order = [a, b]
+    placed = np.zeros(n, dtype=bool)
+    placed[[a, b]] = True
+    while len(order) < n:
+        tail = order[-1]
+        scores = np.where(placed, -np.inf, masked[tail])
+        nxt = int(np.argmax(scores))
+        order.append(nxt)
+        placed[nxt] = True
+    return order

@@ -1,0 +1,166 @@
+"""Tokenisation and SimHash (paper section 4.2, figure 3).
+
+The pipeline per tree:
+
+1. **Tokenisation** — every root→leaf path is cut into tokens of
+   ``t_nodes`` consecutive nodes (consecutive tokens overlap by one node,
+   matching figure 3 where the 3-node path ``1-2-4`` yields tokens ``1-2``
+   and ``2-4``).  A node contributes its *structural* identity: its heap
+   position (root=1, children ``2i``/``2i+1``).  Figure 3's tokens are
+   exactly such position pairs ("1-2", "2-4", ...), so trees with
+   analogous topology produce identical tokens; the data-dependent part
+   of similarity ("common paths") enters through the node-probability
+   weights.  Attribute identity can optionally be mixed in via
+   ``include_features`` for forests whose attribute usage matters more
+   than shape.
+2. **SimHash** — each token is hashed with SHA-1 to ``l_hash`` bits, each
+   bit mapped to ±1, the vector weighted by the node probability of the
+   token's last node, and all weighted vectors summed into the tree's
+   *checksum*.
+3. The checksum is **normalised** to a 0/1 vector (negative → 0) before
+   the LSH stage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.trees.tree import LEAF, DecisionTree
+
+__all__ = [
+    "Token",
+    "tokenize_tree",
+    "token_bits",
+    "simhash_checksum",
+    "normalize_checksum",
+]
+
+
+class Token:
+    """One token: the structural content plus its SimHash weight.
+
+    Attributes:
+        content: hashable byte string describing the token's nodes.
+        weight: node probability of the last node in the token.
+    """
+
+    __slots__ = ("content", "weight")
+
+    def __init__(self, content: bytes, weight: float) -> None:
+        self.content = content
+        self.weight = weight
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.content!r}, weight={self.weight:.3f})"
+
+
+def _heap_positions(tree: DecisionTree) -> np.ndarray:
+    """Structural (heap) position of every node: root=1, left=2p, right=2p+1.
+
+    Positions exceeding int64 range cannot occur for depths < 62, which is
+    far beyond any practical tree.
+    """
+    pos = np.zeros(tree.n_nodes, dtype=np.int64)
+    pos[0] = 1
+    frontier = [0]
+    while frontier:
+        nxt = []
+        for node in frontier:
+            p = pos[node]
+            lo, hi = tree.left[node], tree.right[node]
+            if lo != LEAF:
+                pos[lo] = 2 * p
+                nxt.append(int(lo))
+            if hi != LEAF:
+                pos[hi] = 2 * p + 1
+                nxt.append(int(hi))
+        frontier = nxt
+    return pos
+
+
+def tokenize_tree(
+    tree: DecisionTree, t_nodes: int = 4, include_features: bool = False
+) -> list[Token]:
+    """Split every root→leaf path into overlapping ``t_nodes``-node tokens.
+
+    Duplicate token contents are merged (keeping the maximum weight), since
+    shared path prefixes would otherwise be counted once per leaf and
+    drown out the deeper structure.
+
+    Args:
+        tree: tree to tokenise.
+        t_nodes: token length in nodes (paper default 4).
+        include_features: also embed each node's attribute index in the
+            token content (off by default — figure 3's tokens are purely
+            positional).
+    """
+    if t_nodes < 2:
+        raise ValueError("t_nodes must be >= 2")
+    positions = _heap_positions(tree)
+    node_prob = tree.node_probabilities()
+    stride = t_nodes - 1
+    merged: dict[bytes, float] = {}
+    for path in tree.root_to_leaf_paths():
+        start = 0
+        while True:
+            window = path[start : start + t_nodes]
+            if not window:
+                break
+            parts = []
+            for node in window:
+                if include_features:
+                    parts.append(f"{positions[node]}:{int(tree.feature[node])}")
+                else:
+                    parts.append(str(positions[node]))
+            content = "|".join(parts).encode()
+            weight = float(node_prob[window[-1]])
+            if weight > merged.get(content, -1.0):
+                merged[content] = weight
+            if start + t_nodes >= len(path):
+                break
+            start += stride
+    return [Token(content, weight) for content, weight in sorted(merged.items())]
+
+
+def token_bits(content: bytes, l_hash: int) -> np.ndarray:
+    """SHA-1 hash of the token content, expanded to ``l_hash`` bits.
+
+    SHA-1 yields 160 bits; longer strings are produced by counter-mode
+    re-hashing (SHA-1 of ``content || block_index``), as is standard for
+    fixed-length expansion.
+    """
+    if l_hash <= 0:
+        raise ValueError("l_hash must be positive")
+    digest = b""
+    block = 0
+    while len(digest) * 8 < l_hash:
+        h = hashlib.sha1()
+        h.update(content)
+        if block:
+            h.update(block.to_bytes(4, "little"))
+        digest += h.digest()
+        block += 1
+    bits = np.unpackbits(np.frombuffer(digest, dtype=np.uint8))[:l_hash]
+    return bits.astype(np.int8)
+
+
+def simhash_checksum(
+    tree: DecisionTree, t_nodes: int = 4, l_hash: int = 128
+) -> np.ndarray:
+    """SimHash checksum of a tree: the weighted ±1 sum over all tokens.
+
+    Paper defaults: ``t_nodes=4``, ``l_hash=128`` (section 7.1).
+    Returns a float64 vector of length ``l_hash``.
+    """
+    checksum = np.zeros(l_hash, dtype=np.float64)
+    for token in tokenize_tree(tree, t_nodes=t_nodes):
+        signs = token_bits(token.content, l_hash).astype(np.float64) * 2.0 - 1.0
+        checksum += token.weight * signs
+    return checksum
+
+
+def normalize_checksum(checksum: np.ndarray) -> np.ndarray:
+    """Regularise a checksum to 0/1 per the paper: negative → 0, else 1."""
+    return (np.asarray(checksum) >= 0).astype(np.uint8)

@@ -1,0 +1,39 @@
+"""Analytic performance models (paper section 6).
+
+* :mod:`repro.perfmodel.notation` — the Table 1 parameter sets,
+* :mod:`repro.perfmodel.microbench` — the "offline part" of Algorithm 1:
+  hardware-parameter detection via simulator microbenchmarks,
+* :mod:`repro.perfmodel.models` — equations 1–7: per-batch predicted time
+  for each of the four strategies,
+* :mod:`repro.perfmodel.selector` — ranks the applicable strategies for a
+  (layout, batch, GPU) triple and picks the winner, exactly as Algorithm 1
+  lines 8–15 do once per batch.
+"""
+
+from repro.perfmodel.microbench import measure_hardware_parameters
+from repro.perfmodel.models import (
+    predict_direct,
+    predict_shared_data,
+    predict_shared_forest,
+    predict_splitting_shared_forest,
+)
+from repro.perfmodel.notation import ForestParams, HardwareParams, SampleParams, workload_params
+from repro.perfmodel.selector import StrategyChoice, rank_strategies, select_strategy
+from repro.perfmodel.validation import ValidationReport, validate_selection
+
+__all__ = [
+    "ForestParams",
+    "HardwareParams",
+    "SampleParams",
+    "StrategyChoice",
+    "measure_hardware_parameters",
+    "predict_direct",
+    "predict_shared_data",
+    "predict_shared_forest",
+    "predict_splitting_shared_forest",
+    "rank_strategies",
+    "select_strategy",
+    "ValidationReport",
+    "validate_selection",
+    "workload_params",
+]

@@ -1,0 +1,116 @@
+"""Performance-model validation (the paper's section 7.3 experiment).
+
+The paper checks its models on 90 cases (15 datasets x 3 GPUs x 2
+parallelism regimes) and finds the predicted strategy order correct in
+87, with the three misses near-optimal.  :func:`validate_selection`
+packages that experiment for arbitrary workloads: it measures every
+applicable strategy on the simulator, asks the models for their ranking,
+and reports exactness and the penalty of any misprediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.formats.layout import ForestLayout
+from repro.gpusim.specs import GPUSpec
+from repro.perfmodel.microbench import measure_hardware_parameters
+from repro.perfmodel.selector import rank_strategies
+from repro.strategies import ALL_STRATEGIES, StrategyNotApplicable
+
+__all__ = ["SelectionCase", "ValidationReport", "validate_selection"]
+
+
+@dataclass
+class SelectionCase:
+    """One (workload, GPU, batch) validation point.
+
+    Attributes:
+        label: caller-supplied case name.
+        predicted: the models' top applicable strategy.
+        best: the measured-fastest strategy.
+        penalty: measured time of the prediction over the optimum (1.0
+            when exact).
+        measured: simulated seconds per strategy.
+    """
+
+    label: str
+    predicted: str
+    best: str
+    penalty: float
+    measured: dict[str, float]
+
+    @property
+    def exact(self) -> bool:
+        return self.predicted == self.best
+
+
+@dataclass
+class ValidationReport:
+    """Aggregate over all validation cases."""
+
+    cases: list[SelectionCase] = field(default_factory=list)
+
+    @property
+    def n_cases(self) -> int:
+        return len(self.cases)
+
+    @property
+    def n_exact(self) -> int:
+        return sum(c.exact for c in self.cases)
+
+    @property
+    def worst_penalty(self) -> float:
+        return max((c.penalty for c in self.cases), default=1.0)
+
+    def near_optimal(self, tolerance: float = 1.25) -> int:
+        """Cases whose pick is within ``tolerance`` of the optimum."""
+        return sum(c.penalty <= tolerance for c in self.cases)
+
+    def mispredictions(self) -> list[SelectionCase]:
+        return [c for c in self.cases if not c.exact]
+
+
+def validate_selection(
+    layout: ForestLayout,
+    X: np.ndarray,
+    spec: GPUSpec,
+    batch_sizes: list[int],
+    label: str = "",
+) -> ValidationReport:
+    """Validate the strategy selector on one layout across batch sizes.
+
+    For each batch size the first ``batch`` rows of ``X`` are run through
+    every applicable strategy on the simulator; the models rank the same
+    configuration blind.  Returns a report; combine multiple reports by
+    extending ``cases``.
+    """
+    hw = measure_hardware_parameters(spec)
+    report = ValidationReport()
+    for batch in batch_sizes:
+        rows = np.arange(min(batch, X.shape[0]))
+        measured: dict[str, float] = {}
+        for cls in ALL_STRATEGIES:
+            try:
+                measured[cls.name] = cls().run(
+                    layout, X, spec, sample_rows=rows
+                ).time
+            except StrategyNotApplicable:
+                continue
+        if not measured:
+            continue
+        ranked = rank_strategies(layout, rows.shape[0], spec, hw)
+        predicted = next(c.name for c in ranked if c.name in measured)
+        best = min(measured, key=measured.get)
+        report.cases.append(
+            SelectionCase(
+                label=f"{label}@{batch}" if label else str(batch),
+                predicted=predicted,
+                best=best,
+                penalty=measured[predicted] / measured[best],
+                measured=measured,
+            )
+        )
+    return report

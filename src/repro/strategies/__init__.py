@@ -1,0 +1,51 @@
+"""Inference strategies (paper section 5).
+
+Four ways to map forest inference onto the GPU, differing in what shared
+memory caches and which reduction they need:
+
+=====================  ==============  ==============  =================
+strategy               shared memory   reduction       thread mapping
+=====================  ==============  ==============  =================
+shared data (FIL's)    samples         block-wise      trees -> threads
+direct                 (none)          none            sample -> thread
+shared forest          whole forest    none            sample -> thread
+splitting shared       forest parts    global          sample -> thread
+forest
+=====================  ==============  ==============  =================
+
+Every strategy executes on the GPU simulator and returns a
+:class:`~repro.strategies.base.StrategyResult` carrying both the
+predictions (verified against the reference predictor in tests) and the
+simulated execution breakdown.
+"""
+
+from repro.strategies.base import (
+    StrategyNotApplicable,
+    StrategyResult,
+    coefficient_of_variation,
+    finalize_predictions,
+)
+from repro.strategies.direct import DirectStrategy
+from repro.strategies.shared_data import SharedDataStrategy
+from repro.strategies.shared_forest import SharedForestStrategy
+from repro.strategies.splitting_shared_forest import SplittingSharedForestStrategy
+
+__all__ = [
+    "ALL_STRATEGIES",
+    "DirectStrategy",
+    "SharedDataStrategy",
+    "SharedForestStrategy",
+    "SplittingSharedForestStrategy",
+    "StrategyNotApplicable",
+    "StrategyResult",
+    "coefficient_of_variation",
+    "finalize_predictions",
+]
+
+#: The four strategies in the paper's order (figure 4 / section 5.1).
+ALL_STRATEGIES = [
+    SharedDataStrategy,
+    DirectStrategy,
+    SharedForestStrategy,
+    SplittingSharedForestStrategy,
+]

@@ -1,0 +1,82 @@
+"""The direct method (paper section 5.1).
+
+Every thread owns one sample and evaluates the *entire* forest for it,
+reading both the forest and the sample from global memory.  No shared
+memory, no reductions — which is exactly what makes it win on forests of
+tall trees (SVHN, gisette in figure 5) where synchronisation and
+reduction overheads dominate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.layout import ForestLayout
+from repro.gpusim.engine_sim import execution_time
+from repro.gpusim.specs import GPUSpec
+from repro.gpusim.trace import trace_sample_parallel
+from repro.strategies.base import StrategyResult, add_coalesced_staging, finalize_predictions
+
+__all__ = ["DirectStrategy"]
+
+
+class DirectStrategy:
+    """Whole forest per thread, everything in global memory."""
+
+    name = "direct"
+
+    def __init__(self, threads_per_block: int = 256) -> None:
+        self._threads_per_block = threads_per_block
+
+    def is_applicable(self, layout: ForestLayout, spec: GPUSpec) -> bool:
+        return True
+
+    def run(
+        self,
+        layout: ForestLayout,
+        X: np.ndarray,
+        spec: GPUSpec,
+        sample_rows: np.ndarray | None = None,
+        collect_level_stats: bool = False,
+    ) -> StrategyResult:
+        forest = layout.forest
+        if sample_rows is None:
+            sample_rows = np.arange(X.shape[0], dtype=np.int64)
+        n = int(sample_rows.shape[0])
+        tpb = self._threads_per_block
+        n_blocks = max(1, (n + tpb - 1) // tpb)
+        trace = trace_sample_parallel(
+            layout,
+            X,
+            sample_rows,
+            np.arange(forest.n_trees),
+            spec,
+            node_space="global",
+            sample_space="global",
+            collect_level_stats=collect_level_stats,
+        )
+        add_coalesced_staging(trace.counters, n * 4, spec, source="sample", to_shared=False)
+        max_steps = int(trace.per_thread_steps.max()) if trace.per_thread_steps.size else 0
+        waves = -(-n_blocks // spec.concurrent_blocks(tpb))
+        breakdown = execution_time(
+            trace.counters,
+            spec,
+            n_threads=n,
+            threads_per_block=tpb,
+            n_blocks=n_blocks,
+            per_thread_steps=trace.per_thread_steps,
+            chain_steps=max_steps * waves,
+            sample_first_touch_bytes=n * forest.n_attributes * 4,
+            forest_footprint_bytes=layout.total_bytes,
+        )
+        return StrategyResult(
+            strategy=self.name,
+            predictions=finalize_predictions(forest, trace.leaf_sum[sample_rows]),
+            breakdown=breakdown,
+            counters=trace.counters,
+            per_thread_steps=trace.per_thread_steps,
+            n_blocks=n_blocks,
+            threads_per_block=tpb,
+            batch_size=n,
+            level_stats=trace.level_stats,
+        )

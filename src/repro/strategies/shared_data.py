@@ -1,0 +1,183 @@
+"""The shared-data strategy — FIL's inference algorithm (paper section 2).
+
+Each thread block stages as many samples as fit into shared memory, the
+block's threads split the trees round-robin, every sample is evaluated by
+all threads, and a block-wise reduction combines the per-thread partial
+sums into the sample's final margin.
+
+This is both the FIL baseline's algorithm (on the reorg layout) and one
+of Tahoe's four candidate strategies (on the adaptive layout).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.layout import ForestLayout
+from repro.formats.tree_rearrange import round_robin_assignment
+from repro.gpusim.engine_sim import execution_time
+from repro.gpusim.specs import GPUSpec
+from repro.gpusim.trace import trace_tree_parallel
+from repro.strategies.base import (
+    StrategyResult,
+    add_coalesced_staging,
+    finalize_predictions,
+)
+
+__all__ = ["SharedDataStrategy"]
+
+_ATT_BYTES = 4
+
+
+def _occupancy_samples_per_block(
+    n: int, sample_bytes: int, tpb: int, spec: GPUSpec, full_cap: int
+) -> int:
+    """Sample stage size that maximises resident blocks.
+
+    ``k*`` is the best per-SM block residency the thread/slot budgets
+    allow while at least one sample still fits per block; the stage is
+    then sized so the whole batch spreads over that residency.
+    """
+    k_star = max(
+        1,
+        min(
+            32,
+            spec.max_resident_threads_per_sm // max(tpb, 1),
+            spec.shared_mem_per_block // sample_bytes,
+        ),
+    )
+    smem_cap = max(1, spec.shared_mem_per_block // (sample_bytes * k_star))
+    spread = max(1, -(-n // (spec.sm_count * k_star)))
+    return max(1, min(full_cap, smem_cap, spread))
+
+
+class SharedDataStrategy:
+    """Samples in shared memory, trees split over threads, block reduce.
+
+    Args:
+        threads_per_block: fixed block size (None = model-guided).
+        occupancy_blocks: stage only as many samples per block as keeps
+            device occupancy maximal (Algorithm 1 line 14: "set the
+            number of blocks to maximize the occupancy of GPU").  FIL
+            instead fills shared memory per block ("load as many samples
+            as possible", paper section 2), which costs it residency —
+            pass False for the baseline behaviour.
+    """
+
+    name = "shared_data"
+
+    def __init__(
+        self,
+        threads_per_block: int | None = None,
+        occupancy_blocks: bool = True,
+    ) -> None:
+        self._threads_per_block = threads_per_block
+        self._occupancy_blocks = occupancy_blocks
+
+    def is_applicable(self, layout: ForestLayout, spec: GPUSpec) -> bool:
+        """Always runnable; huge samples fall back to global reads."""
+        return True
+
+    def _choose_tpb(self, layout: ForestLayout, n_batch: int, spec: GPUSpec) -> int:
+        """Model-guided block size (see perfmodel.models.choose_shared_data_tpb)."""
+        from repro.perfmodel.microbench import measure_hardware_parameters
+        from repro.perfmodel.models import choose_shared_data_tpb
+        from repro.perfmodel.notation import workload_params
+
+        hw = measure_hardware_parameters(spec)
+        sample, fp = workload_params(layout, n_batch)
+        return choose_shared_data_tpb(sample, fp, hw, layout)
+
+    def samples_per_block(self, layout: ForestLayout, spec: GPUSpec) -> int:
+        """How many samples one block's shared memory holds."""
+        sample_bytes = layout.forest.n_attributes * _ATT_BYTES
+        return max(1, spec.shared_mem_per_block // sample_bytes)
+
+    def run(
+        self,
+        layout: ForestLayout,
+        X: np.ndarray,
+        spec: GPUSpec,
+        sample_rows: np.ndarray | None = None,
+        collect_level_stats: bool = False,
+    ) -> StrategyResult:
+        """Execute one batch on the simulator.
+
+        Args:
+            layout: forest layout (reorg for FIL, adaptive for Tahoe).
+            X: sample matrix; the batch is ``sample_rows`` (all rows when
+                omitted).
+            spec: GPU model.
+            collect_level_stats: gather figure 2(a) per-level statistics.
+        """
+        forest = layout.forest
+        if sample_rows is None:
+            sample_rows = np.arange(X.shape[0], dtype=np.int64)
+        n = int(sample_rows.shape[0])
+        tpb = self._threads_per_block or self._choose_tpb(layout, n, spec)
+        s_cap = self.samples_per_block(layout, spec)
+        sample_bytes = forest.n_attributes * _ATT_BYTES
+        sample_fits = sample_bytes <= spec.shared_mem_per_block
+        if self._occupancy_blocks and sample_fits:
+            s_cap = _occupancy_samples_per_block(n, sample_bytes, tpb, spec, s_cap)
+        n_blocks = max(1, (n + s_cap - 1) // s_cap)
+        assignments = round_robin_assignment(forest.n_trees, tpb)
+        # Samples are staged shared-memory-batch by batch; the shared row
+        # of a sample is its position within its block's stage.
+        shared_rows = np.arange(n, dtype=np.int64) % s_cap
+        trace = trace_tree_parallel(
+            layout,
+            X,
+            sample_rows,
+            assignments,
+            spec,
+            node_space="global",
+            sample_space="shared" if sample_fits else "global",
+            shared_batch_rows=shared_rows,
+            collect_level_stats=collect_level_stats,
+        )
+        if sample_fits:
+            add_coalesced_staging(
+                trace.counters,
+                n * forest.n_attributes * _ATT_BYTES,
+                spec,
+                source="sample",
+            )
+        # One coalesced result write per sample.
+        add_coalesced_staging(trace.counters, n * 4, spec, source="sample", to_shared=False)
+        active_threads = min(tpb, forest.n_trees)
+        block_smem = s_cap * forest.n_attributes * _ATT_BYTES if sample_fits else 0
+        # cub::BlockReduce synchronises the whole block, so the reduction
+        # width is the block size, not just the tree-holding threads.
+        # Latency chain: the busiest thread's dependent loads, spread over
+        # the concurrently resident blocks (wave-serialised beyond that).
+        max_steps = int(trace.per_thread_steps.max()) if trace.per_thread_steps.size else 0
+        resident = spec.concurrent_blocks(tpb, block_smem)
+        chain = max_steps / max(1, min(n_blocks, resident))
+        breakdown = execution_time(
+            trace.counters,
+            spec,
+            n_threads=n_blocks * active_threads,
+            threads_per_block=tpb,
+            n_blocks=n_blocks,
+            block_reduction_events=n,
+            block_reduction_width=tpb,
+            per_thread_steps=trace.per_thread_steps,
+            chain_steps=chain,
+            block_shared_bytes=block_smem,
+            sample_first_touch_bytes=n * sample_bytes,
+            forest_footprint_bytes=layout.total_bytes,
+        )
+        result = StrategyResult(
+            strategy=self.name,
+            predictions=finalize_predictions(forest, trace.leaf_sum[sample_rows]),
+            breakdown=breakdown,
+            counters=trace.counters,
+            per_thread_steps=trace.per_thread_steps,
+            n_blocks=n_blocks,
+            threads_per_block=tpb,
+            batch_size=n,
+        )
+        if collect_level_stats:
+            result.level_stats = trace.level_stats
+        return result

@@ -1,0 +1,40 @@
+"""Decision-tree substrate.
+
+The paper consumes forests trained by XGBoost.  XGBoost is not available
+offline, so this package implements the training substrate from scratch:
+
+* an array-based binary decision-tree data model (:class:`DecisionTree`)
+  with per-node visit counts from which edge/node probabilities (paper
+  section 2) are derived,
+* a histogram-based CART builder (:mod:`repro.trees.cart`),
+* :class:`RandomForestTrainer` and :class:`GBDTTrainer` matching the two
+  ensemble types in Table 2,
+* cost-complexity-style post-pruning (the paper cites post-pruning as the
+  source of depth variance across trees),
+* a :class:`Forest` container with vectorised prediction, and
+* JSON-compatible (de)serialisation.
+"""
+
+from repro.trees.analysis import structure_profile
+from repro.trees.forest import Forest
+from repro.trees.gbdt import GBDTTrainer
+from repro.trees.io import forest_from_dict, forest_to_dict
+from repro.trees.probabilities import recount_visits, update_visit_counts
+from repro.trees.pruning import prune_tree
+from repro.trees.random_forest import RandomForestTrainer
+from repro.trees.tree import DecisionTree
+from repro.trees.training import train_forest_for_spec
+
+__all__ = [
+    "DecisionTree",
+    "Forest",
+    "GBDTTrainer",
+    "RandomForestTrainer",
+    "forest_from_dict",
+    "forest_to_dict",
+    "structure_profile",
+    "prune_tree",
+    "recount_visits",
+    "train_forest_for_spec",
+    "update_visit_counts",
+]

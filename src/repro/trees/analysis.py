@@ -1,0 +1,110 @@
+"""Forest structure analytics.
+
+Answers the question Tahoe's design hinges on: *how much structure is
+there to exploit in this forest?*  The three scores mirror the three
+techniques:
+
+* :func:`hot_path_skew` — how concentrated routing probability is on one
+  child per split.  High skew means probability-based node rearrangement
+  will coalesce hot paths (paper section 4.1).
+* :func:`work_dispersion` — how unequal per-tree expected work is.  High
+  dispersion means similarity-based tree rearrangement has imbalance to
+  fix (section 4.2).
+* :func:`structure_profile` — depth/size/leaf statistics plus the two
+  scores above, as one report dict (used by the structure-analysis
+  example and handy before deploying a forest).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trees.forest import Forest
+from repro.trees.tree import DecisionTree
+
+__all__ = [
+    "hot_path_skew",
+    "work_dispersion",
+    "expected_path_length",
+    "depth_histogram",
+    "structure_profile",
+]
+
+
+def hot_path_skew(tree: DecisionTree) -> float:
+    """Mean probability of the hotter edge over decision nodes (0.5-1.0).
+
+    0.5 means perfectly balanced splits (rearrangement can do nothing);
+    1.0 means every split routes all traffic one way (a single hot path).
+    Node-probability weighted, so skew near the root counts more — those
+    are the splits every sample passes through.
+    """
+    decision = ~tree.is_leaf
+    if not decision.any():
+        return 0.5
+    p_left, p_right = tree.edge_probabilities()
+    hot = np.maximum(p_left, p_right)[decision]
+    weights = tree.node_probabilities()[decision]
+    total = weights.sum()
+    if total <= 0:
+        return float(hot.mean())
+    return float((hot * weights).sum() / total)
+
+
+def expected_path_length(tree: DecisionTree) -> float:
+    """Expected node visits on one root-to-leaf walk (sum of node probs)."""
+    return float(tree.node_probabilities().sum())
+
+
+def work_dispersion(forest: Forest) -> float:
+    """Coefficient of variation of per-tree expected work.
+
+    0 means all trees cost the same (nothing to balance); real pruned
+    ensembles easily reach 0.3-1.0.
+    """
+    work = np.array([expected_path_length(t) for t in forest.trees])
+    mean = work.mean()
+    if mean <= 0:
+        return 0.0
+    return float(work.std() / mean)
+
+
+def depth_histogram(forest: Forest) -> dict[int, int]:
+    """Tree count per depth."""
+    hist: dict[int, int] = {}
+    for d in forest.tree_depths():
+        hist[int(d)] = hist.get(int(d), 0) + 1
+    return dict(sorted(hist.items()))
+
+
+def structure_profile(forest: Forest) -> dict:
+    """One-stop structural report for a forest.
+
+    Returns a dict with tree/node counts, depth statistics, the mean
+    hot-path skew, the work dispersion, and a rough verdict per Tahoe
+    technique (``"high"``/``"medium"``/``"low"`` expected benefit).
+    """
+    depths = forest.tree_depths()
+    skews = np.array([hot_path_skew(t) for t in forest.trees])
+    dispersion = work_dispersion(forest)
+    mean_skew = float(skews.mean())
+
+    def verdict(value: float, low: float, high: float) -> str:
+        if value >= high:
+            return "high"
+        if value >= low:
+            return "medium"
+        return "low"
+
+    return {
+        "n_trees": forest.n_trees,
+        "n_nodes": forest.n_nodes,
+        "depth_min": int(depths.min()),
+        "depth_mean": float(depths.mean()),
+        "depth_max": int(depths.max()),
+        "depth_histogram": depth_histogram(forest),
+        "hot_path_skew": mean_skew,
+        "work_dispersion": dispersion,
+        "node_rearrangement_benefit": verdict(mean_skew, 0.6, 0.72),
+        "tree_rearrangement_benefit": verdict(dispersion, 0.15, 0.35),
+    }

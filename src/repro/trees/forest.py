@@ -1,0 +1,158 @@
+"""Forest (decision-tree ensemble) container.
+
+The paper uses "ensemble" and "forest" interchangeably; so do we.  A
+:class:`Forest` owns a list of :class:`DecisionTree` plus the aggregation
+rule that combines per-tree outputs into a final prediction:
+
+* random forests average tree outputs (``aggregation="mean"``),
+* GBDTs sum them on top of a base score (``aggregation="sum"``), with a
+  sigmoid link for classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.trees.tree import DecisionTree
+
+__all__ = ["Forest"]
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-z))
+
+
+@dataclass
+class Forest:
+    """A decision-tree ensemble.
+
+    Attributes:
+        trees: member trees, in storage order.  Tahoe's tree rearrangement
+            permutes this list (prediction is invariant to the order).
+        n_attributes: width of input samples; every tree's feature indices
+            must be < this.
+        task: ``"classification"`` or ``"regression"``.
+        aggregation: ``"mean"`` (random forest) or ``"sum"`` (GBDT).
+        base_score: additive offset applied before the link function
+            (GBDT's initial prediction; 0 for random forests).
+        learning_rate: shrinkage applied to each tree's output under
+            ``"sum"`` aggregation.
+        name: provenance label (usually the dataset name).
+    """
+
+    trees: list[DecisionTree]
+    n_attributes: int
+    task: str = "classification"
+    aggregation: str = "mean"
+    base_score: float = 0.0
+    learning_rate: float = 1.0
+    name: str = "forest"
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.trees:
+            raise ValueError("a forest needs at least one tree")
+        if self.aggregation not in ("mean", "sum"):
+            raise ValueError(f"unknown aggregation {self.aggregation!r}")
+        if self.task not in ("classification", "regression"):
+            raise ValueError(f"unknown task {self.task!r}")
+        for t, tree in enumerate(self.trees):
+            used = tree.feature[tree.feature >= 0]
+            if used.size and used.max() >= self.n_attributes:
+                raise ValueError(
+                    f"tree {t} references attribute {int(used.max())} "
+                    f">= n_attributes={self.n_attributes}"
+                )
+
+    @property
+    def n_trees(self) -> int:
+        return len(self.trees)
+
+    @property
+    def n_nodes(self) -> int:
+        """Total node count across all trees."""
+        return sum(tree.n_nodes for tree in self.trees)
+
+    def max_depth(self) -> int:
+        return max(tree.depth() for tree in self.trees)
+
+    def mean_depth(self) -> float:
+        return float(np.mean([tree.depth() for tree in self.trees]))
+
+    def tree_depths(self) -> np.ndarray:
+        return np.array([tree.depth() for tree in self.trees], dtype=np.int32)
+
+    def distinct_attributes(self) -> np.ndarray:
+        """Sorted attribute indices actually referenced by any tree."""
+        used = [tree.feature[tree.feature >= 0] for tree in self.trees]
+        if not used:
+            return np.array([], dtype=np.int32)
+        return np.unique(np.concatenate(used)).astype(np.int32)
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def raw_margin(self, X: np.ndarray) -> np.ndarray:
+        """Aggregate tree outputs before any link function."""
+        X = np.asarray(X, dtype=np.float32)
+        acc = np.zeros(X.shape[0], dtype=np.float64)
+        for tree in self.trees:
+            acc += tree.predict(X)
+        if self.aggregation == "mean":
+            return acc / self.n_trees
+        return self.base_score + self.learning_rate * acc
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Final prediction: probabilities for classification, values for
+        regression."""
+        margin = self.raw_margin(X)
+        if self.task == "classification" and self.aggregation == "sum":
+            return _sigmoid(margin)
+        return margin
+
+    def predict_class(self, X: np.ndarray) -> np.ndarray:
+        """Hard 0/1 labels for classification forests."""
+        if self.task != "classification":
+            raise ValueError("predict_class is only valid for classification")
+        return (self.predict(X) > 0.5).astype(np.int32)
+
+    # ------------------------------------------------------------------
+    # Structure manipulation
+    # ------------------------------------------------------------------
+    def reordered(self, order: list[int] | np.ndarray) -> "Forest":
+        """Return a forest with trees permuted by ``order``.
+
+        Prediction is invariant under this permutation; it only changes
+        memory layout and thread assignment downstream.
+        """
+        order = list(order)
+        if sorted(order) != list(range(self.n_trees)):
+            raise ValueError("order must be a permutation of tree indices")
+        return Forest(
+            trees=[self.trees[i] for i in order],
+            n_attributes=self.n_attributes,
+            task=self.task,
+            aggregation=self.aggregation,
+            base_score=self.base_score,
+            learning_rate=self.learning_rate,
+            name=self.name,
+            metadata=dict(self.metadata),
+        )
+
+    def with_trees(self, trees: list[DecisionTree]) -> "Forest":
+        """Return a copy of this forest with ``trees`` substituted."""
+        return Forest(
+            trees=trees,
+            n_attributes=self.n_attributes,
+            task=self.task,
+            aggregation=self.aggregation,
+            base_score=self.base_score,
+            learning_rate=self.learning_rate,
+            name=self.name,
+            metadata=dict(self.metadata),
+        )
+
+    def copy(self) -> "Forest":
+        return self.with_trees([tree.copy() for tree in self.trees])

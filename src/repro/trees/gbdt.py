@@ -1,0 +1,161 @@
+"""Gradient-boosted decision tree trainer.
+
+The "GBDT" forest type in Table 2.  Squared loss for regression and
+logistic loss for binary classification, each round fitting a CART tree to
+the negative gradient (the classic GBM of Friedman, which the paper cites).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.synthetic import Dataset
+from repro.trees.cart import CartConfig, bin_features, build_tree
+from repro.trees.forest import Forest
+from repro.trees.pruning import prune_tree
+
+__all__ = ["GBDTTrainer"]
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-z))
+
+
+@dataclass
+class GBDTTrainer:
+    """Trains a gradient-boosted ensemble.
+
+    Attributes:
+        n_trees: boosting rounds.
+        max_depth: per-tree depth cap (GBDTs typically use many shallow
+            trees, as the related-work section notes).
+        learning_rate: shrinkage per round.
+        min_samples_leaf: minimum samples per leaf.
+        subsample: row-subsample fraction per round (stochastic GBM).
+        feature_fraction: per-node candidate-feature fraction.
+        n_bins: histogram bins.
+        prune_alpha: cost-complexity pruning strength (0 disables).
+        depth_jitter: per-tree depth heterogeneity in [0, 1); see
+            :class:`repro.trees.random_forest.RandomForestTrainer` — same
+            substitution for the paper's naturally heterogeneous forests.
+        seed: RNG seed.
+    """
+
+    n_trees: int = 100
+    max_depth: int = 6
+    learning_rate: float = 0.2
+    min_samples_leaf: int = 2
+    subsample: float = 1.0
+    feature_fraction: float = 1.0
+    n_bins: int = 32
+    prune_alpha: float = 0.0
+    depth_jitter: float = 0.0
+    seed: int = 0
+
+    def fit(self, data: Dataset) -> Forest:
+        """Train on a dataset and return the fitted forest."""
+        return self._fit(data, warm_start=None)
+
+    def continue_fit(self, forest: Forest, data: Dataset, n_more: int) -> Forest:
+        """Boost ``n_more`` rounds on top of an existing GBDT forest.
+
+        The incremental-learning scenario of the paper (section 4.2 /
+        Algorithm 1): new knowledge arrives, extra trees are trained on
+        the current model's residuals, and the returned forest triggers
+        a Tahoe re-conversion via ``TahoeEngine.update_forest``.
+
+        Raises:
+            ValueError: if the forest is not a sum-aggregated (GBDT)
+                ensemble or its attribute width disagrees with ``data``.
+        """
+        if forest.aggregation != "sum":
+            raise ValueError("continue_fit requires a GBDT (sum-aggregated) forest")
+        if forest.n_attributes != data.n_attributes:
+            raise ValueError(
+                f"forest expects {forest.n_attributes} attributes, data has "
+                f"{data.n_attributes}"
+            )
+        if n_more < 1:
+            raise ValueError("n_more must be >= 1")
+        if abs(forest.learning_rate - self.learning_rate) > 1e-12:
+            raise ValueError(
+                "trainer learning_rate must match the forest's "
+                f"({self.learning_rate} != {forest.learning_rate})"
+            )
+        return self._fit(data, warm_start=forest, n_rounds=n_more)
+
+    def _fit(
+        self,
+        data: Dataset,
+        warm_start: Forest | None,
+        n_rounds: int | None = None,
+    ) -> Forest:
+        if self.n_trees < 1:
+            raise ValueError("n_trees must be >= 1")
+        if not 0.0 < self.subsample <= 1.0:
+            raise ValueError("subsample must be in (0, 1]")
+        if not 0.0 <= self.depth_jitter < 1.0:
+            raise ValueError("depth_jitter must be in [0, 1)")
+        if n_rounds is None:
+            n_rounds = self.n_trees
+        rng = np.random.default_rng(self.seed + (warm_start.n_trees if warm_start else 0))
+        binned = bin_features(data.X, n_bins=self.n_bins)
+        y = data.y.astype(np.float64)
+        n = data.n_samples
+        min_depth = max(2, int(round(self.max_depth * (1 - self.depth_jitter))))
+
+        if warm_start is not None:
+            base_score = warm_start.base_score
+            margin = np.asarray(warm_start.raw_margin(data.X), dtype=np.float64)
+            trees = [t.copy() for t in warm_start.trees]
+        else:
+            if data.task == "classification":
+                positive_rate = float(np.clip(y.mean(), 1e-6, 1 - 1e-6))
+                base_score = float(np.log(positive_rate / (1 - positive_rate)))
+            else:
+                base_score = float(y.mean())
+            margin = np.full(n, base_score, dtype=np.float64)
+            trees = []
+        for _ in range(n_rounds):
+            if self.depth_jitter > 0:
+                # Squared-uniform draw: shallow-biased, heavy deep tail
+                # (see RandomForestTrainer.depth_jitter).
+                u = rng.random()
+                depth = min_depth + int((self.max_depth - min_depth + 1) * u * u)
+                depth = min(depth, self.max_depth)
+            else:
+                depth = self.max_depth
+            config = CartConfig(
+                max_depth=depth,
+                min_samples_leaf=self.min_samples_leaf,
+                min_samples_split=max(2 * self.min_samples_leaf, 4),
+                n_bins=self.n_bins,
+                feature_fraction=self.feature_fraction,
+            )
+            if data.task == "classification":
+                residual = y - _sigmoid(margin)
+            else:
+                residual = y - margin
+            if self.subsample < 1.0:
+                n_rows = max(1, int(round(n * self.subsample)))
+                sample = rng.choice(n, size=n_rows, replace=False)
+            else:
+                sample = None
+            tree = build_tree(binned, residual, config, rng=rng, sample_indices=sample)
+            if self.prune_alpha > 0:
+                tree = prune_tree(tree, alpha=self.prune_alpha)
+            trees.append(tree)
+            margin += self.learning_rate * tree.predict(data.X)
+
+        return Forest(
+            trees=trees,
+            n_attributes=data.n_attributes,
+            task=data.task,
+            aggregation="sum",
+            base_score=base_score,
+            learning_rate=self.learning_rate,
+            name=data.name,
+            metadata={"trainer": "gbdt", "seed": self.seed},
+        )

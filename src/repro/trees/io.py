@@ -1,0 +1,92 @@
+"""Forest (de)serialisation.
+
+JSON-compatible dictionaries so forests can be saved, inspected, and moved
+between processes (the paper's engine ships converted forests between CPU
+and GPU; we ship them between the trainer and the simulator).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.trees.forest import Forest
+from repro.trees.tree import DecisionTree
+
+__all__ = ["forest_to_dict", "forest_from_dict", "save_forest", "load_forest"]
+
+_FORMAT_VERSION = 1
+
+
+def _tree_to_dict(tree: DecisionTree) -> dict:
+    return {
+        "feature": tree.feature.tolist(),
+        "threshold": tree.threshold.tolist(),
+        "left": tree.left.tolist(),
+        "right": tree.right.tolist(),
+        "value": tree.value.tolist(),
+        "default_left": tree.default_left.tolist(),
+        "visit_count": tree.visit_count.tolist(),
+        "flip": tree.flip.tolist(),
+    }
+
+
+def _tree_from_dict(payload: dict) -> DecisionTree:
+    return DecisionTree(
+        feature=np.array(payload["feature"], dtype=np.int32),
+        threshold=np.array(payload["threshold"], dtype=np.float32),
+        left=np.array(payload["left"], dtype=np.int32),
+        right=np.array(payload["right"], dtype=np.int32),
+        value=np.array(payload["value"], dtype=np.float32),
+        default_left=np.array(payload["default_left"], dtype=bool),
+        visit_count=np.array(payload["visit_count"], dtype=np.int64),
+        flip=np.array(payload.get("flip", [False] * len(payload["feature"])), dtype=bool),
+    )
+
+
+def forest_to_dict(forest: Forest) -> dict:
+    """Serialise a forest to a JSON-compatible dictionary."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "n_attributes": forest.n_attributes,
+        "task": forest.task,
+        "aggregation": forest.aggregation,
+        "base_score": forest.base_score,
+        "learning_rate": forest.learning_rate,
+        "name": forest.name,
+        "metadata": forest.metadata,
+        "trees": [_tree_to_dict(tree) for tree in forest.trees],
+    }
+
+
+def forest_from_dict(payload: dict) -> Forest:
+    """Rebuild a forest from :func:`forest_to_dict` output.
+
+    Raises:
+        ValueError: on an unknown format version.
+    """
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported forest format version: {version!r}")
+    return Forest(
+        trees=[_tree_from_dict(t) for t in payload["trees"]],
+        n_attributes=int(payload["n_attributes"]),
+        task=payload["task"],
+        aggregation=payload["aggregation"],
+        base_score=float(payload["base_score"]),
+        learning_rate=float(payload["learning_rate"]),
+        name=payload.get("name", "forest"),
+        metadata=dict(payload.get("metadata", {})),
+    )
+
+
+def save_forest(forest: Forest, path: str | Path) -> None:
+    """Write a forest to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(forest_to_dict(forest)))
+
+
+def load_forest(path: str | Path) -> Forest:
+    """Read a forest previously written by :func:`save_forest`."""
+    return forest_from_dict(json.loads(Path(path).read_text()))

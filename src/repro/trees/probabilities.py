@@ -1,0 +1,70 @@
+"""Visit-count / edge-probability maintenance.
+
+Tahoe's Algorithm 1 (line 16) counts edge probabilities *during inference*
+and feeds them back into the next format conversion (incremental learning
+triggers a re-conversion).  These helpers route a batch of samples through
+a tree and either replace or exponentially blend its visit counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trees.forest import Forest
+from repro.trees.tree import DecisionTree
+
+__all__ = ["route_counts", "recount_visits", "update_visit_counts", "refresh_forest_counts"]
+
+
+def route_counts(tree: DecisionTree, X: np.ndarray) -> np.ndarray:
+    """Number of samples of ``X`` that visit each node of ``tree``."""
+    X = np.asarray(X, dtype=np.float32)
+    counts = np.zeros(tree.n_nodes, dtype=np.int64)
+    node = np.zeros(X.shape[0], dtype=np.int32)
+    counts[0] = X.shape[0]
+    active = ~tree.is_leaf[node]
+    while np.any(active):
+        rows = np.nonzero(active)[0]
+        cur = node[rows]
+        vals = X[rows, tree.feature[cur]]
+        missing = np.isnan(vals)
+        go_left = vals < tree.threshold[cur]
+        go_left = np.where(missing, tree.default_left[cur], go_left)
+        nxt = np.where(go_left, tree.left[cur], tree.right[cur])
+        node[rows] = nxt
+        np.add.at(counts, nxt, 1)
+        active = ~tree.is_leaf[node]
+    return counts
+
+
+def recount_visits(tree: DecisionTree, X: np.ndarray) -> DecisionTree:
+    """Return a copy of ``tree`` with visit counts recomputed from ``X``."""
+    out = tree.copy()
+    out.visit_count = route_counts(tree, X)
+    return out
+
+
+def update_visit_counts(
+    tree: DecisionTree, X: np.ndarray, decay: float = 0.9
+) -> DecisionTree:
+    """Blend observed inference-time routing into existing visit counts.
+
+    ``decay`` weights the historical counts; new counts are scaled so the
+    root keeps a comparable magnitude, which keeps edge probabilities
+    numerically stable as batches accumulate.
+    """
+    if not 0.0 <= decay < 1.0:
+        raise ValueError("decay must be in [0, 1)")
+    fresh = route_counts(tree, X)
+    out = tree.copy()
+    blended = decay * tree.visit_count.astype(np.float64) + (1 - decay) * fresh
+    out.visit_count = np.maximum(np.round(blended), 0).astype(np.int64)
+    # A visited node must report at least one visit so edge probabilities
+    # stay well-defined.
+    out.visit_count[0] = max(int(out.visit_count[0]), 1)
+    return out
+
+
+def refresh_forest_counts(forest: Forest, X: np.ndarray) -> Forest:
+    """Recompute every tree's visit counts against ``X``."""
+    return forest.with_trees([recount_visits(tree, X) for tree in forest.trees])

@@ -1,0 +1,124 @@
+"""Post-pruning.
+
+The paper (sections 1 and 3) attributes the depth variance across trees in
+an ensemble partly to post-pruning applied after training.  This module
+implements a cost-complexity-style bottom-up prune: any decision node whose
+children are both leaves is collapsed when the visit-weighted variance
+reduction the split provides is below ``alpha`` per visiting sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trees.tree import LEAF, DecisionTree
+
+__all__ = ["prune_tree", "compact_tree"]
+
+
+def compact_tree(tree: DecisionTree, keep: np.ndarray) -> DecisionTree:
+    """Rebuild a tree keeping only nodes flagged in ``keep``.
+
+    ``keep`` must describe a connected subtree containing the root; child
+    pointers out of the kept set must already have been rewritten to
+    ``LEAF`` by the caller.  Node ids are renumbered in BFS order from the
+    root, which keeps downstream level-order layouts stable.
+    """
+    if not keep[0]:
+        raise ValueError("the root must be kept")
+    order: list[int] = []
+    frontier = [0]
+    while frontier:
+        nxt = []
+        for node in frontier:
+            order.append(node)
+            for child in (tree.left[node], tree.right[node]):
+                if child != LEAF and keep[child]:
+                    nxt.append(int(child))
+        frontier = nxt
+    remap = {old: new for new, old in enumerate(order)}
+    n = len(order)
+    out = DecisionTree(
+        feature=np.empty(n, dtype=np.int32),
+        threshold=np.empty(n, dtype=np.float32),
+        left=np.empty(n, dtype=np.int32),
+        right=np.empty(n, dtype=np.int32),
+        value=np.empty(n, dtype=np.float32),
+        default_left=np.empty(n, dtype=bool),
+        visit_count=np.empty(n, dtype=np.int64),
+        flip=np.empty(n, dtype=bool),
+        validate_on_init=False,
+    )
+    for new, old in enumerate(order):
+        out.feature[new] = tree.feature[old]
+        out.threshold[new] = tree.threshold[old]
+        out.value[new] = tree.value[old]
+        out.default_left[new] = tree.default_left[old]
+        out.visit_count[new] = tree.visit_count[old]
+        out.flip[new] = tree.flip[old]
+        for side in ("left", "right"):
+            child = int(getattr(tree, side)[old])
+            if child != LEAF and keep[child]:
+                getattr(out, side)[new] = remap[child]
+            else:
+                getattr(out, side)[new] = LEAF
+    out.validate()
+    return out
+
+
+def prune_tree(tree: DecisionTree, alpha: float = 0.01) -> DecisionTree:
+    """Collapse weak splits bottom-up.
+
+    A decision node with two leaf children is replaced by a leaf (holding
+    the visit-weighted mean of the children's values) when the split's
+    variance-reduction gain per visiting sample is below ``alpha``.
+    Collapsing can expose new prunable nodes, so the pass iterates to a
+    fixpoint.
+
+    Returns a new tree; the input is not modified.
+    """
+    if alpha < 0:
+        raise ValueError("alpha must be >= 0")
+    work = tree.copy()
+    is_leaf = work.is_leaf.copy()
+    pruned_any = True
+    while pruned_any:
+        pruned_any = False
+        for node in range(work.n_nodes):
+            if is_leaf[node]:
+                continue
+            lo, hi = int(work.left[node]), int(work.right[node])
+            if not (is_leaf[lo] and is_leaf[hi]):
+                continue
+            n_l = max(int(work.visit_count[lo]), 0)
+            n_r = max(int(work.visit_count[hi]), 0)
+            n_total = n_l + n_r
+            if n_total == 0:
+                merged = 0.5 * (float(work.value[lo]) + float(work.value[hi]))
+                gain = 0.0
+            else:
+                v_l, v_r = float(work.value[lo]), float(work.value[hi])
+                merged = (n_l * v_l + n_r * v_r) / n_total
+                gain = (
+                    n_l * v_l**2 + n_r * v_r**2 - n_total * merged**2
+                ) / n_total
+            if gain < alpha:
+                work.feature[node] = LEAF
+                work.left[node] = LEAF
+                work.right[node] = LEAF
+                work.value[node] = merged
+                is_leaf[node] = True
+                is_leaf[lo] = is_leaf[hi] = False  # detached
+                pruned_any = True
+    # Keep only nodes still reachable from the root.
+    keep = np.zeros(work.n_nodes, dtype=bool)
+    frontier = [0]
+    while frontier:
+        nxt = []
+        for node in frontier:
+            keep[node] = True
+            for child in (work.left[node], work.right[node]):
+                if child != LEAF:
+                    nxt.append(int(child))
+        frontier = nxt
+    return compact_tree(work, keep)

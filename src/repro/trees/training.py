@@ -1,0 +1,100 @@
+"""Convenience pipeline: Table 2 spec -> trained forest + inference split.
+
+Benchmarks and examples all need "the forest the paper would have used for
+dataset X", so this module centralises the recipe: synthesise the dataset
+at a scale factor, split 70/30, and train the spec's forest type with the
+spec's (scaled) hyper-parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.registry import DATASETS
+from repro.datasets.splits import Split, train_test_split
+from repro.trees.forest import Forest
+from repro.trees.gbdt import GBDTTrainer
+from repro.trees.random_forest import RandomForestTrainer
+
+__all__ = ["TrainedWorkload", "train_forest_for_spec"]
+
+
+@dataclass
+class TrainedWorkload:
+    """A trained forest plus the data split it came from."""
+
+    forest: Forest
+    split: Split
+    dataset_name: str
+
+
+def train_forest_for_spec(
+    name: str,
+    scale: float = 0.01,
+    tree_scale: float = 0.1,
+    max_trees: int | None = None,
+    max_depth: int | None = None,
+    depth_jitter: float = 0.5,
+    seed: int = 0,
+) -> TrainedWorkload:
+    """Train the paper's forest for one Table 2 dataset.
+
+    Args:
+        name: dataset name from the registry.
+        scale: sample-count scale factor (see DESIGN.md section 5).
+        tree_scale: multiplier on the paper's tree count (the paper goes to
+            3000 trees; the relative ordering across datasets is what
+            matters for Tahoe, so scaling preserves it).  At least 4 trees
+            are always trained.
+        max_trees: optional hard cap applied after scaling.
+        max_depth: optional override of the spec's depth.
+        depth_jitter: per-tree depth heterogeneity (default 0.5), the
+            substitution for the paper's naturally depth-diverse forests;
+            see the trainer docstrings and DESIGN.md.
+        seed: RNG seed for data synthesis, split, and training.
+
+    Returns:
+        The trained forest together with its train/inference split.
+    """
+    from repro.datasets.registry import load_dataset  # local import avoids cycles
+
+    spec = DATASETS[name]
+    data = load_dataset(name, scale=scale, seed=seed)
+    split = train_test_split(data, train_fraction=0.7, seed=seed)
+    n_trees = max(4, int(round(spec.n_trees * tree_scale)))
+    n_trees = min(n_trees, spec.n_trees)
+    if max_trees is not None:
+        n_trees = min(n_trees, max_trees)
+    depth = spec.max_depth if max_depth is None else max_depth
+
+    if spec.forest_type == "RF":
+        trainer = RandomForestTrainer(
+            n_trees=n_trees,
+            max_depth=depth,
+            feature_fraction=0.5,
+            prune_alpha=1e-4,
+            depth_jitter=depth_jitter,
+            seed=seed,
+        )
+    else:
+        trainer = GBDTTrainer(
+            n_trees=n_trees,
+            max_depth=depth,
+            learning_rate=0.2,
+            subsample=0.9,
+            feature_fraction=0.8,
+            prune_alpha=1e-5,
+            depth_jitter=depth_jitter,
+            seed=seed,
+        )
+    forest = trainer.fit(split.train)
+    forest.metadata.update(
+        {
+            "dataset": name,
+            "dataset_index": spec.index,
+            "paper_n_trees": spec.n_trees,
+            "paper_max_depth": spec.max_depth,
+            "scaled_n_trees": n_trees,
+        }
+    )
+    return TrainedWorkload(forest=forest, split=split, dataset_name=name)

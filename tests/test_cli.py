@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.trees.io import load_forest, save_forest
+
+
+@pytest.fixture()
+def forest_file(small_forest, tmp_path):
+    path = tmp_path / "forest.json"
+    save_forest(small_forest, path)
+    return path
+
+
+class TestCli:
+    def test_specs(self, capsys):
+        assert main(["specs"]) == 0
+        out = capsys.readouterr().out
+        assert "K80" in out and "P100" in out and "V100" in out
+
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "Higgs" in out and "letter" in out
+        assert out.count("\n") >= 16  # header + 15 rows
+
+    def test_train_writes_forest(self, tmp_path, capsys):
+        out_path = tmp_path / "f.json"
+        code = main(
+            ["train", "--dataset", "letter", "--scale", "0.08",
+             "--tree-scale", "0.05", "--out", str(out_path)]
+        )
+        assert code == 0
+        forest = load_forest(out_path)
+        assert forest.n_trees >= 4
+
+    def test_train_rejects_unknown_dataset(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["train", "--dataset", "mnist", "--out", str(tmp_path / "x.json")])
+
+    def test_convert_reports_saving(self, forest_file, capsys):
+        assert main(["convert", "--forest", str(forest_file)]) == 0
+        out = capsys.readouterr().out
+        assert "adaptive layout" in out
+        assert "saved" in out
+
+    def test_rank_lists_strategies(self, forest_file, capsys):
+        assert main(
+            ["rank", "--forest", str(forest_file), "--gpu", "P100", "--batch", "1000"]
+        ) == 0
+        out = capsys.readouterr().out
+        for name in ("shared_data", "direct", "shared_forest", "splitting"):
+            assert name in out
+
+    def test_predict_compares_engines(self, forest_file, capsys):
+        code = main(
+            ["predict", "--forest", str(forest_file), "--dataset", "letter",
+             "--scale", "0.08", "--limit", "80"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "Tahoe" in out and "FIL" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestProfileCommand:
+    def test_profile_reports_structure(self, forest_file, capsys):
+        assert main(["profile", "--forest", str(forest_file)]) == 0
+        out = capsys.readouterr().out
+        assert "hot-path skew" in out
+        assert "work dispersion" in out
+        assert "depth histogram" in out

@@ -1,0 +1,42 @@
+"""Tests for the engine's COA_rate probe and model integration."""
+
+import numpy as np
+import pytest
+
+from repro.core import TahoeEngine
+from repro.perfmodel.notation import workload_params
+
+
+class TestCoaProbe:
+    def test_probe_runs_on_first_batch(self, small_forest, p100, test_X):
+        engine = TahoeEngine(small_forest, p100)
+        assert "coa_rate" not in engine.layout.metadata
+        engine.predict(test_X)
+        assert "coa_rate" in engine.layout.metadata
+
+    def test_probed_rate_in_unit_interval(self, small_forest, p100, test_X):
+        engine = TahoeEngine(small_forest, p100)
+        engine.predict(test_X)
+        rate = engine.layout.metadata["coa_rate"]
+        assert 0.01 <= rate <= 1.0
+
+    def test_workload_params_pick_up_probe(self, small_forest, p100, test_X):
+        engine = TahoeEngine(small_forest, p100)
+        _, fp_before = workload_params(engine.layout, 100)
+        assert fp_before.coa_rate == 0.5  # the paper's default assumption
+        engine.predict(test_X)
+        _, fp_after = workload_params(engine.layout, 100)
+        assert fp_after.coa_rate == engine.layout.metadata["coa_rate"]
+
+    def test_reconversion_clears_probe(self, small_forest, small_gbdt, p100, test_X):
+        engine = TahoeEngine(small_forest, p100)
+        engine.predict(test_X)
+        engine.update_forest(small_gbdt)
+        assert "coa_rate" not in engine.layout.metadata
+
+    def test_predictions_unaffected_by_probe(self, small_forest, p100, test_X):
+        engine = TahoeEngine(small_forest, p100)
+        result = engine.predict(test_X)
+        np.testing.assert_allclose(
+            result.predictions, small_forest.predict(test_X), rtol=1e-5
+        )

@@ -1,0 +1,132 @@
+"""Tests for the Tahoe engine, FIL baseline, and metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import FILEngine, TahoeConfig, TahoeEngine
+from repro.core.metrics import accuracy, geometric_mean, speedup, throughput
+
+
+@pytest.fixture(scope="module")
+def engines(request):
+    forest = request.getfixturevalue("small_forest")
+    p100 = request.getfixturevalue("p100")
+    return TahoeEngine(forest, p100), FILEngine(forest, p100)
+
+
+class TestTahoeEngine:
+    def test_predictions_match_reference(self, engines, small_forest, test_X):
+        tahoe, _ = engines
+        result = tahoe.predict(test_X)
+        np.testing.assert_allclose(
+            result.predictions, small_forest.predict(test_X), rtol=1e-5
+        )
+
+    def test_batched_predictions_identical(self, engines, test_X):
+        tahoe, _ = engines
+        whole = tahoe.predict(test_X)
+        batched = tahoe.predict(test_X, batch_size=32)
+        np.testing.assert_allclose(batched.predictions, whole.predictions, rtol=1e-6)
+        assert len(batched.batches) == math.ceil(test_X.shape[0] / 32)
+
+    def test_conversion_stats_populated(self, engines):
+        tahoe, _ = engines
+        stats = tahoe.conversion_stats
+        assert stats.total > 0
+        assert stats.t_similarity_detection > 0
+        assert stats.t_node_rearrangement > 0
+
+    def test_adaptive_layout_built(self, engines):
+        tahoe, _ = engines
+        assert tahoe.layout.format_name == "adaptive"
+        assert tahoe.layout.record.attr_bytes == 1  # letter: 16 attributes
+
+    def test_strategy_override(self, small_forest, p100, test_X):
+        engine = TahoeEngine(
+            small_forest, p100, TahoeConfig(strategy_override="direct")
+        )
+        result = engine.predict(test_X)
+        assert result.strategies_used == ["direct"]
+
+    def test_unknown_override_raises(self, small_forest, p100, test_X):
+        engine = TahoeEngine(
+            small_forest, p100, TahoeConfig(strategy_override="warp_magic")
+        )
+        with pytest.raises(ValueError):
+            engine.predict(test_X)
+
+    def test_update_forest_reconverts(self, engines, small_gbdt):
+        tahoe, _ = engines
+        old_layout = tahoe.layout
+        stats = tahoe.update_forest(small_gbdt)
+        assert tahoe.layout is not old_layout
+        assert stats.total > 0
+        assert tahoe.forest.n_trees == small_gbdt.n_trees
+
+    def test_edge_probability_counting(self, small_forest, p100, test_X):
+        engine = TahoeEngine(
+            small_forest, p100, TahoeConfig(count_edge_probabilities=True)
+        )
+        before = engine.forest.trees[0].visit_count.copy()
+        engine.predict(test_X)
+        after = engine.forest.trees[0].visit_count
+        assert not np.array_equal(before[: len(after)], after) or len(before) != len(after)
+
+    def test_throughput_positive(self, engines, test_X):
+        tahoe, _ = engines
+        assert tahoe.predict(test_X).throughput > 0
+
+    def test_selected_strategy_exposed(self, engines, test_X):
+        tahoe, _ = engines
+        name = tahoe.select_strategy_name(test_X.shape[0])
+        result = tahoe.predict(test_X)
+        assert result.strategies_used[0] == name
+
+
+class TestFILEngine:
+    def test_predictions_match_reference(self, engines, small_forest, test_X):
+        _, fil = engines
+        result = fil.predict(test_X)
+        np.testing.assert_allclose(
+            result.predictions, small_forest.predict(test_X), rtol=1e-5
+        )
+
+    def test_always_shared_data(self, engines, test_X):
+        _, fil = engines
+        result = fil.predict(test_X, batch_size=50)
+        assert set(result.strategies_used) == {"shared_data"}
+
+    def test_reorg_layout(self, engines):
+        _, fil = engines
+        assert fil.layout.format_name == "reorg"
+        assert fil.layout.record.attr_bytes == 4
+
+    def test_tahoe_not_slower(self, engines, test_X):
+        """On this forest Tahoe must be at least as fast as FIL."""
+        tahoe, fil = engines
+        t = tahoe.predict(test_X).total_time
+        f = fil.predict(test_X).total_time
+        assert t <= f * 1.05
+
+
+class TestMetrics:
+    def test_throughput(self):
+        assert throughput(100, 2.0) == 50.0
+        assert throughput(100, 0.0) == math.inf
+
+    def test_speedup(self):
+        assert speedup(4.0, 2.0) == 2.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_accuracy(self):
+        assert accuracy(np.array([1, 0, 1]), np.array([1, 1, 1])) == pytest.approx(2 / 3)
+        with pytest.raises(ValueError):
+            accuracy(np.array([1]), np.array([1, 2]))

@@ -1,0 +1,96 @@
+"""Tests for the Table 2 dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DATASETS, DATASET_ORDER, load_dataset
+from repro.datasets.registry import DatasetSpec
+
+
+class TestRegistryContents:
+    def test_fifteen_datasets(self):
+        assert len(DATASETS) == 15
+        assert len(DATASET_ORDER) == 15
+
+    def test_order_matches_paper_ids(self):
+        for i, name in enumerate(DATASET_ORDER, start=1):
+            assert DATASETS[name].index == i
+
+    def test_table2_spot_checks(self):
+        """Spot-check values against the paper's Table 2."""
+        higgs = DATASETS["Higgs"]
+        assert (higgs.n_samples, higgs.n_attributes) == (250000, 28)
+        assert (higgs.forest_type, higgs.n_trees, higgs.max_depth) == ("RF", 3000, 8)
+        svhn = DATASETS["SVHN"]
+        assert (svhn.n_samples, svhn.n_attributes) == (1000000, 3072)
+        assert (svhn.forest_type, svhn.n_trees, svhn.max_depth) == ("GBDT", 218, 15)
+        gisette = DATASETS["gisette"]
+        assert gisette.max_depth == 20
+        letter = DATASETS["letter"]
+        assert (letter.n_samples, letter.n_attributes) == (15000, 16)
+
+    def test_forest_types_partition(self):
+        rf = {n for n, s in DATASETS.items() if s.forest_type == "RF"}
+        gbdt = {n for n, s in DATASETS.items() if s.forest_type == "GBDT"}
+        assert rf | gbdt == set(DATASET_ORDER)
+        assert "allstate" in rf and "hepmass" in gbdt
+
+    def test_regression_tasks(self):
+        for name in ("allstate", "cup98", "year"):
+            assert DATASETS[name].task == "regression"
+
+
+class TestDatasetSpec:
+    def test_scaled_samples_floor(self):
+        spec = DatasetSpec("x", 1, 1000, 5, "RF", 10, 3)
+        assert spec.scaled_samples(0.0001) == 200
+        assert spec.scaled_samples(0.5) == 500
+
+    def test_scaled_trees_cap(self):
+        spec = DatasetSpec("x", 1, 1000, 5, "RF", 100, 3)
+        assert spec.scaled_trees(None) == 100
+        assert spec.scaled_trees(30) == 30
+        assert spec.scaled_trees(500) == 100
+
+
+class TestLoadDataset:
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("mnist")
+
+    def test_scale_controls_rows(self):
+        small = load_dataset("Higgs", scale=0.001, seed=0)
+        big = load_dataset("Higgs", scale=0.004, seed=0)
+        assert small.n_samples == 250
+        assert big.n_samples == 1000
+
+    def test_attribute_cap_applied(self):
+        data = load_dataset("SVHN", scale=0.0005, seed=0)
+        assert data.n_attributes == 512
+        assert data.metadata["paper_attributes"] == 3072
+
+    def test_narrow_datasets_keep_width(self):
+        data = load_dataset("letter", scale=0.05, seed=0)
+        assert data.n_attributes == 16
+
+    def test_task_follows_spec(self):
+        assert load_dataset("year", scale=0.001).task == "regression"
+        assert load_dataset("SUSY", scale=0.001).task == "classification"
+
+    def test_metadata_carries_forest_hyperparameters(self):
+        data = load_dataset("aloi", scale=0.01, seed=2)
+        assert data.metadata["n_trees"] == 2000
+        assert data.metadata["max_depth"] == 6
+        assert data.metadata["forest_type"] == "RF"
+
+    def test_seed_isolation_between_datasets(self):
+        a = load_dataset("SUSY", scale=0.001, seed=0)
+        b = load_dataset("Higgs", scale=0.001, seed=0)
+        n = min(a.n_samples, b.n_samples)
+        k = min(a.n_attributes, b.n_attributes)
+        assert not np.array_equal(a.X[:n, :k], b.X[:n, :k])
+
+    def test_deterministic_per_seed(self):
+        a = load_dataset("covtype", scale=0.001, seed=5)
+        b = load_dataset("covtype", scale=0.001, seed=5)
+        np.testing.assert_array_equal(a.X, b.X)

@@ -1,0 +1,76 @@
+"""Tests for train/inference splitting."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_classification, train_test_split
+
+
+class TestTrainTestSplit:
+    def test_seventy_thirty_default(self):
+        data = make_classification(1000, 5, seed=0)
+        split = train_test_split(data, seed=0)
+        assert split.n_train == 700
+        assert split.n_test == 300
+
+    def test_partition_is_exact(self):
+        """Every row appears exactly once across the two parts."""
+        data = make_classification(200, 4, seed=1)
+        split = train_test_split(data, seed=1)
+        combined = np.vstack([split.train.X, split.test.X])
+        original = data.X[np.lexsort(data.X.T)]
+        recombined = combined[np.lexsort(combined.T)]
+        np.testing.assert_array_equal(original, recombined)
+
+    def test_shuffles(self):
+        data = make_classification(500, 4, seed=2)
+        split = train_test_split(data, seed=2)
+        assert not np.array_equal(split.train.X, data.X[:350])
+
+    def test_deterministic_per_seed(self):
+        data = make_classification(100, 4, seed=3)
+        a = train_test_split(data, seed=9)
+        b = train_test_split(data, seed=9)
+        np.testing.assert_array_equal(a.train.X, b.train.X)
+
+    def test_different_seed_different_split(self):
+        data = make_classification(100, 4, seed=3)
+        a = train_test_split(data, seed=1)
+        b = train_test_split(data, seed=2)
+        assert not np.array_equal(a.train.X, b.train.X)
+
+    def test_custom_fraction(self):
+        data = make_classification(100, 4, seed=3)
+        split = train_test_split(data, train_fraction=0.9, seed=0)
+        assert split.n_train == 90
+
+    def test_rejects_degenerate_fraction(self):
+        data = make_classification(100, 4, seed=3)
+        for frac in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                train_test_split(data, train_fraction=frac)
+
+    def test_rejects_empty_part(self):
+        data = make_classification(2, 4, seed=3)
+        with pytest.raises(ValueError, match="empty"):
+            train_test_split(data, train_fraction=0.01)
+
+    def test_labels_follow_rows(self):
+        data = make_classification(300, 12, seed=4)
+        # Sparse rare-indicator columns can duplicate rows; only rows with
+        # a unique feature vector have a well-defined label to check.
+        counts = {}
+        for row in data.X:
+            counts[tuple(row)] = counts.get(tuple(row), 0) + 1
+        lookup = {
+            tuple(row): label
+            for row, label in zip(data.X, data.y)
+            if counts[tuple(row)] == 1
+        }
+        split = train_test_split(data, seed=4)
+        checked = 0
+        for row, label in zip(split.test.X, split.test.y):
+            if tuple(row) in lookup:
+                assert lookup[tuple(row)] == label
+                checked += 1
+        assert checked > 10

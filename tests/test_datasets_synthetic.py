@@ -1,0 +1,167 @@
+"""Tests for the synthetic data generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import Dataset, make_classification, make_regression
+
+
+class TestDataset:
+    def test_shapes_and_accessors(self):
+        data = make_classification(100, 8, seed=1)
+        assert data.n_samples == 100
+        assert data.n_attributes == 8
+        assert data.X.dtype == np.float32
+        assert data.y.shape == (100,)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="disagree"):
+            Dataset(X=np.zeros((5, 2), dtype=np.float32), y=np.zeros(4, dtype=np.float32))
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError, match="2-D"):
+            Dataset(X=np.zeros(5, dtype=np.float32), y=np.zeros(5, dtype=np.float32))
+
+    def test_rejects_unknown_task(self):
+        with pytest.raises(ValueError, match="task"):
+            Dataset(
+                X=np.zeros((3, 2), dtype=np.float32),
+                y=np.zeros(3, dtype=np.float32),
+                task="ranking",
+            )
+
+    def test_subset_selects_rows(self):
+        data = make_classification(50, 4, seed=2)
+        sub = data.subset(np.array([3, 7, 9]))
+        assert sub.n_samples == 3
+        np.testing.assert_array_equal(sub.X, data.X[[3, 7, 9]])
+        np.testing.assert_array_equal(sub.y, data.y[[3, 7, 9]])
+
+    def test_subset_is_independent_copy_of_metadata(self):
+        data = make_classification(10, 4, seed=2)
+        sub = data.subset(np.arange(5))
+        sub.metadata["extra"] = 1
+        assert "extra" not in data.metadata
+
+
+class TestMakeClassification:
+    def test_deterministic_for_seed(self):
+        a = make_classification(200, 10, seed=7)
+        b = make_classification(200, 10, seed=7)
+        np.testing.assert_array_equal(a.X, b.X)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_different_seeds_differ(self):
+        a = make_classification(200, 10, seed=7)
+        b = make_classification(200, 10, seed=8)
+        assert not np.array_equal(a.X, b.X)
+
+    def test_labels_are_binary(self):
+        data = make_classification(300, 6, seed=3)
+        assert set(np.unique(data.y)) <= {0.0, 1.0}
+
+    def test_class_balance_respected(self):
+        data = make_classification(2000, 8, class_balance=0.3, label_noise=0.0, seed=4)
+        assert 0.25 < data.y.mean() < 0.35
+
+    def test_label_noise_flips_labels(self):
+        clean = make_classification(1000, 8, label_noise=0.0, seed=5)
+        noisy = make_classification(1000, 8, label_noise=0.3, seed=5)
+        assert (clean.y != noisy.y).mean() > 0.1
+
+    def test_rejects_bad_balance(self):
+        with pytest.raises(ValueError, match="class_balance"):
+            make_classification(10, 3, class_balance=1.5)
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ValueError):
+            make_classification(0, 3)
+        with pytest.raises(ValueError):
+            make_classification(10, 0)
+
+    def test_informative_columns_recorded(self):
+        data = make_classification(100, 16, n_informative=4, seed=6)
+        assert len(data.metadata["informative"]) == 4
+
+    def test_informative_columns_are_skewed(self):
+        """Informative columns mix an exponential component, so their
+        skewness should exceed that of pure-noise columns."""
+        data = make_classification(5000, 20, n_informative=5, seed=9)
+        info = data.metadata["informative"]
+        noise = [j for j in range(20) if j not in info][:5]
+
+        def skew(col):
+            c = col - col.mean()
+            return abs((c**3).mean()) / (c.std() ** 3 + 1e-9)
+
+        info_skew = np.mean([skew(data.X[:, j]) for j in info])
+        noise_skew = np.mean([skew(data.X[:, j]) for j in noise])
+        assert info_skew > noise_skew
+
+    def test_signal_is_learnable(self):
+        """A depth-limited axis-aligned rule must beat chance on the
+        training distribution (sanity of the latent structure)."""
+        data = make_classification(3000, 10, label_noise=0.0, seed=10)
+        best = 0.5
+        for j in range(10):
+            thr = np.median(data.X[:, j])
+            acc = max(
+                ((data.X[:, j] > thr) == data.y).mean(),
+                ((data.X[:, j] <= thr) == data.y).mean(),
+            )
+            best = max(best, acc)
+        assert best > 0.55
+
+
+class TestMakeRegression:
+    def test_deterministic(self):
+        a = make_regression(100, 8, seed=1)
+        b = make_regression(100, 8, seed=1)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_task_marked_regression(self):
+        assert make_regression(10, 3, seed=0).task == "regression"
+
+    def test_targets_continuous(self):
+        data = make_regression(500, 8, seed=2)
+        assert len(np.unique(data.y)) > 100
+
+    def test_noise_increases_variance(self):
+        quiet = make_regression(1000, 8, noise=0.0, seed=3)
+        loud = make_regression(1000, 8, noise=5.0, seed=3)
+        assert loud.y.std() > quiet.y.std()
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ValueError):
+            make_regression(-1, 3)
+
+
+class TestRareIndicatorFeatures:
+    def test_some_informative_columns_are_sparse(self):
+        """About half the informative columns should be mostly-zero
+        rare-indicator features."""
+        data = make_classification(4000, 24, n_informative=12, seed=31)
+        info = data.metadata["informative"]
+        zero_fractions = [(data.X[:, j] == 0).mean() for j in info]
+        sparse = sum(f > 0.5 for f in zero_fractions)
+        assert 2 <= sparse <= 10
+
+    def test_sparse_columns_have_positive_spikes(self):
+        data = make_classification(4000, 24, n_informative=12, seed=32)
+        for j in data.metadata["informative"]:
+            col = data.X[:, j]
+            if (col == 0).mean() > 0.5:
+                assert col[col != 0].min() > 0
+
+    def test_forests_learn_skewed_splits(self):
+        """Trained splits must exhibit the hot-edge skew the paper's node
+        rearrangement exploits (well above the 0.5 balanced floor)."""
+        from repro.datasets import train_test_split
+        from repro.trees import RandomForestTrainer
+        from repro.trees.analysis import hot_path_skew
+
+        data = make_classification(3000, 20, seed=33)
+        split = train_test_split(data, seed=33)
+        forest = RandomForestTrainer(n_trees=20, max_depth=6, seed=33).fit(split.train)
+        skews = [hot_path_skew(t) for t in forest.trees]
+        assert sum(skews) / len(skews) > 0.62

@@ -1,0 +1,44 @@
+"""Tests for the calibration utilities."""
+
+import pytest
+
+from repro.core import FILEngine
+from repro.formats import build_reorg_layout
+from repro.gpusim.calibration import (
+    calibrate_block_reduce_rate,
+    reduction_share_of,
+)
+from repro.strategies import SharedDataStrategy
+
+
+class TestCalibration:
+    def test_fits_target_share(self, small_forest, test_X, p100):
+        def measure(spec):
+            return reduction_share_of(FILEngine(small_forest, spec).predict(test_X))
+
+        result = calibrate_block_reduce_rate(p100, measure, target_share=0.5)
+        assert result.achieved == pytest.approx(0.5, abs=0.08)
+        assert result.spec.block_reduce_rate == result.value
+        # Only the fitted field changed.
+        assert result.spec.global_bw == p100.global_bw
+
+    def test_monotone_direction(self, small_forest, test_X, p100):
+        import dataclasses
+
+        def measure(spec):
+            return reduction_share_of(FILEngine(small_forest, spec).predict(test_X))
+
+        low = measure(dataclasses.replace(p100, block_reduce_rate=1e-9))
+        high = measure(dataclasses.replace(p100, block_reduce_rate=1e-6))
+        assert high > low
+
+    def test_share_helper_accepts_strategy_result(self, small_forest, test_X, p100):
+        layout = build_reorg_layout(small_forest)
+        r = SharedDataStrategy().run(layout, test_X, p100)
+        assert 0 <= reduction_share_of(r) <= 1
+
+    def test_rejects_bad_target(self, p100):
+        with pytest.raises(ValueError):
+            calibrate_block_reduce_rate(p100, lambda s: 0.5, target_share=1.5)
+        with pytest.raises(ValueError):
+            calibrate_block_reduce_rate(p100, lambda s: 0.5, target_share=0.5, lo=0)

@@ -1,0 +1,99 @@
+"""Tests for GPU specs, the reduction model, and counters."""
+
+import pytest
+
+from repro.gpusim.counters import MemoryCounters, TrafficCounters
+from repro.gpusim.reduction import block_reduction_time, global_reduction_time
+from repro.gpusim.specs import GPU_SPECS
+
+
+class TestSpecs:
+    def test_three_generations(self):
+        assert set(GPU_SPECS) == {"K80", "P100", "V100"}
+
+    def test_generation_labels(self):
+        assert GPU_SPECS["K80"].generation == "Kepler"
+        assert GPU_SPECS["P100"].generation == "Pascal"
+        assert GPU_SPECS["V100"].generation == "Volta"
+
+    def test_bandwidth_ordering(self):
+        """Newer generations have more bandwidth (paper observation: K80
+        suffers most from uncoalesced traffic)."""
+        assert (
+            GPU_SPECS["K80"].global_bw
+            < GPU_SPECS["P100"].global_bw
+            < GPU_SPECS["V100"].global_bw
+        )
+
+    def test_volta_has_more_shared_memory(self):
+        assert GPU_SPECS["V100"].shared_mem_per_block > GPU_SPECS["P100"].shared_mem_per_block
+
+    def test_transaction_and_warp_sizes(self):
+        for spec in GPU_SPECS.values():
+            assert spec.transaction_bytes == 128
+            assert spec.warp_size == 32
+
+    def test_bandwidth_utilization_clamps(self, p100):
+        assert p100.bandwidth_utilization(0) == p100.min_bw_utilization
+        assert p100.bandwidth_utilization(10**9) == 1.0
+        mid = p100.bandwidth_utilization(p100.threads_for_peak_bw // 2)
+        assert p100.min_bw_utilization < mid < 1.0
+
+
+class TestReduction:
+    def test_block_reduction_linear_in_threads(self, p100):
+        t128 = block_reduction_time(p100, 128)
+        t256 = block_reduction_time(p100, 256)
+        assert t256 == pytest.approx(2 * t128)
+
+    def test_block_reduction_linear_in_events(self, p100):
+        assert block_reduction_time(p100, 256, 10) == pytest.approx(
+            10 * block_reduction_time(p100, 256)
+        )
+
+    def test_global_reduction_linear_in_blocks(self, p100):
+        assert global_reduction_time(p100, 8) == pytest.approx(
+            2 * global_reduction_time(p100, 4)
+        )
+
+    def test_rejects_nonpositive(self, p100):
+        with pytest.raises(ValueError):
+            block_reduction_time(p100, 0)
+        with pytest.raises(ValueError):
+            global_reduction_time(p100, 0)
+
+
+class TestCounters:
+    def test_load_efficiency(self):
+        c = MemoryCounters()
+        c.add(requested=64, fetched=256, transactions=2, accesses=16)
+        assert c.load_efficiency == 0.25
+
+    def test_empty_counter_efficiency_one(self):
+        assert MemoryCounters().load_efficiency == 1.0
+
+    def test_merge_accumulates(self):
+        a = MemoryCounters(10, 20, 1, 5)
+        b = MemoryCounters(30, 40, 2, 5)
+        a.merge(b)
+        assert (a.requested_bytes, a.fetched_bytes, a.transactions, a.accesses) == (
+            40, 60, 3, 10,
+        )
+
+    def test_traffic_totals(self):
+        t = TrafficCounters()
+        t.forest_global.add(10, 128, 1, 1)
+        t.sample_global.add(20, 256, 2, 2)
+        t.shared_read.add(5, 5, 1, 1)
+        t.shared_write.add(7, 7, 1, 1)
+        assert t.global_fetched_bytes == 384
+        assert t.shared_bytes == 12
+
+    def test_traffic_merge(self):
+        a, b = TrafficCounters(), TrafficCounters()
+        a.forest_global.add(1, 128, 1, 1)
+        b.forest_global.add(2, 128, 1, 1)
+        b.shared_read.add(4, 4, 1, 1)
+        a.merge(b)
+        assert a.forest_global.requested_bytes == 3
+        assert a.shared_read.requested_bytes == 4

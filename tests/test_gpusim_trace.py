@@ -1,0 +1,184 @@
+"""Tests for the lockstep traversal trace engine."""
+
+import numpy as np
+import pytest
+
+from repro.formats import build_adaptive_layout, build_reorg_layout, round_robin_assignment
+from repro.gpusim.trace import flatten_layout, trace_sample_parallel, trace_tree_parallel
+
+
+@pytest.fixture(scope="module")
+def layout(request):
+    small_forest = request.getfixturevalue("small_forest")
+    return build_reorg_layout(small_forest)
+
+
+class TestFlattenLayout:
+    def test_offsets_cumulative(self, small_forest):
+        layout = build_reorg_layout(small_forest)
+        flat = flatten_layout(layout)
+        sizes = [t.n_nodes for t in layout.forest.trees]
+        np.testing.assert_array_equal(np.diff(flat.offsets), sizes)
+
+    def test_cached_on_layout(self, small_forest):
+        layout = build_reorg_layout(small_forest)
+        assert flatten_layout(layout) is flatten_layout(layout)
+
+    def test_values_align(self, small_forest):
+        layout = build_reorg_layout(small_forest)
+        flat = flatten_layout(layout)
+        t3 = layout.forest.trees[3]
+        off = flat.offsets[3]
+        np.testing.assert_array_equal(flat.feature[off : off + t3.n_nodes], t3.feature)
+        np.testing.assert_array_equal(
+            flat.address[off : off + t3.n_nodes], layout.node_address[3]
+        )
+
+
+class TestTreeParallel:
+    def test_predictions_match_reference(self, small_forest, test_X, p100):
+        layout = build_reorg_layout(small_forest)
+        assign = round_robin_assignment(small_forest.n_trees, 32)
+        trace = trace_tree_parallel(
+            layout, test_X, np.arange(test_X.shape[0]), assign, p100
+        )
+        margins = trace.leaf_sum / small_forest.n_trees
+        np.testing.assert_allclose(margins, small_forest.predict(test_X), rtol=1e-5)
+
+    def test_adaptive_layout_same_predictions(self, small_forest, test_X, p100):
+        layout = build_adaptive_layout(small_forest)
+        assign = round_robin_assignment(small_forest.n_trees, 32)
+        trace = trace_tree_parallel(
+            layout, test_X, np.arange(test_X.shape[0]), assign, p100
+        )
+        np.testing.assert_allclose(
+            trace.leaf_sum / small_forest.n_trees,
+            small_forest.predict(test_X),
+            rtol=1e-5,
+        )
+
+    def test_node_visits_bounded(self, small_forest, test_X, p100):
+        layout = build_reorg_layout(small_forest)
+        assign = round_robin_assignment(small_forest.n_trees, 32)
+        trace = trace_tree_parallel(
+            layout, test_X, np.arange(test_X.shape[0]), assign, p100
+        )
+        n, trees = test_X.shape[0], small_forest.n_trees
+        max_visits = n * trees * (small_forest.max_depth() + 1)
+        assert n * trees <= trace.node_visits <= max_visits
+
+    def test_per_thread_steps_sum_to_visits(self, small_forest, test_X, p100):
+        layout = build_reorg_layout(small_forest)
+        assign = round_robin_assignment(small_forest.n_trees, 32)
+        trace = trace_tree_parallel(
+            layout, test_X, np.arange(test_X.shape[0]), assign, p100
+        )
+        assert trace.per_thread_steps.sum() == trace.node_visits
+
+    def test_level_stats_distance_grows(self, small_forest, test_X, p100):
+        """Figure 2a: mean adjacent-lane distance grows with tree level
+        under the reorg format."""
+        layout = build_reorg_layout(small_forest)
+        assign = round_robin_assignment(small_forest.n_trees, 32)
+        trace = trace_tree_parallel(
+            layout, test_X, np.arange(test_X.shape[0]), assign, p100,
+            collect_level_stats=True,
+        )
+        dist = trace.level_stats.mean_distance()
+        valid = ~np.isnan(dist)
+        series = dist[valid]
+        assert series.shape[0] >= 3
+        assert series[-1] > series[0]
+
+    def test_forest_traffic_nonzero(self, small_forest, test_X, p100):
+        layout = build_reorg_layout(small_forest)
+        assign = round_robin_assignment(small_forest.n_trees, 32)
+        trace = trace_tree_parallel(
+            layout, test_X, np.arange(test_X.shape[0]), assign, p100
+        )
+        c = trace.counters.forest_global
+        assert c.transactions > 0
+        assert c.requested_bytes == trace.node_visits * layout.node_size
+        assert c.fetched_bytes >= c.requested_bytes
+
+    def test_shared_sample_space_counts_shared_reads(
+        self, small_forest, test_X, p100
+    ):
+        layout = build_reorg_layout(small_forest)
+        assign = round_robin_assignment(small_forest.n_trees, 32)
+        trace = trace_tree_parallel(
+            layout, test_X, np.arange(test_X.shape[0]), assign, p100,
+            sample_space="shared",
+        )
+        assert trace.counters.shared_read.requested_bytes > 0
+        assert trace.counters.sample_global.requested_bytes == 0
+
+    def test_subset_of_samples(self, small_forest, test_X, p100):
+        layout = build_reorg_layout(small_forest)
+        assign = round_robin_assignment(small_forest.n_trees, 32)
+        rows = np.array([5, 17, 40])
+        trace = trace_tree_parallel(layout, test_X, rows, assign, p100)
+        expected = small_forest.predict(test_X[rows])
+        np.testing.assert_allclose(
+            trace.leaf_sum[rows] / small_forest.n_trees, expected, rtol=1e-5
+        )
+
+
+class TestSampleParallel:
+    def test_predictions_match_reference(self, small_forest, test_X, p100):
+        layout = build_reorg_layout(small_forest)
+        trace = trace_sample_parallel(
+            layout, test_X, np.arange(test_X.shape[0]),
+            np.arange(small_forest.n_trees), p100,
+        )
+        np.testing.assert_allclose(
+            trace.leaf_sum / small_forest.n_trees,
+            small_forest.predict(test_X),
+            rtol=1e-5,
+        )
+
+    def test_tree_subset(self, small_forest, test_X, p100):
+        layout = build_reorg_layout(small_forest)
+        positions = np.array([0, 2, 4])
+        trace = trace_sample_parallel(
+            layout, test_X, np.arange(test_X.shape[0]), positions, p100
+        )
+        expected = sum(layout.forest.trees[p].predict(test_X) for p in positions)
+        np.testing.assert_allclose(trace.leaf_sum, expected, rtol=1e-5)
+
+    def test_per_thread_steps_one_per_sample(self, small_forest, test_X, p100):
+        layout = build_reorg_layout(small_forest)
+        trace = trace_sample_parallel(
+            layout, test_X, np.arange(test_X.shape[0]),
+            np.arange(small_forest.n_trees), p100,
+        )
+        assert trace.per_thread_steps.shape == (test_X.shape[0],)
+        assert trace.per_thread_steps.min() >= small_forest.n_trees
+
+    def test_shared_nodes_counted_in_shared(self, small_forest, test_X, p100):
+        layout = build_reorg_layout(small_forest)
+        trace = trace_sample_parallel(
+            layout, test_X, np.arange(test_X.shape[0]),
+            np.arange(small_forest.n_trees), p100, node_space="shared",
+        )
+        assert trace.counters.forest_global.requested_bytes == 0
+        assert trace.counters.shared_read.requested_bytes > 0
+
+    def test_non_multiple_of_warp(self, small_forest, test_X, p100):
+        layout = build_reorg_layout(small_forest)
+        rows = np.arange(37)
+        trace = trace_sample_parallel(
+            layout, test_X, rows, np.arange(small_forest.n_trees), p100
+        )
+        np.testing.assert_allclose(
+            trace.leaf_sum[rows] / small_forest.n_trees,
+            small_forest.predict(test_X[rows]),
+            rtol=1e-5,
+        )
+
+    def test_rejects_unknown_space(self, small_forest, test_X, p100):
+        layout = build_reorg_layout(small_forest)
+        with pytest.raises(ValueError):
+            trace_sample_parallel(
+                layout, test_X, np.arange(4), np.arange(2), p100, node_space="l2",
+            )

@@ -1,0 +1,42 @@
+"""Tests for the pairwise-comparison similarity baseline."""
+
+import numpy as np
+
+from repro.hashing.pairwise import pairwise_order, pairwise_similarity_matrix
+from repro.trees.tree import DecisionTree
+
+
+class TestPairwiseSimilarity:
+    def test_symmetric_unit_diagonal(self, small_forest):
+        sim = pairwise_similarity_matrix(small_forest.trees[:6])
+        np.testing.assert_allclose(sim, sim.T)
+        np.testing.assert_allclose(np.diag(sim), 1.0)
+
+    def test_bounded_zero_one(self, small_forest):
+        sim = pairwise_similarity_matrix(small_forest.trees[:6])
+        assert np.all(sim >= 0) and np.all(sim <= 1)
+
+    def test_identical_trees_similarity_one(self, manual_tree):
+        sim = pairwise_similarity_matrix([manual_tree, manual_tree.copy()])
+        assert sim[0, 1] == 1.0
+
+    def test_disjoint_shapes_low_similarity(self, manual_tree):
+        leaf = DecisionTree.single_leaf(1.0)
+        sim = pairwise_similarity_matrix([manual_tree, leaf])
+        # Both trees share only the root token prefix at most.
+        assert sim[0, 1] < 0.5
+
+    def test_order_is_permutation(self, small_forest):
+        order = pairwise_order(small_forest.trees[:10])
+        assert sorted(order) == list(range(10))
+
+    def test_trivial_orders(self, manual_tree):
+        assert pairwise_order([]) == []
+        assert pairwise_order([manual_tree]) == [0]
+
+    def test_agrees_with_lsh_on_clear_structure(self, manual_tree, small_forest):
+        """Both methods must place identical trees adjacent."""
+        trees = small_forest.trees[:5] + [manual_tree, manual_tree.copy()]
+        order = pairwise_order(trees)
+        pos = {t: i for i, t in enumerate(order)}
+        assert abs(pos[5] - pos[6]) == 1

@@ -1,0 +1,131 @@
+"""Tests for tokenisation and SimHash."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.simhash import (
+    normalize_checksum,
+    simhash_checksum,
+    token_bits,
+    tokenize_tree,
+)
+from repro.trees.tree import DecisionTree
+
+
+class TestTokenize:
+    def test_manual_tree_token_count(self, manual_tree):
+        """With t_nodes=2 the figure-3 scheme yields one token per edge."""
+        tokens = tokenize_tree(manual_tree, t_nodes=2)
+        # 6 edges, all distinct position pairs.
+        assert len(tokens) == 6
+
+    def test_tokens_deduplicated(self, manual_tree):
+        tokens = tokenize_tree(manual_tree, t_nodes=2)
+        contents = [t.content for t in tokens]
+        assert len(contents) == len(set(contents))
+
+    def test_weights_are_node_probabilities(self, manual_tree):
+        tokens = tokenize_tree(manual_tree, t_nodes=2)
+        probs = manual_tree.node_probabilities()
+        weights = sorted(t.weight for t in tokens)
+        # Token weights must be drawn from the node-probability values.
+        for w in weights:
+            assert any(abs(w - p) < 1e-12 for p in probs)
+
+    def test_identical_shapes_identical_tokens(self, manual_tree):
+        other = manual_tree.copy()
+        other.feature[0] = 1  # different attribute, same shape
+        a = {t.content for t in tokenize_tree(manual_tree)}
+        b = {t.content for t in tokenize_tree(other)}
+        assert a == b
+
+    def test_include_features_distinguishes_attributes(self, manual_tree):
+        other = manual_tree.copy()
+        other.feature[0] = 1
+        a = {t.content for t in tokenize_tree(manual_tree, include_features=True)}
+        b = {t.content for t in tokenize_tree(other, include_features=True)}
+        assert a != b
+
+    def test_different_shapes_different_tokens(self, manual_tree):
+        leaf = DecisionTree.single_leaf(1.0)
+        a = {t.content for t in tokenize_tree(manual_tree)}
+        b = {t.content for t in tokenize_tree(leaf)}
+        assert a != b
+
+    def test_rejects_small_t_nodes(self, manual_tree):
+        with pytest.raises(ValueError):
+            tokenize_tree(manual_tree, t_nodes=1)
+
+    def test_single_leaf_one_token(self):
+        tokens = tokenize_tree(DecisionTree.single_leaf(0.0))
+        assert len(tokens) == 1
+
+
+class TestTokenBits:
+    def test_deterministic(self):
+        a = token_bits(b"1|2", 128)
+        b = token_bits(b"1|2", 128)
+        np.testing.assert_array_equal(a, b)
+
+    def test_length_and_alphabet(self):
+        bits = token_bits(b"x", 200)
+        assert bits.shape == (200,)
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_different_content_different_bits(self):
+        assert not np.array_equal(token_bits(b"a", 128), token_bits(b"b", 128))
+
+    def test_expansion_beyond_sha1(self):
+        """Lengths beyond 160 bits come from counter-mode expansion and
+        must not repeat the first block."""
+        bits = token_bits(b"z", 320)
+        assert not np.array_equal(bits[:160], bits[160:320])
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ValueError):
+            token_bits(b"a", 0)
+
+
+class TestSimhashChecksum:
+    def test_length(self, manual_tree):
+        assert simhash_checksum(manual_tree, l_hash=64).shape == (64,)
+
+    def test_deterministic(self, manual_tree):
+        a = simhash_checksum(manual_tree)
+        b = simhash_checksum(manual_tree)
+        np.testing.assert_array_equal(a, b)
+
+    def test_identical_trees_identical_checksums(self, manual_tree):
+        np.testing.assert_array_equal(
+            simhash_checksum(manual_tree), simhash_checksum(manual_tree.copy())
+        )
+
+    def test_similar_trees_closer_than_dissimilar(self, small_forest):
+        """SimHash's core property, asserted statistically: trees of
+        similar size average a smaller Hamming distance than trees of
+        very different size."""
+        trees = sorted(small_forest.trees, key=lambda t: t.n_nodes)
+        sigs = [normalize_checksum(simhash_checksum(t)) for t in trees]
+        sizes = np.array([t.n_nodes for t in trees])
+        n = len(trees)
+        similar, dissimilar = [], []
+        for i in range(n):
+            for j in range(i + 1, n):
+                d = int((sigs[i] != sigs[j]).sum())
+                ratio = sizes[j] / max(sizes[i], 1)
+                if ratio < 1.3:
+                    similar.append(d)
+                elif ratio > 2.5:
+                    dissimilar.append(d)
+        assert similar and dissimilar
+        assert np.mean(similar) < np.mean(dissimilar)
+
+
+class TestNormalize:
+    def test_zero_maps_to_one(self):
+        np.testing.assert_array_equal(
+            normalize_checksum(np.array([-0.5, 0.0, 0.5])), [0, 1, 1]
+        )
+
+    def test_output_dtype(self):
+        assert normalize_checksum(np.array([1.0, -1.0])).dtype == np.uint8

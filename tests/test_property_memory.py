@@ -1,0 +1,80 @@
+"""Property-based tests for the coalescing model and hashing primitives."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.gpusim.memory import bank_conflict_factor, transactions_per_row
+from repro.hashing.rabin_karp import rabin_karp
+from repro.hashing.simhash import token_bits
+
+addr_arrays = arrays(
+    dtype=np.int64,
+    shape=st.tuples(st.integers(1, 8), st.integers(1, 32)),
+    elements=st.integers(0, 1 << 20),
+)
+
+
+@given(addr_arrays, st.data())
+@settings(max_examples=80, deadline=None)
+def test_transactions_bounds(addr, data):
+    """1 <= transactions <= active lanes (for non-straddling accesses),
+    and exactly the number of distinct 128-byte segments."""
+    active = data.draw(
+        arrays(dtype=bool, shape=addr.shape, elements=st.booleans())
+    )
+    tx, sectors, req = transactions_per_row(addr, active, access_bytes=4)
+    for i in range(addr.shape[0]):
+        lanes = active[i].sum()
+        segs = np.unique(addr[i][active[i]] // 128)
+        secs = np.unique(addr[i][active[i]] // 32)
+        extra = sum(
+            1
+            for a in addr[i][active[i]]
+            if (a + 3) // 128 != a // 128
+        )
+        assert tx[i] >= len(segs)
+        assert tx[i] <= len(segs) + extra
+        assert sectors[i] >= len(secs)
+        assert req[i] == lanes * 4
+        if lanes == 0:
+            assert tx[i] == 0 and sectors[i] == 0
+
+
+@given(addr_arrays)
+@settings(max_examples=50, deadline=None)
+def test_transactions_permutation_invariant(addr):
+    rng = np.random.default_rng(0)
+    active = np.ones_like(addr, dtype=bool)
+    tx1, _, _ = transactions_per_row(addr, active)
+    perm = rng.permutation(addr.shape[1])
+    tx2, _, _ = transactions_per_row(addr[:, perm], active)
+    np.testing.assert_array_equal(np.sort(tx1), np.sort(tx2))
+
+
+@given(addr_arrays)
+@settings(max_examples=50, deadline=None)
+def test_bank_conflict_bounds(addr):
+    active = np.ones_like(addr, dtype=bool)
+    factor = bank_conflict_factor(addr, active)
+    assert np.all(factor >= 1)
+    assert np.all(factor <= addr.shape[1])
+
+
+@given(st.lists(st.integers(0, 255), max_size=64))
+@settings(max_examples=60, deadline=None)
+def test_rabin_karp_deterministic_and_bounded(symbols):
+    a = rabin_karp(symbols)
+    b = rabin_karp(list(symbols))
+    assert a == b
+    assert 0 <= a < 2_147_483_647
+
+
+@given(st.binary(min_size=0, max_size=64), st.integers(1, 512))
+@settings(max_examples=60, deadline=None)
+def test_token_bits_shape_and_determinism(content, l_hash):
+    bits = token_bits(content, l_hash)
+    assert bits.shape == (l_hash,)
+    assert set(np.unique(bits)) <= {0, 1}
+    np.testing.assert_array_equal(bits, token_bits(content, l_hash))

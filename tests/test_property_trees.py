@@ -1,0 +1,134 @@
+"""Property-based tests for tree invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats.node_rearrange import rearrange_nodes_by_probability
+from repro.trees.cart import CartConfig, bin_features, build_tree
+from repro.trees.probabilities import route_counts
+from repro.trees.pruning import prune_tree
+from repro.trees.tree import LEAF, DecisionTree
+
+
+@st.composite
+def random_trees(draw):
+    """Generate a structurally valid random decision tree.
+
+    Trees are built top-down: each node flips a coin (depth-damped) to
+    become a split or a leaf; visit counts are distributed consistently
+    (children sum to the parent).
+    """
+    seed = draw(st.integers(0, 2**31 - 1))
+    n_features = draw(st.integers(1, 6))
+    max_depth = draw(st.integers(1, 6))
+    rng = np.random.default_rng(seed)
+    feature, threshold, left, right = [], [], [], []
+    value, default_left, visits = [], [], []
+
+    def grow(depth, visit):
+        node = len(feature)
+        feature.append(LEAF)
+        threshold.append(0.0)
+        left.append(LEAF)
+        right.append(LEAF)
+        value.append(float(rng.standard_normal()))
+        default_left.append(bool(rng.random() < 0.5))
+        visits.append(int(visit))
+        if depth < max_depth and visit >= 2 and rng.random() < 0.7:
+            feature[node] = int(rng.integers(0, n_features))
+            threshold[node] = float(rng.standard_normal())
+            lv = int(rng.integers(1, visit))
+            left[node] = grow(depth + 1, lv)
+            right[node] = grow(depth + 1, visit - lv)
+        return node
+
+    grow(0, draw(st.integers(2, 500)))
+    tree = DecisionTree(
+        feature=np.array(feature, dtype=np.int32),
+        threshold=np.array(threshold, dtype=np.float32),
+        left=np.array(left, dtype=np.int32),
+        right=np.array(right, dtype=np.int32),
+        value=np.array(value, dtype=np.float32),
+        default_left=np.array(default_left),
+        visit_count=np.array(visits, dtype=np.int64),
+    )
+    return tree, n_features, seed
+
+
+@given(random_trees())
+@settings(max_examples=60, deadline=None)
+def test_generated_trees_validate(tree_info):
+    tree, _, _ = tree_info
+    tree.validate()
+
+
+@given(random_trees())
+@settings(max_examples=60, deadline=None)
+def test_node_probabilities_consistent_with_visits(tree_info):
+    tree, _, _ = tree_info
+    probs = tree.node_probabilities()
+    expected = tree.visit_count / tree.visit_count[0]
+    np.testing.assert_allclose(probs, expected, rtol=1e-9)
+
+
+@given(random_trees())
+@settings(max_examples=60, deadline=None)
+def test_rearrangement_preserves_predictions(tree_info):
+    """The core safety property of section 4.1: child swapping never
+    changes any prediction, missing values included."""
+    tree, n_features, seed = tree_info
+    rng = np.random.default_rng(seed + 1)
+    X = rng.standard_normal((64, n_features)).astype(np.float32)
+    X[rng.random(X.shape) < 0.1] = np.nan
+    out = rearrange_nodes_by_probability(tree)
+    np.testing.assert_array_equal(out.predict(X), tree.predict(X))
+
+
+@given(random_trees())
+@settings(max_examples=60, deadline=None)
+def test_rearrangement_hot_child_left(tree_info):
+    tree, _, _ = tree_info
+    out = rearrange_nodes_by_probability(tree)
+    p_left, p_right = out.edge_probabilities()
+    decision = ~out.is_leaf
+    assert np.all(p_left[decision] >= p_right[decision] - 1e-12)
+
+
+@given(random_trees())
+@settings(max_examples=40, deadline=None)
+def test_pruning_never_grows(tree_info):
+    tree, _, _ = tree_info
+    pruned = prune_tree(tree, alpha=0.1)
+    assert pruned.n_nodes <= tree.n_nodes
+    pruned.validate()
+
+
+@given(random_trees())
+@settings(max_examples=40, deadline=None)
+def test_route_counts_conserve_flow(tree_info):
+    tree, n_features, seed = tree_info
+    rng = np.random.default_rng(seed + 2)
+    X = rng.standard_normal((50, n_features)).astype(np.float32)
+    counts = route_counts(tree, X)
+    assert counts[0] == 50
+    for node in range(tree.n_nodes):
+        if not tree.is_leaf[node]:
+            assert counts[tree.left[node]] + counts[tree.right[node]] == counts[node]
+
+
+@given(
+    st.integers(0, 2**31 - 1),
+    st.integers(1, 5),
+    st.integers(16, 200),
+)
+@settings(max_examples=30, deadline=None)
+def test_cart_depth_and_leaf_invariants(seed, max_depth, n):
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((n, 3)).astype(np.float32)
+    y = rng.standard_normal(n)
+    tree = build_tree(bin_features(X), y, CartConfig(max_depth=max_depth))
+    tree.validate()
+    assert tree.depth() <= max_depth
+    # Leaf visit counts partition the training set.
+    assert tree.visit_count[tree.is_leaf].sum() == n

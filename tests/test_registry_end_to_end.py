@@ -1,0 +1,41 @@
+"""Micro-scale end-to-end runs over the whole Table 2 registry.
+
+Every dataset gets a tiny forest trained and pushed through both engines;
+predictions must match the reference predictor exactly.  This is the
+guard that keeps all 15 configurations (GBDT/RF, wide/narrow, deep/
+shallow) working as the library evolves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FILEngine, TahoeEngine
+from repro.datasets import DATASET_ORDER
+from repro.trees import train_forest_for_spec
+
+
+@pytest.mark.parametrize("name", DATASET_ORDER)
+def test_registry_dataset_end_to_end(name, p100):
+    workload = train_forest_for_spec(
+        name, scale=0.002, tree_scale=0.01, max_trees=6, seed=2
+    )
+    forest = workload.forest
+    X = workload.split.test.X[:50]
+    reference = forest.predict(X)
+    tahoe = TahoeEngine(forest, p100).predict(X)
+    fil = FILEngine(forest, p100).predict(X)
+    np.testing.assert_allclose(tahoe.predictions, reference, rtol=1e-4, atol=1e-6)
+    np.testing.assert_allclose(fil.predictions, reference, rtol=1e-4, atol=1e-6)
+    assert tahoe.total_time > 0 and fil.total_time > 0
+
+
+@pytest.mark.parametrize("name", ["Higgs", "SVHN", "allstate"])
+def test_registry_dataset_batched(name, p100):
+    workload = train_forest_for_spec(
+        name, scale=0.002, tree_scale=0.01, max_trees=6, seed=2
+    )
+    X = workload.split.test.X[:90]
+    engine = TahoeEngine(workload.forest, p100)
+    whole = engine.predict(X)
+    batched = engine.predict(X, batch_size=25)
+    np.testing.assert_allclose(batched.predictions, whole.predictions, rtol=1e-6)

@@ -1,0 +1,95 @@
+"""Tests for forest structure analytics."""
+
+import numpy as np
+import pytest
+
+from repro.trees.analysis import (
+    depth_histogram,
+    expected_path_length,
+    hot_path_skew,
+    structure_profile,
+    work_dispersion,
+)
+from repro.trees.tree import LEAF, DecisionTree
+
+
+def _skewed_tree(p_hot: float) -> DecisionTree:
+    """Root split routing p_hot of traffic left."""
+    n = 1000
+    left = int(n * p_hot)
+    return DecisionTree(
+        feature=np.array([0, LEAF, LEAF], dtype=np.int32),
+        threshold=np.array([0.0, 0, 0], dtype=np.float32),
+        left=np.array([1, LEAF, LEAF], dtype=np.int32),
+        right=np.array([2, LEAF, LEAF], dtype=np.int32),
+        value=np.array([0, 1.0, 2.0], dtype=np.float32),
+        default_left=np.array([True, True, True]),
+        visit_count=np.array([n, left, n - left], dtype=np.int64),
+    )
+
+
+class TestHotPathSkew:
+    def test_balanced_split_half(self):
+        assert hot_path_skew(_skewed_tree(0.5)) == pytest.approx(0.5)
+
+    def test_skewed_split(self):
+        assert hot_path_skew(_skewed_tree(0.9)) == pytest.approx(0.9)
+
+    def test_single_leaf_half(self):
+        assert hot_path_skew(DecisionTree.single_leaf(1.0)) == 0.5
+
+    def test_symmetric_in_direction(self):
+        assert hot_path_skew(_skewed_tree(0.8)) == pytest.approx(
+            hot_path_skew(_skewed_tree(0.2))
+        )
+
+    def test_within_bounds_on_real_forest(self, small_forest):
+        for tree in small_forest.trees:
+            assert 0.5 <= hot_path_skew(tree) <= 1.0
+
+
+class TestExpectedPathLength:
+    def test_manual_tree(self, manual_tree):
+        # 1 (root) + 1 (level 1) + 0.8 (level 2) + 0.5 (level 3).
+        assert expected_path_length(manual_tree) == pytest.approx(3.3)
+
+    def test_single_leaf(self):
+        assert expected_path_length(DecisionTree.single_leaf(0.0)) == 1.0
+
+    def test_bounded_by_depth(self, small_forest):
+        for tree in small_forest.trees:
+            assert 1.0 <= expected_path_length(tree) <= tree.depth() + 1 + 1e-9
+
+
+class TestWorkDispersion:
+    def test_identical_trees_zero(self, manual_tree, small_forest):
+        uniform = small_forest.with_trees([manual_tree, manual_tree.copy()])
+        assert work_dispersion(uniform) == pytest.approx(0.0)
+
+    def test_heterogeneous_positive(self, small_forest):
+        assert work_dispersion(small_forest) > 0
+
+
+class TestStructureProfile:
+    def test_fields_present(self, small_forest):
+        profile = structure_profile(small_forest)
+        for key in (
+            "n_trees", "n_nodes", "depth_min", "depth_mean", "depth_max",
+            "depth_histogram", "hot_path_skew", "work_dispersion",
+            "node_rearrangement_benefit", "tree_rearrangement_benefit",
+        ):
+            assert key in profile
+
+    def test_histogram_sums_to_trees(self, small_forest):
+        profile = structure_profile(small_forest)
+        assert sum(profile["depth_histogram"].values()) == small_forest.n_trees
+
+    def test_verdicts_valid(self, small_forest):
+        profile = structure_profile(small_forest)
+        assert profile["node_rearrangement_benefit"] in ("low", "medium", "high")
+        assert profile["tree_rearrangement_benefit"] in ("low", "medium", "high")
+
+    def test_histogram_standalone(self, small_forest):
+        hist = depth_histogram(small_forest)
+        assert all(v > 0 for v in hist.values())
+        assert list(hist) == sorted(hist)

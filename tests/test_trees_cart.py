@@ -1,0 +1,146 @@
+"""Tests for the histogram CART builder."""
+
+import numpy as np
+import pytest
+
+from repro.trees.cart import CartConfig, bin_features, build_tree
+
+
+def _xor_data(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 2)).astype(np.float32)
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(np.float64)
+    return X, y
+
+
+class TestBinFeatures:
+    def test_codes_within_range(self):
+        X = np.random.default_rng(0).standard_normal((100, 3)).astype(np.float32)
+        binned = bin_features(X, n_bins=16)
+        assert binned.codes.max() < 16
+        assert binned.codes.shape == (100, 3)
+
+    def test_bin_edge_consistency(self):
+        """bin(x) <= b must be equivalent to x < upper_edges[b]."""
+        X = np.random.default_rng(1).standard_normal((500, 2)).astype(np.float32)
+        binned = bin_features(X, n_bins=8)
+        for f in range(2):
+            for b in range(7):
+                edge = binned.upper_edges[f, b]
+                if not np.isfinite(edge):
+                    continue
+                lhs = binned.codes[:, f] <= b
+                rhs = X[:, f] < edge
+                np.testing.assert_array_equal(lhs, rhs)
+
+    def test_constant_column(self):
+        X = np.ones((50, 1), dtype=np.float32)
+        binned = bin_features(X, n_bins=8)
+        assert len(np.unique(binned.codes)) == 1
+
+
+class TestCartConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            CartConfig(max_depth=-1)
+        with pytest.raises(ValueError):
+            CartConfig(min_samples_leaf=0)
+        with pytest.raises(ValueError):
+            CartConfig(n_bins=1)
+        with pytest.raises(ValueError):
+            CartConfig(feature_fraction=0.0)
+
+
+class TestBuildTree:
+    def test_fits_and_function(self):
+        """An AND of two thresholds is exactly representable at depth 2."""
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-1, 1, size=(600, 2)).astype(np.float32)
+        y = ((X[:, 0] > 0) & (X[:, 1] > 0)).astype(np.float64)
+        tree = build_tree(bin_features(X), y, CartConfig(max_depth=2))
+        pred = tree.predict(X) > 0.5
+        assert (pred == y.astype(bool)).mean() > 0.95
+
+    def test_fits_xor_with_depth(self):
+        """XOR defeats the greedy first split (zero gain), but extra depth
+        lets the builder recover the structure."""
+        X, y = _xor_data(n=2000, seed=1)
+        tree = build_tree(bin_features(X), y, CartConfig(max_depth=6))
+        pred = tree.predict(X) > 0.5
+        assert (pred == y.astype(bool)).mean() > 0.9
+
+    def test_depth_zero_gives_single_leaf(self):
+        X, y = _xor_data()
+        tree = build_tree(bin_features(X), y, CartConfig(max_depth=0))
+        assert tree.n_nodes == 1
+        assert tree.value[0] == pytest.approx(y.mean(), abs=1e-6)
+
+    def test_respects_max_depth(self):
+        X, y = _xor_data(n=2000, seed=3)
+        for depth in (1, 2, 4):
+            tree = build_tree(bin_features(X), y, CartConfig(max_depth=depth))
+            assert tree.depth() <= depth
+
+    def test_respects_min_samples_leaf(self):
+        X, y = _xor_data(n=300)
+        tree = build_tree(bin_features(X), y, CartConfig(max_depth=8, min_samples_leaf=30))
+        leaf_counts = tree.visit_count[tree.is_leaf]
+        assert leaf_counts.min() >= 30
+
+    def test_visit_counts_conserved(self):
+        """Children's visit counts must sum to the parent's."""
+        X, y = _xor_data(n=500, seed=4)
+        tree = build_tree(bin_features(X), y, CartConfig(max_depth=5))
+        for node in range(tree.n_nodes):
+            if not tree.is_leaf[node]:
+                total = tree.visit_count[tree.left[node]] + tree.visit_count[tree.right[node]]
+                assert total == tree.visit_count[node]
+
+    def test_constant_target_single_leaf(self):
+        X = np.random.default_rng(0).standard_normal((100, 3)).astype(np.float32)
+        y = np.full(100, 3.25)
+        tree = build_tree(bin_features(X), y, CartConfig(max_depth=4))
+        assert tree.n_nodes == 1
+
+    def test_default_direction_follows_majority(self):
+        X, y = _xor_data(n=500, seed=6)
+        tree = build_tree(bin_features(X), y, CartConfig(max_depth=4))
+        for node in range(tree.n_nodes):
+            if tree.is_leaf[node]:
+                continue
+            n_l = tree.visit_count[tree.left[node]]
+            n_r = tree.visit_count[tree.right[node]]
+            assert tree.default_left[node] == (n_l >= n_r)
+
+    def test_feature_fraction_requires_rng(self):
+        X, y = _xor_data()
+        with pytest.raises(ValueError, match="rng"):
+            build_tree(bin_features(X), y, CartConfig(feature_fraction=0.5))
+
+    def test_sample_indices_subset(self):
+        X, y = _xor_data(n=400)
+        idx = np.arange(100)
+        tree = build_tree(bin_features(X), y, CartConfig(max_depth=3), sample_indices=idx)
+        assert tree.visit_count[0] == 100
+
+    def test_deterministic(self):
+        X, y = _xor_data(n=400, seed=8)
+        binned = bin_features(X)
+        a = build_tree(binned, y, CartConfig(max_depth=4))
+        b = build_tree(binned, y, CartConfig(max_depth=4))
+        np.testing.assert_array_equal(a.feature, b.feature)
+        np.testing.assert_array_equal(a.threshold, b.threshold)
+
+    def test_tree_validates(self):
+        X, y = _xor_data(n=600, seed=9)
+        tree = build_tree(bin_features(X), y, CartConfig(max_depth=6))
+        tree.validate()  # must not raise
+
+    def test_training_reduces_mse(self):
+        X, y = _xor_data(n=800, seed=10)
+        binned = bin_features(X)
+        shallow = build_tree(binned, y, CartConfig(max_depth=1))
+        deep = build_tree(binned, y, CartConfig(max_depth=4))
+        mse_shallow = ((shallow.predict(X) - y) ** 2).mean()
+        mse_deep = ((deep.predict(X) - y) ** 2).mean()
+        assert mse_deep < mse_shallow

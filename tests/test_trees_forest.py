@@ -1,0 +1,107 @@
+"""Tests for the Forest container."""
+
+import numpy as np
+import pytest
+
+from repro.trees.forest import Forest
+from repro.trees.tree import DecisionTree
+
+
+def _two_leaf_forest():
+    t1 = DecisionTree.single_leaf(1.0)
+    t2 = DecisionTree.single_leaf(3.0)
+    return Forest(trees=[t1, t2], n_attributes=2, task="regression", aggregation="mean")
+
+
+class TestConstruction:
+    def test_requires_trees(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Forest(trees=[], n_attributes=2)
+
+    def test_rejects_unknown_aggregation(self):
+        with pytest.raises(ValueError, match="aggregation"):
+            Forest(trees=[DecisionTree.single_leaf(0)], n_attributes=1, aggregation="max")
+
+    def test_rejects_out_of_range_features(self, manual_tree):
+        with pytest.raises(ValueError, match="references attribute"):
+            Forest(trees=[manual_tree], n_attributes=1)
+
+    def test_counts(self, small_forest):
+        assert small_forest.n_trees == 24
+        assert small_forest.n_nodes == sum(t.n_nodes for t in small_forest.trees)
+        assert small_forest.max_depth() == small_forest.tree_depths().max()
+
+    def test_distinct_attributes_sorted_unique(self, small_forest):
+        attrs = small_forest.distinct_attributes()
+        assert np.all(np.diff(attrs) > 0)
+        assert attrs.max() < small_forest.n_attributes
+
+
+class TestPrediction:
+    def test_mean_aggregation(self):
+        forest = _two_leaf_forest()
+        X = np.zeros((4, 2), dtype=np.float32)
+        np.testing.assert_allclose(forest.predict(X), 2.0)
+
+    def test_sum_aggregation_with_base_and_lr(self):
+        t1 = DecisionTree.single_leaf(1.0)
+        t2 = DecisionTree.single_leaf(3.0)
+        forest = Forest(
+            trees=[t1, t2],
+            n_attributes=2,
+            task="regression",
+            aggregation="sum",
+            base_score=10.0,
+            learning_rate=0.5,
+        )
+        X = np.zeros((2, 2), dtype=np.float32)
+        np.testing.assert_allclose(forest.predict(X), 10.0 + 0.5 * 4.0)
+
+    def test_classification_sum_applies_sigmoid(self):
+        t = DecisionTree.single_leaf(0.0)
+        forest = Forest(
+            trees=[t], n_attributes=1, task="classification", aggregation="sum"
+        )
+        X = np.zeros((1, 1), dtype=np.float32)
+        assert forest.predict(X)[0] == pytest.approx(0.5)
+
+    def test_predict_class_threshold(self, small_forest, test_X):
+        proba = small_forest.predict(test_X)
+        labels = small_forest.predict_class(test_X)
+        np.testing.assert_array_equal(labels, (proba > 0.5).astype(np.int32))
+
+    def test_predict_class_rejects_regression(self):
+        forest = _two_leaf_forest()
+        with pytest.raises(ValueError):
+            forest.predict_class(np.zeros((1, 2), dtype=np.float32))
+
+
+class TestReordering:
+    def test_reorder_preserves_predictions(self, small_forest, test_X):
+        order = list(reversed(range(small_forest.n_trees)))
+        shuffled = small_forest.reordered(order)
+        np.testing.assert_allclose(
+            shuffled.predict(test_X), small_forest.predict(test_X), rtol=1e-6
+        )
+
+    def test_reorder_permutes_trees(self, small_forest):
+        order = list(reversed(range(small_forest.n_trees)))
+        shuffled = small_forest.reordered(order)
+        assert shuffled.trees[0] is small_forest.trees[-1]
+
+    def test_reorder_rejects_non_permutation(self, small_forest):
+        with pytest.raises(ValueError, match="permutation"):
+            small_forest.reordered([0] * small_forest.n_trees)
+
+    def test_with_trees_keeps_metadata(self, small_forest):
+        sub = small_forest.with_trees(small_forest.trees[:3])
+        assert sub.n_trees == 3
+        assert sub.task == small_forest.task
+        assert sub.aggregation == small_forest.aggregation
+
+    def test_copy_is_deep(self, small_forest, test_X):
+        dup = small_forest.copy()
+        dup.trees[0].threshold[0] = 1e9
+        np.testing.assert_allclose(
+            small_forest.predict(test_X), small_forest.copy().predict(test_X)
+        )

@@ -1,0 +1,61 @@
+"""Tests for forest (de)serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.trees.io import forest_from_dict, forest_to_dict, load_forest, save_forest
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_predictions(self, small_forest, test_X):
+        restored = forest_from_dict(forest_to_dict(small_forest))
+        np.testing.assert_allclose(
+            restored.predict(test_X), small_forest.predict(test_X)
+        )
+
+    def test_dict_round_trip_preserves_structure(self, small_gbdt):
+        restored = forest_from_dict(forest_to_dict(small_gbdt))
+        assert restored.n_trees == small_gbdt.n_trees
+        assert restored.aggregation == "sum"
+        assert restored.base_score == pytest.approx(small_gbdt.base_score)
+        assert restored.learning_rate == pytest.approx(small_gbdt.learning_rate)
+        for a, b in zip(restored.trees, small_gbdt.trees):
+            np.testing.assert_array_equal(a.feature, b.feature)
+            np.testing.assert_array_equal(a.visit_count, b.visit_count)
+            np.testing.assert_array_equal(a.flip, b.flip)
+
+    def test_file_round_trip(self, small_forest, test_X, tmp_path):
+        path = tmp_path / "forest.json"
+        save_forest(small_forest, path)
+        restored = load_forest(path)
+        np.testing.assert_allclose(
+            restored.predict(test_X), small_forest.predict(test_X)
+        )
+
+    def test_flip_bits_survive(self, small_forest, test_X):
+        from repro.formats.node_rearrange import rearrange_forest_nodes
+
+        rearranged = rearrange_forest_nodes(small_forest)
+        restored = forest_from_dict(forest_to_dict(rearranged))
+        assert any(t.flip.any() for t in restored.trees)
+        np.testing.assert_allclose(
+            restored.predict(test_X), small_forest.predict(test_X), rtol=1e-6
+        )
+
+    def test_missing_flip_defaults_false(self, small_forest):
+        payload = forest_to_dict(small_forest)
+        for tree in payload["trees"]:
+            del tree["flip"]
+        restored = forest_from_dict(payload)
+        assert not any(t.flip.any() for t in restored.trees)
+
+    def test_unknown_version_rejected(self, small_forest):
+        payload = forest_to_dict(small_forest)
+        payload["format_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            forest_from_dict(payload)
+
+    def test_payload_is_json_compatible(self, small_forest):
+        import json
+
+        json.dumps(forest_to_dict(small_forest))  # must not raise

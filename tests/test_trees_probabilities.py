@@ -1,0 +1,87 @@
+"""Tests for visit-count maintenance (edge-probability counting)."""
+
+import numpy as np
+import pytest
+
+from repro.trees.probabilities import (
+    recount_visits,
+    refresh_forest_counts,
+    route_counts,
+    update_visit_counts,
+)
+
+
+class TestRouteCounts:
+    def test_root_sees_all(self, manual_tree):
+        X = np.random.default_rng(0).standard_normal((40, 2)).astype(np.float32)
+        counts = route_counts(manual_tree, X)
+        assert counts[0] == 40
+
+    def test_children_partition_parent(self, manual_tree):
+        X = np.random.default_rng(1).standard_normal((200, 2)).astype(np.float32)
+        counts = route_counts(manual_tree, X)
+        for node in range(manual_tree.n_nodes):
+            if not manual_tree.is_leaf[node]:
+                lo, hi = manual_tree.left[node], manual_tree.right[node]
+                assert counts[lo] + counts[hi] == counts[node]
+
+    def test_matches_decision_paths(self, manual_tree):
+        X = np.random.default_rng(2).standard_normal((30, 2)).astype(np.float32)
+        counts = route_counts(manual_tree, X)
+        expected = np.zeros(manual_tree.n_nodes, dtype=np.int64)
+        for x in X:
+            for node in manual_tree.decision_path(x):
+                expected[node] += 1
+        np.testing.assert_array_equal(counts, expected)
+
+    def test_missing_values_follow_default(self, manual_tree):
+        X = np.full((10, 2), np.nan, dtype=np.float32)
+        counts = route_counts(manual_tree, X)
+        # default at root is left -> node 1 gets all.
+        assert counts[1] == 10
+
+
+class TestRecountVisits:
+    def test_replaces_counts(self, manual_tree):
+        X = np.random.default_rng(3).standard_normal((25, 2)).astype(np.float32)
+        out = recount_visits(manual_tree, X)
+        assert out.visit_count[0] == 25
+        # Input untouched.
+        assert manual_tree.visit_count[0] == 100
+
+
+class TestUpdateVisitCounts:
+    def test_blends_toward_observed(self, manual_tree):
+        # All samples go right at the root (f0 large).
+        X = np.full((100, 2), 5.0, dtype=np.float32)
+        out = update_visit_counts(manual_tree, X, decay=0.5)
+        # Old: left=20; observed left=0 -> blended 10.
+        assert out.visit_count[1] == 10
+
+    def test_decay_one_invalid(self, manual_tree):
+        with pytest.raises(ValueError):
+            update_visit_counts(manual_tree, np.zeros((1, 2), np.float32), decay=1.0)
+
+    def test_decay_zero_equals_recount(self, manual_tree):
+        X = np.random.default_rng(4).standard_normal((60, 2)).astype(np.float32)
+        blended = update_visit_counts(manual_tree, X, decay=0.0)
+        fresh = recount_visits(manual_tree, X)
+        np.testing.assert_array_equal(blended.visit_count, fresh.visit_count)
+
+    def test_root_never_zero(self, manual_tree):
+        X = np.zeros((0, 2), dtype=np.float32)
+        out = update_visit_counts(manual_tree, X, decay=0.0)
+        assert out.visit_count[0] >= 1
+
+
+class TestRefreshForestCounts:
+    def test_all_trees_refreshed(self, small_forest, test_X):
+        refreshed = refresh_forest_counts(small_forest, test_X)
+        for tree in refreshed.trees:
+            assert tree.visit_count[0] == test_X.shape[0]
+
+    def test_predictions_unchanged(self, small_forest, test_X):
+        refreshed = refresh_forest_counts(small_forest, test_X)
+        np.testing.assert_allclose(
+            refreshed.predict(test_X), small_forest.predict(test_X)
+        )

@@ -1,0 +1,102 @@
+"""Tests for post-pruning and tree compaction."""
+
+import numpy as np
+import pytest
+
+from repro.trees.pruning import compact_tree, prune_tree
+from repro.trees.tree import LEAF, DecisionTree
+
+
+def _weak_split_tree():
+    """Root split is strong; node 2's split separates nearly equal leaves."""
+    return DecisionTree(
+        feature=np.array([0, LEAF, 1, LEAF, LEAF], dtype=np.int32),
+        threshold=np.array([0.0, 0, 0.0, 0, 0], dtype=np.float32),
+        left=np.array([1, LEAF, 3, LEAF, LEAF], dtype=np.int32),
+        right=np.array([2, LEAF, 4, LEAF, LEAF], dtype=np.int32),
+        value=np.array([0, -5.0, 0, 1.00, 1.01], dtype=np.float32),
+        default_left=np.array([True] * 5),
+        visit_count=np.array([100, 50, 50, 25, 25], dtype=np.int64),
+    )
+
+
+class TestPruneTree:
+    def test_prunes_weak_split(self):
+        tree = _weak_split_tree()
+        pruned = prune_tree(tree, alpha=0.01)
+        assert pruned.n_nodes == 3  # node 2 collapsed
+        assert pruned.depth() == 1
+
+    def test_keeps_strong_split(self):
+        tree = _weak_split_tree()
+        pruned = prune_tree(tree, alpha=0.01)
+        # Root split separates -5 from ~1; it must survive.
+        assert not pruned.is_leaf[0]
+
+    def test_merged_value_is_weighted_mean(self):
+        tree = _weak_split_tree()
+        pruned = prune_tree(tree, alpha=0.01)
+        merged = pruned.value[pruned.right[0]]
+        assert merged == pytest.approx((25 * 1.00 + 25 * 1.01) / 50)
+
+    def test_alpha_zero_keeps_everything(self):
+        tree = _weak_split_tree()
+        pruned = prune_tree(tree, alpha=0.0)
+        assert pruned.n_nodes == tree.n_nodes
+
+    def test_huge_alpha_collapses_to_leaf(self):
+        tree = _weak_split_tree()
+        pruned = prune_tree(tree, alpha=1e9)
+        assert pruned.n_nodes == 1
+
+    def test_iterates_to_fixpoint(self):
+        """Pruning leaves can expose a new prunable parent."""
+        # Node 0 -> (leaf 1, node 2); node 2 -> (leaf 3, node 4);
+        # node 4 -> two near-equal leaves. After 4 collapses, node 2's
+        # children are near-equal leaves too.
+        tree = DecisionTree(
+            feature=np.array([0, LEAF, 1, LEAF, 0, LEAF, LEAF], dtype=np.int32),
+            threshold=np.zeros(7, dtype=np.float32),
+            left=np.array([1, LEAF, 3, LEAF, 5, LEAF, LEAF], dtype=np.int32),
+            right=np.array([2, LEAF, 4, LEAF, 6, LEAF, LEAF], dtype=np.int32),
+            value=np.array([0, -9.0, 0, 2.0, 0, 2.0, 2.001], dtype=np.float32),
+            default_left=np.array([True] * 7),
+            visit_count=np.array([100, 40, 60, 30, 30, 15, 15], dtype=np.int64),
+        )
+        pruned = prune_tree(tree, alpha=0.01)
+        assert pruned.n_nodes == 3
+
+    def test_does_not_modify_input(self):
+        tree = _weak_split_tree()
+        before = tree.feature.copy()
+        prune_tree(tree, alpha=1e9)
+        np.testing.assert_array_equal(tree.feature, before)
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(ValueError):
+            prune_tree(_weak_split_tree(), alpha=-1.0)
+
+    def test_pruned_tree_validates(self, small_forest):
+        for tree in small_forest.trees[:5]:
+            prune_tree(tree, alpha=0.05).validate()
+
+
+class TestCompactTree:
+    def test_renumbers_bfs(self, manual_tree):
+        keep = np.ones(manual_tree.n_nodes, dtype=bool)
+        out = compact_tree(manual_tree, keep)
+        assert out.n_nodes == manual_tree.n_nodes
+        # BFS renumbering keeps levels contiguous.
+        np.testing.assert_array_equal(out.node_depths(), sorted(out.node_depths()))
+
+    def test_requires_root(self, manual_tree):
+        keep = np.ones(manual_tree.n_nodes, dtype=bool)
+        keep[0] = False
+        with pytest.raises(ValueError, match="root"):
+            compact_tree(manual_tree, keep)
+
+    def test_preserves_predictions_when_keeping_all(self, manual_tree):
+        keep = np.ones(manual_tree.n_nodes, dtype=bool)
+        out = compact_tree(manual_tree, keep)
+        X = np.random.default_rng(0).standard_normal((50, 2)).astype(np.float32)
+        np.testing.assert_allclose(out.predict(X), manual_tree.predict(X))

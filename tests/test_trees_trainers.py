@@ -1,0 +1,169 @@
+"""Tests for the random-forest and GBDT trainers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_classification, make_regression, train_test_split
+from repro.trees import GBDTTrainer, RandomForestTrainer
+
+
+@pytest.fixture(scope="module")
+def clf_split():
+    return train_test_split(make_classification(1200, 12, seed=21), seed=21)
+
+
+@pytest.fixture(scope="module")
+def reg_split():
+    return train_test_split(make_regression(1200, 12, seed=22), seed=22)
+
+
+class TestRandomForest:
+    def test_beats_chance(self, clf_split):
+        forest = RandomForestTrainer(n_trees=30, max_depth=6, seed=0).fit(clf_split.train)
+        acc = (forest.predict_class(clf_split.test.X) == clf_split.test.y).mean()
+        assert acc > 0.7
+
+    def test_more_trees_not_worse(self, clf_split):
+        small = RandomForestTrainer(n_trees=3, max_depth=5, seed=0).fit(clf_split.train)
+        big = RandomForestTrainer(n_trees=40, max_depth=5, seed=0).fit(clf_split.train)
+        acc_small = (small.predict_class(clf_split.test.X) == clf_split.test.y).mean()
+        acc_big = (big.predict_class(clf_split.test.X) == clf_split.test.y).mean()
+        assert acc_big >= acc_small - 0.02
+
+    def test_aggregation_is_mean(self, clf_split):
+        forest = RandomForestTrainer(n_trees=5, max_depth=3, seed=1).fit(clf_split.train)
+        assert forest.aggregation == "mean"
+
+    def test_depth_jitter_produces_variance(self, clf_split):
+        forest = RandomForestTrainer(
+            n_trees=40, max_depth=8, depth_jitter=0.6, seed=2
+        ).fit(clf_split.train)
+        depths = forest.tree_depths()
+        assert depths.std() > 0.5
+        assert depths.max() <= 8
+
+    def test_no_jitter_uniform_depth_cap(self, clf_split):
+        forest = RandomForestTrainer(n_trees=10, max_depth=4, seed=3).fit(clf_split.train)
+        assert forest.tree_depths().max() <= 4
+
+    def test_rejects_bad_params(self, clf_split):
+        with pytest.raises(ValueError):
+            RandomForestTrainer(n_trees=0).fit(clf_split.train)
+        with pytest.raises(ValueError):
+            RandomForestTrainer(depth_jitter=1.5).fit(clf_split.train)
+
+    def test_deterministic_per_seed(self, clf_split):
+        a = RandomForestTrainer(n_trees=5, max_depth=4, seed=9).fit(clf_split.train)
+        b = RandomForestTrainer(n_trees=5, max_depth=4, seed=9).fit(clf_split.train)
+        X = clf_split.test.X[:50]
+        np.testing.assert_array_equal(a.predict(X), b.predict(X))
+
+    def test_regression_mode(self, reg_split):
+        forest = RandomForestTrainer(n_trees=25, max_depth=6, seed=4).fit(reg_split.train)
+        pred = forest.predict(reg_split.test.X)
+        base_mse = ((reg_split.test.y - reg_split.train.y.mean()) ** 2).mean()
+        mse = ((pred - reg_split.test.y) ** 2).mean()
+        assert mse < base_mse
+
+
+class TestGBDT:
+    def test_beats_chance(self, clf_split):
+        forest = GBDTTrainer(n_trees=40, max_depth=4, seed=0).fit(clf_split.train)
+        pred = (forest.predict(clf_split.test.X) > 0.5).astype(np.float32)
+        assert (pred == clf_split.test.y).mean() > 0.7
+
+    def test_predictions_are_probabilities(self, clf_split):
+        forest = GBDTTrainer(n_trees=10, max_depth=3, seed=1).fit(clf_split.train)
+        proba = forest.predict(clf_split.test.X)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_aggregation_is_sum(self, clf_split):
+        forest = GBDTTrainer(n_trees=5, max_depth=3, seed=1).fit(clf_split.train)
+        assert forest.aggregation == "sum"
+        assert forest.learning_rate == pytest.approx(0.2)
+
+    def test_base_score_is_prior_logit(self, clf_split):
+        forest = GBDTTrainer(n_trees=3, max_depth=2, seed=1).fit(clf_split.train)
+        p = np.clip(clf_split.train.y.astype(np.float64).mean(), 1e-6, 1 - 1e-6)
+        assert forest.base_score == pytest.approx(np.log(p / (1 - p)), rel=1e-4)
+
+    def test_boosting_improves_train_fit(self, clf_split):
+        X, y = clf_split.train.X, clf_split.train.y
+        few = GBDTTrainer(n_trees=2, max_depth=3, seed=2).fit(clf_split.train)
+        many = GBDTTrainer(n_trees=40, max_depth=3, seed=2).fit(clf_split.train)
+        loss_few = -np.mean(y * np.log(few.predict(X) + 1e-9) + (1 - y) * np.log(1 - few.predict(X) + 1e-9))
+        loss_many = -np.mean(y * np.log(many.predict(X) + 1e-9) + (1 - y) * np.log(1 - many.predict(X) + 1e-9))
+        assert loss_many < loss_few
+
+    def test_regression_mode(self, reg_split):
+        forest = GBDTTrainer(n_trees=40, max_depth=4, seed=3).fit(reg_split.train)
+        pred = forest.predict(reg_split.test.X)
+        base_mse = ((reg_split.test.y - reg_split.train.y.mean()) ** 2).mean()
+        assert ((pred - reg_split.test.y) ** 2).mean() < base_mse
+
+    def test_subsample_validated(self, clf_split):
+        with pytest.raises(ValueError):
+            GBDTTrainer(subsample=0.0).fit(clf_split.train)
+        with pytest.raises(ValueError):
+            GBDTTrainer(subsample=1.5).fit(clf_split.train)
+
+    def test_depth_jitter_produces_variance(self, clf_split):
+        forest = GBDTTrainer(n_trees=40, max_depth=8, depth_jitter=0.6, seed=5).fit(
+            clf_split.train
+        )
+        assert forest.tree_depths().std() > 0.5
+
+
+class TestContinueFit:
+    def test_adds_rounds(self, clf_split):
+        trainer = GBDTTrainer(n_trees=10, max_depth=3, seed=2)
+        base = trainer.fit(clf_split.train)
+        grown = trainer.continue_fit(base, clf_split.train, n_more=5)
+        assert grown.n_trees == 15
+        # Prefix trees are the originals.
+        for a, b in zip(grown.trees[:10], base.trees):
+            np.testing.assert_array_equal(a.feature, b.feature)
+
+    def test_improves_train_loss(self, clf_split):
+        X, y = clf_split.train.X, clf_split.train.y
+        trainer = GBDTTrainer(n_trees=5, max_depth=3, seed=2)
+        base = trainer.fit(clf_split.train)
+        grown = trainer.continue_fit(base, clf_split.train, n_more=20)
+
+        def loss(forest):
+            p = np.clip(forest.predict(X), 1e-9, 1 - 1e-9)
+            return -np.mean(y * np.log(p) + (1 - y) * np.log(1 - p))
+
+        assert loss(grown) < loss(base)
+
+    def test_base_score_preserved(self, clf_split):
+        trainer = GBDTTrainer(n_trees=4, max_depth=3, seed=2)
+        base = trainer.fit(clf_split.train)
+        grown = trainer.continue_fit(base, clf_split.train, n_more=2)
+        assert grown.base_score == base.base_score
+
+    def test_rejects_mean_aggregation(self, clf_split):
+        from repro.trees import RandomForestTrainer
+
+        rf = RandomForestTrainer(n_trees=4, max_depth=3, seed=1).fit(clf_split.train)
+        with pytest.raises(ValueError, match="sum-aggregated"):
+            GBDTTrainer(seed=2).continue_fit(rf, clf_split.train, n_more=2)
+
+    def test_rejects_mismatched_learning_rate(self, clf_split):
+        base = GBDTTrainer(n_trees=3, learning_rate=0.2, seed=2).fit(clf_split.train)
+        with pytest.raises(ValueError, match="learning_rate"):
+            GBDTTrainer(learning_rate=0.5, seed=2).continue_fit(
+                base, clf_split.train, n_more=2
+            )
+
+    def test_rejects_bad_round_count(self, clf_split):
+        base = GBDTTrainer(n_trees=3, seed=2).fit(clf_split.train)
+        with pytest.raises(ValueError, match="n_more"):
+            GBDTTrainer(seed=2).continue_fit(base, clf_split.train, n_more=0)
+
+    def test_original_forest_untouched(self, clf_split, test_X=None):
+        trainer = GBDTTrainer(n_trees=4, max_depth=3, seed=2)
+        base = trainer.fit(clf_split.train)
+        before = base.predict(clf_split.test.X[:40])
+        trainer.continue_fit(base, clf_split.train, n_more=3)
+        np.testing.assert_array_equal(base.predict(clf_split.test.X[:40]), before)

@@ -1,0 +1,52 @@
+"""Tests for the spec-driven training pipeline."""
+
+import pytest
+
+from repro.datasets import DATASETS
+from repro.trees import train_forest_for_spec
+
+
+class TestTrainForestForSpec:
+    def test_rf_spec_uses_mean_aggregation(self):
+        w = train_forest_for_spec("letter", scale=0.05, tree_scale=0.1, seed=0)
+        assert w.forest.aggregation == "mean"
+        assert w.dataset_name == "letter"
+
+    def test_gbdt_spec_uses_sum_aggregation(self):
+        w = train_forest_for_spec("cup98", scale=0.05, tree_scale=0.1, seed=0)
+        assert w.forest.aggregation == "sum"
+
+    def test_tree_scale_applied(self):
+        w = train_forest_for_spec("letter", scale=0.05, tree_scale=0.1, seed=0)
+        assert w.forest.n_trees == 15  # 150 * 0.1
+
+    def test_minimum_four_trees(self):
+        w = train_forest_for_spec("cifar10", scale=0.02, tree_scale=0.01, seed=0)
+        assert w.forest.n_trees == 4
+
+    def test_max_trees_cap(self):
+        w = train_forest_for_spec("letter", scale=0.05, tree_scale=0.5, max_trees=10, seed=0)
+        assert w.forest.n_trees == 10
+
+    def test_depth_respects_spec(self):
+        w = train_forest_for_spec("covtype", scale=0.002, tree_scale=0.02, seed=0)
+        assert w.forest.max_depth() <= DATASETS["covtype"].max_depth
+
+    def test_metadata_links_back_to_paper(self):
+        w = train_forest_for_spec("letter", scale=0.05, tree_scale=0.1, seed=0)
+        md = w.forest.metadata
+        assert md["paper_n_trees"] == 150
+        assert md["dataset_index"] == 15
+
+    def test_split_is_seventy_thirty(self):
+        w = train_forest_for_spec("letter", scale=0.05, tree_scale=0.05, seed=0)
+        ratio = w.split.n_train / (w.split.n_train + w.split.n_test)
+        assert ratio == pytest.approx(0.7, abs=0.01)
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            train_forest_for_spec("imagenet")
+
+    def test_forest_depths_heterogeneous_by_default(self):
+        w = train_forest_for_spec("Higgs", scale=0.002, tree_scale=0.02, seed=1)
+        assert w.forest.tree_depths().std() > 0
