@@ -83,6 +83,15 @@ def test_fig5_strategy_throughputs(benchmark):
         f"\nshared-forest applicability matches paper: {fits_match}/15\n"
     )
     common.write_result("fig5_strategies", report)
+    common.write_bench_report(
+        "fig5_strategies",
+        {
+            "gpu": "P100",
+            "throughputs": results,
+            "winner_matches": matches,
+            "fits_matches": fits_match,
+        },
+    )
     # The applicability pattern is calibrated; demand it mostly holds, and
     # the winner classes agree on a majority of datasets.
     assert fits_match >= 12

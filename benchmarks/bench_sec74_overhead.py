@@ -38,6 +38,7 @@ def run_conversion_overhead(dataset="Higgs"):
             "copy to GPU": stats.t_copy_to_gpu,
         },
         "total": stats.total,
+        "report": engine.build_report(dataset=dataset),
     }
 
 
@@ -92,6 +93,7 @@ def test_sec74_conversion_stages(benchmark):
         "pairwise ratio below.)\n"
     )
     common.write_result("sec74_conversion_stages", report)
+    common.write_bench_report("sec74_conversion_stages", data["report"])
     assert data["total"] > 0
     assert all(v >= 0 for v in data["stages"].values())
 

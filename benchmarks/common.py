@@ -177,6 +177,31 @@ def write_result(name: str, text: str) -> Path:
     return path
 
 
+def write_bench_report(name: str, payload) -> Path:
+    """Persist a machine-readable ``BENCH_<name>.json`` artifact.
+
+    The schema-stable counterpart of :func:`write_result`: ``payload``
+    is either a :class:`repro.obs.RunReport` (serialised via its
+    versioned ``to_dict``) or a plain dict, wrapped in an envelope with
+    its own schema version so the cross-PR perf trajectory stays
+    machine-comparable.
+    """
+    from repro.obs.exporters import jsonable
+    from repro.obs.report import SCHEMA_VERSION, RunReport
+
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    path = _RESULTS_DIR / f"BENCH_{name}.json"
+    body = payload.to_dict() if isinstance(payload, RunReport) else payload
+    envelope = {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": name,
+        "kind": "run_report" if isinstance(payload, RunReport) else "summary",
+        "payload": body,
+    }
+    path.write_text(json.dumps(jsonable(envelope), indent=2) + "\n")
+    return path
+
+
 def format_table(title: str, headers: list[str], rows: list[list]) -> str:
     """Fixed-width table for result files."""
     str_rows = [[_fmt(c) for c in row] for row in rows]

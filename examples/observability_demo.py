@@ -1,0 +1,75 @@
+"""Observability demo: trace a run, inspect its report, export it.
+
+Trains a small forest, runs Tahoe with tracing enabled, and then walks
+through everything the telemetry layer captured: the span tree, the
+conversion-stage breakdown, each batch's strategy decision with the
+selector's predicted time next to the simulated time it actually took,
+and the exporters (JSON run report, Chrome trace, Prometheus text).
+
+Run with::
+
+    python examples/observability_demo.py
+
+Then open ``trace.json`` at chrome://tracing or https://ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+from repro import GPU_SPECS, TahoeEngine
+from repro.core import ObsConfig, TahoeConfig
+from repro.gpusim.report import format_run_report
+from repro.obs import metrics_to_prometheus, write_chrome_trace, write_report_json
+from repro.trees import train_forest_for_spec
+
+
+def main() -> None:
+    workload = train_forest_for_spec("letter", scale=0.3, tree_scale=0.2, seed=0)
+    forest = workload.forest
+    X = workload.split.test.X
+    print(f"forest: {forest.n_trees} trees, {forest.n_nodes} nodes; "
+          f"{X.shape[0]} inference samples\n")
+
+    # Tracing is off by default (the no-op spans cost almost nothing);
+    # opt in through the engine config.
+    spec = GPU_SPECS["P100"].scaled(compute=1 / 16)
+    engine = TahoeEngine(forest, spec, TahoeConfig(obs=ObsConfig(tracing=True)))
+
+    # report=True asks for the RunReport artifact alongside predictions.
+    result = engine.predict(X, batch_size=100, report=True)
+    report = result.report
+    report.dataset = "letter"
+
+    # --- the span tree -------------------------------------------------
+    tracer = engine.recorder.tracer
+    print(f"recorded {len(tracer.spans)} spans ({tracer.dropped} dropped):")
+    for s in sorted(tracer.spans, key=lambda s: s.start)[:12]:
+        print(f"  {'  ' * s.depth}{s.name:<34} {s.duration * 1e6:9.1f} us  {s.args}")
+    if len(tracer.spans) > 12:
+        print(f"  ... and {len(tracer.spans) - 12} more")
+
+    # --- prediction vs actual, per decision ----------------------------
+    print("\nper-batch decisions (model prediction vs simulated time):")
+    for d in report.decisions[:5]:
+        print(
+            f"  batch {d.batch_index}: {d.chosen:<24} "
+            f"predicted {d.predicted_time * 1e3:8.4f} ms, "
+            f"simulated {d.simulated_time * 1e3:8.4f} ms "
+            f"(ratio {d.prediction_ratio:.3f})"
+        )
+
+    # --- the full human-readable report --------------------------------
+    print()
+    print(format_run_report(report))
+
+    # --- exporters -----------------------------------------------------
+    write_report_json(report, "run_report.json")
+    write_chrome_trace(tracer, "trace.json")
+    print("wrote run_report.json (versioned JSON; load_report_json inverts it)")
+    print("wrote trace.json      (open in chrome://tracing or ui.perfetto.dev)")
+    print("\nPrometheus exposition snapshot (first lines):")
+    for line in metrics_to_prometheus(engine.recorder.metrics).splitlines()[:10]:
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

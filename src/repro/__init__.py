@@ -27,6 +27,7 @@ from repro.core import (
     ConversionStats,
     EngineResult,
     FILEngine,
+    ObsConfig,
     TahoeConfig,
     TahoeEngine,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "Forest",
     "GPUSpec",
     "GPU_SPECS",
+    "ObsConfig",
     "TahoeConfig",
     "TahoeEngine",
     "__version__",

@@ -8,10 +8,15 @@ Drives the library end to end without writing Python::
     python -m repro profile --forest forest.json
     python -m repro rank --forest forest.json --gpu P100 --batch 10000
     python -m repro predict --forest forest.json --dataset Higgs --gpu P100
+    python -m repro trace --forest forest.json --dataset Higgs --out trace.json
 
 Every subcommand prints a compact human-readable report; ``predict``
 compares Tahoe against the FIL baseline on the dataset's inference
-split.
+split.  ``predict --report-json out.json`` additionally writes the run's
+:class:`~repro.obs.report.RunReport` (conversion stages, per-batch
+strategy decisions with predicted and simulated times, traffic
+counters); ``trace`` records spans and writes a Chrome ``trace_event``
+file loadable in ``chrome://tracing`` or Perfetto.
 """
 
 from __future__ import annotations
@@ -23,7 +28,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core import FILEngine, TahoeEngine
+from repro.core import FILEngine, ObsConfig, TahoeConfig, TahoeEngine
 from repro.datasets import DATASET_ORDER, DATASETS, load_dataset, train_test_split
 from repro.formats import build_adaptive_layout, build_reorg_layout
 from repro.gpusim.specs import GPU_SPECS
@@ -96,6 +101,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     forest = load_forest(args.forest)
     info = structure_profile(forest)
+    if args.report_json:
+        from repro.obs.exporters import jsonable
+
+        payload = {"schema_version": 1, "kind": "structure_profile", "profile": info}
+        Path(args.report_json).write_text(json.dumps(jsonable(payload), indent=2))
+        print(f"wrote {args.report_json}")
     print(f"trees: {info['n_trees']}   nodes: {info['n_nodes']}")
     print(
         f"depths: {info['depth_min']}-{info['depth_max']} "
@@ -136,11 +147,18 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     X = split.test.X[: args.limit] if args.limit else split.test.X
     tahoe = TahoeEngine(forest, spec)
     fil = FILEngine(forest, spec)
-    rt = tahoe.predict(X, batch_size=args.batch)
+    rt = tahoe.predict(X, batch_size=args.batch, report=bool(args.report_json))
     rf = fil.predict(X, batch_size=args.batch)
     if not np.allclose(rt.predictions, rf.predictions, atol=1e-5):
         print("WARNING: engines disagree on predictions", file=sys.stderr)
         return 1
+    if args.report_json:
+        from repro.obs import write_report_json
+
+        rt.report.dataset = args.dataset
+        rt.report.meta["fil_total_time"] = rf.total_time
+        write_report_json(rt.report, args.report_json)
+        print(f"wrote {args.report_json}")
     print(f"samples: {X.shape[0]}, batch: {args.batch or X.shape[0]}")
     print(f"FIL:   {rf.total_time * 1e3:9.3f} ms simulated")
     print(
@@ -155,6 +173,33 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         print(format_strategy_report(rf.batches[0]))
         print("\n[Tahoe first batch]")
         print(format_strategy_report(rt.batches[0]))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.gpusim.report import format_run_report
+    from repro.obs import write_chrome_trace, write_report_json
+
+    forest = load_forest(args.forest)
+    spec = GPU_SPECS[args.gpu]
+    data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    split = train_test_split(data, seed=args.seed)
+    X = split.test.X[: args.limit] if args.limit else split.test.X
+    config = TahoeConfig(obs=ObsConfig(tracing=True))
+    engine = TahoeEngine(forest, spec, config)
+    result = engine.predict(X, batch_size=args.batch, report=True)
+    result.report.dataset = args.dataset
+    tracer = engine.recorder.tracer
+    write_chrome_trace(tracer, args.out)
+    print(
+        f"wrote {args.out}: {len(tracer.spans)} spans "
+        f"({tracer.dropped} dropped) — open in chrome://tracing or "
+        f"https://ui.perfetto.dev"
+    )
+    if args.report_json:
+        write_report_json(result.report, args.report_json)
+        print(f"wrote {args.report_json}")
+    print(format_run_report(result.report))
     return 0
 
 
@@ -185,6 +230,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("profile", help="structural profile of a saved forest")
     p.add_argument("--forest", type=Path, required=True)
+    p.add_argument("--report-json", type=Path, default=None, dest="report_json")
     p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("rank", help="rank strategies with the performance models")
@@ -202,7 +248,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch", type=int, default=None)
     p.add_argument("--limit", type=int, default=None)
     p.add_argument("--verbose", action="store_true")
+    p.add_argument("--report-json", type=Path, default=None, dest="report_json")
     p.set_defaults(func=_cmd_predict)
+
+    p = sub.add_parser(
+        "trace", help="run inference with tracing on and write a Chrome trace"
+    )
+    p.add_argument("--forest", type=Path, required=True)
+    p.add_argument("--dataset", required=True, choices=DATASET_ORDER)
+    p.add_argument("--gpu", choices=sorted(GPU_SPECS), default="P100")
+    p.add_argument("--scale", type=float, default=0.01)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--batch", type=int, default=None)
+    p.add_argument("--limit", type=int, default=None)
+    p.add_argument("--out", type=Path, default=Path("trace.json"))
+    p.add_argument("--report-json", type=Path, default=None, dest="report_json")
+    p.set_defaults(func=_cmd_trace)
     return parser
 
 

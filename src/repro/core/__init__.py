@@ -11,7 +11,7 @@
   every benchmark.
 """
 
-from repro.core.config import TahoeConfig
+from repro.core.config import ObsConfig, TahoeConfig
 from repro.core.engine import ConversionStats, EngineResult, TahoeEngine
 from repro.core.fil import FILEngine
 from repro.core.metrics import geometric_mean, speedup, throughput
@@ -23,6 +23,7 @@ __all__ = [
     "FILEngine",
     "MultiGPUResult",
     "MultiGPUTahoeEngine",
+    "ObsConfig",
     "TahoeConfig",
     "TahoeEngine",
     "geometric_mean",

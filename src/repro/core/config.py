@@ -2,9 +2,28 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-__all__ = ["TahoeConfig"]
+__all__ = ["ObsConfig", "TahoeConfig"]
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Observability knobs (see :mod:`repro.obs`).
+
+    Attributes:
+        tracing: record spans through conversion, selection, the chosen
+            strategy and the simulated kernel loop.  Off by default —
+            every span costs a clock read and an allocation; disabled
+            tracing is a shared no-op context manager.
+        metrics: fold per-batch traffic counters into the run's metrics
+            registry (cheap: a few counter increments per batch).
+        max_spans: tracer capacity backstop for long runs.
+    """
+
+    tracing: bool = False
+    metrics: bool = True
+    max_spans: int = 100_000
 
 
 @dataclass(frozen=True)
@@ -29,6 +48,7 @@ class TahoeConfig:
             the forest's visit counts (Algorithm 1 line 16), so the next
             conversion reflects the inference distribution.
         edge_count_decay: blending factor for the above.
+        obs: observability toggles (tracing / metrics collection).
     """
 
     t_nodes: int = 4
@@ -41,3 +61,4 @@ class TahoeConfig:
     strategy_override: str | None = None
     count_edge_probabilities: bool = False
     edge_count_decay: float = 0.9
+    obs: ObsConfig = field(default_factory=ObsConfig)

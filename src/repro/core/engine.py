@@ -19,10 +19,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.config import TahoeConfig
+from repro.obs.recorder import RunRecorder
+from repro.obs.trace import span
 from repro.formats.layout import ForestLayout, NodeRecordLayout, build_interleaved_layout
 from repro.formats.node_rearrange import rearrange_forest_nodes
 from repro.formats.tree_rearrange import similarity_tree_order
@@ -33,6 +36,9 @@ from repro.perfmodel.selector import rank_strategies
 from repro.strategies import StrategyNotApplicable, StrategyResult
 from repro.trees.forest import Forest
 from repro.trees.probabilities import update_visit_counts
+
+if TYPE_CHECKING:
+    from repro.obs.report import RunReport
 
 __all__ = ["ConversionStats", "EngineResult", "TahoeEngine"]
 
@@ -67,12 +73,15 @@ class EngineResult:
         total_time: simulated GPU seconds over all batches.
         batches: per-batch strategy results.
         strategies_used: strategy name per batch.
+        report: the run's :class:`~repro.obs.report.RunReport` (only when
+            ``predict(..., report=True)``).
     """
 
     predictions: np.ndarray
     total_time: float
     batches: list[StrategyResult] = field(default_factory=list)
     strategies_used: list[str] = field(default_factory=list)
+    report: "RunReport | None" = None
 
     @property
     def throughput(self) -> float:
@@ -87,20 +96,27 @@ class TahoeEngine:
         forest: trained forest (visit counts carry the edge
             probabilities learned during training).
         spec: GPU to run on.
-        config: engine configuration; defaults are the paper's.
+        config: engine configuration; defaults are the paper's
+            (default-constructed per engine when omitted).
         hardware: pre-measured hardware parameters (reuse across engines
             on the same GPU; measured on demand otherwise).
+        recorder: telemetry sink (built from ``config.obs`` otherwise).
     """
 
     def __init__(
         self,
         forest: Forest,
         spec: GPUSpec,
-        config: TahoeConfig = TahoeConfig(),
+        config: TahoeConfig | None = None,
         hardware: HardwareParams | None = None,
+        recorder: RunRecorder | None = None,
     ) -> None:
         self.spec = spec
-        self.config = config
+        self.config = config if config is not None else TahoeConfig()
+        obs = self.config.obs
+        self.recorder = recorder if recorder is not None else RunRecorder(
+            tracing=obs.tracing, metrics=obs.metrics, max_spans=obs.max_spans
+        )
         self.hardware = hardware or measure_hardware_parameters(spec)
         self.layout: ForestLayout | None = None
         self.conversion_stats = ConversionStats()
@@ -110,53 +126,69 @@ class TahoeEngine:
     # Online part: format optimisation (Algorithm 1, lines 5-7)
     # ------------------------------------------------------------------
     def _convert(self, forest: Forest) -> None:
-        stats = ConversionStats()
-        t0 = time.perf_counter()
-        # Stage 1: fetch the tree ensemble and edge probabilities "from
-        # GPU" — materialise the per-tree probability arrays.
-        edge_probs = [tree.edge_probabilities() for tree in forest.trees]
-        del edge_probs
-        t1 = time.perf_counter()
-        stats.t_fetch_probabilities = t1 - t0
-        # Stage 2: probability-based node rearrangement.
-        structured = (
-            rearrange_forest_nodes(forest)
-            if self.config.node_rearrangement
-            else forest
-        )
-        t2 = time.perf_counter()
-        stats.t_node_rearrangement = t2 - t1
-        # Stage 3: similarity detection (SimHash + LSH).
-        if self.config.tree_rearrangement and forest.n_trees > 1:
-            order = similarity_tree_order(
-                structured,
-                t_nodes=self.config.t_nodes,
-                l_hash=self.config.l_hash,
-                m_chunks=self.config.m_chunks,
+        with self.recorder.activate(), span(
+            "engine.convert",
+            category="conversion",
+            trees=forest.n_trees,
+            nodes=forest.n_nodes,
+        ):
+            stats = ConversionStats()
+            t0 = time.perf_counter()
+            # Stage 1: fetch the tree ensemble and edge probabilities
+            # "from GPU" — materialise the per-tree probability arrays.
+            with span("fetch_probabilities", category="conversion"):
+                edge_probs = [tree.edge_probabilities() for tree in forest.trees]
+                del edge_probs
+            t1 = time.perf_counter()
+            stats.t_fetch_probabilities = t1 - t0
+            # Stage 2: probability-based node rearrangement.
+            with span("node_rearrangement", category="conversion"):
+                structured = (
+                    rearrange_forest_nodes(forest)
+                    if self.config.node_rearrangement
+                    else forest
+                )
+            t2 = time.perf_counter()
+            stats.t_node_rearrangement = t2 - t1
+            # Stage 3: similarity detection (SimHash + LSH).
+            with span(
+                "similarity_detection",
+                category="conversion",
                 method=self.config.similarity_method,
-            )
-        else:
-            order = None
-        t3 = time.perf_counter()
-        stats.t_similarity_detection = t3 - t2
-        # Stage 4: convert to the adaptive format.
-        record = (
-            NodeRecordLayout.variable(structured)
-            if self.config.variable_width
-            else NodeRecordLayout.fixed()
-        )
-        layout = build_interleaved_layout(structured, record, order, "adaptive")
-        t4 = time.perf_counter()
-        stats.t_format_conversion = t4 - t3
-        # Stage 5: copy the converted forest "to GPU" — materialise the
-        # flat device image (address/record arrays).
-        from repro.gpusim.trace import flatten_layout
+            ):
+                if self.config.tree_rearrangement and forest.n_trees > 1:
+                    order = similarity_tree_order(
+                        structured,
+                        t_nodes=self.config.t_nodes,
+                        l_hash=self.config.l_hash,
+                        m_chunks=self.config.m_chunks,
+                        method=self.config.similarity_method,
+                    )
+                else:
+                    order = None
+            t3 = time.perf_counter()
+            stats.t_similarity_detection = t3 - t2
+            # Stage 4: convert to the adaptive format.
+            with span("format_conversion", category="conversion"):
+                record = (
+                    NodeRecordLayout.variable(structured)
+                    if self.config.variable_width
+                    else NodeRecordLayout.fixed()
+                )
+                layout = build_interleaved_layout(structured, record, order, "adaptive")
+            t4 = time.perf_counter()
+            stats.t_format_conversion = t4 - t3
+            # Stage 5: copy the converted forest "to GPU" — materialise
+            # the flat device image (address/record arrays).
+            with span("copy_to_gpu", category="conversion", bytes=layout.total_bytes):
+                from repro.gpusim.trace import flatten_layout
 
-        flatten_layout(layout)
-        stats.t_copy_to_gpu = time.perf_counter() - t4
+                flatten_layout(layout)
+            stats.t_copy_to_gpu = time.perf_counter() - t4
         self.layout = layout
         self.forest = layout.forest
         self.conversion_stats = stats
+        self.recorder.record_conversion(stats)
 
     def update_forest(self, forest: Forest) -> ConversionStats:
         """Incremental learning hook: reconvert for an updated forest."""
@@ -178,6 +210,7 @@ class TahoeEngine:
         X: np.ndarray,
         batch_size: int | None = None,
         collect_level_stats: bool = False,
+        report: bool = False,
     ) -> EngineResult:
         """Run inference over ``X`` batch by batch.
 
@@ -188,6 +221,9 @@ class TahoeEngine:
                 low-parallelism one 100.
             collect_level_stats: gather per-level coalescing statistics
                 on each batch (figure 2a analysis).
+            report: attach this run's :class:`RunReport` to the result
+                (conversions, per-batch decisions with predicted vs.
+                simulated times, traffic metrics).
         """
         X = np.asarray(X, dtype=np.float32)
         n = X.shape[0]
@@ -197,13 +233,16 @@ class TahoeEngine:
         batches: list[StrategyResult] = []
         used: list[str] = []
         total_time = 0.0
-        for start in range(0, n, batch_size):
-            rows = np.arange(start, min(start + batch_size, n), dtype=np.int64)
-            result = self._run_batch(X, rows, collect_level_stats)
-            predictions[rows] = result.predictions
-            batches.append(result)
-            used.append(result.strategy)
-            total_time += result.time
+        with self.recorder.activate(), span(
+            "engine.predict", category="engine", samples=n, batch_size=batch_size
+        ):
+            for index, start in enumerate(range(0, n, batch_size)):
+                rows = np.arange(start, min(start + batch_size, n), dtype=np.int64)
+                result = self._run_batch(X, rows, collect_level_stats, index)
+                predictions[rows] = result.predictions
+                batches.append(result)
+                used.append(result.strategy)
+                total_time += result.time
         if self.config.count_edge_probabilities:
             updated = self.forest.with_trees(
                 [
@@ -219,6 +258,28 @@ class TahoeEngine:
             total_time=total_time,
             batches=batches,
             strategies_used=used,
+            report=self.build_report(
+                n_samples=n, batch_size=batch_size, total_time=total_time
+            )
+            if report
+            else None,
+        )
+
+    def build_report(
+        self,
+        n_samples: int = 0,
+        batch_size: int | None = None,
+        total_time: float = 0.0,
+        **meta,
+    ):
+        """Assemble the engine's telemetry into a :class:`RunReport`."""
+        return self.recorder.build_report(
+            engine="tahoe",
+            gpu=self.spec.name,
+            n_samples=n_samples,
+            batch_size=batch_size,
+            total_time=total_time,
+            **meta,
         )
 
     def _probe_coalescing(self, X: np.ndarray, rows: np.ndarray) -> None:
@@ -242,29 +303,45 @@ class TahoeEngine:
         )
 
     def _run_batch(
-        self, X: np.ndarray, rows: np.ndarray, collect_level_stats: bool
+        self,
+        X: np.ndarray,
+        rows: np.ndarray,
+        collect_level_stats: bool,
+        batch_index: int = 0,
     ) -> StrategyResult:
-        if "coa_rate" not in self.layout.metadata:
-            self._probe_coalescing(X, rows)
-        ranked = rank_strategies(self.layout, rows.shape[0], self.spec, self.hardware)
-        if self.config.strategy_override is not None:
-            ranked = [c for c in ranked if c.name == self.config.strategy_override]
-            if not ranked:
-                raise ValueError(
-                    f"unknown strategy override {self.config.strategy_override!r}"
+        with span(
+            "engine.run_batch", category="engine", index=batch_index, batch=rows.shape[0]
+        ):
+            if "coa_rate" not in self.layout.metadata:
+                with span("coalescing_probe", category="engine"):
+                    self._probe_coalescing(X, rows)
+            full_ranking = rank_strategies(
+                self.layout, rows.shape[0], self.spec, self.hardware
+            )
+            ranked = full_ranking
+            if self.config.strategy_override is not None:
+                ranked = [c for c in ranked if c.name == self.config.strategy_override]
+                if not ranked:
+                    raise ValueError(
+                        f"unknown strategy override {self.config.strategy_override!r}"
+                    )
+            for choice in ranked:
+                if choice.predicted_time == float("inf") and self.config.strategy_override is None:
+                    continue
+                try:
+                    strategy = choice.instantiate()
+                    result = strategy.run(
+                        self.layout,
+                        X,
+                        self.spec,
+                        sample_rows=rows,
+                        collect_level_stats=collect_level_stats,
+                    )
+                except StrategyNotApplicable:
+                    continue
+                decision = self.recorder.record_decision(
+                    batch_index, int(rows.shape[0]), full_ranking, choice
                 )
-        for choice in ranked:
-            if choice.predicted_time == float("inf") and self.config.strategy_override is None:
-                continue
-            try:
-                strategy = choice.instantiate()
-                return strategy.run(
-                    self.layout,
-                    X,
-                    self.spec,
-                    sample_rows=rows,
-                    collect_level_stats=collect_level_stats,
-                )
-            except StrategyNotApplicable:
-                continue
-        raise RuntimeError("no applicable inference strategy for this batch")
+                self.recorder.record_batch(batch_index, result, decision)
+                return result
+            raise RuntimeError("no applicable inference strategy for this batch")

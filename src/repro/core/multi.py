@@ -61,10 +61,11 @@ class MultiGPUTahoeEngine:
         forest: Forest,
         spec: GPUSpec,
         n_gpus: int,
-        config: TahoeConfig = TahoeConfig(),
+        config: TahoeConfig | None = None,
     ) -> None:
         if n_gpus < 1:
             raise ValueError("n_gpus must be >= 1")
+        config = config if config is not None else TahoeConfig()
         self.n_gpus = n_gpus
         self.spec = spec
         hardware = measure_hardware_parameters(spec)

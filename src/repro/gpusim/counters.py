@@ -53,6 +53,16 @@ class MemoryCounters:
             return 1.0
         return self.requested_bytes / self.fetched_bytes
 
+    def to_dict(self) -> dict:
+        """Plain-dict view for run reports and exporters."""
+        return {
+            "requested_bytes": int(self.requested_bytes),
+            "fetched_bytes": int(self.fetched_bytes),
+            "transactions": int(self.transactions),
+            "accesses": int(self.accesses),
+            "load_efficiency": float(self.load_efficiency),
+        }
+
 
 @dataclass
 class TrafficCounters:
@@ -83,6 +93,20 @@ class TrafficCounters:
     def shared_bytes(self) -> int:
         return self.shared_read.fetched_bytes + self.shared_write.fetched_bytes
 
+    def to_dict(self) -> dict:
+        """Per-class plain-dict view (classes with traffic only)."""
+        return {
+            name: counter.to_dict()
+            for name, counter in (
+                ("forest_global", self.forest_global),
+                ("sample_global", self.sample_global),
+                ("output_global", self.output_global),
+                ("shared_read", self.shared_read),
+                ("shared_write", self.shared_write),
+            )
+            if counter.accesses
+        }
+
 
 @dataclass
 class LevelStats:
@@ -94,10 +118,10 @@ class LevelStats:
     """
 
     max_levels: int
-    distance_sum: np.ndarray = field(default=None)
-    pair_count: np.ndarray = field(default=None)
-    requested: np.ndarray = field(default=None)
-    fetched: np.ndarray = field(default=None)
+    distance_sum: np.ndarray | None = None
+    pair_count: np.ndarray | None = None
+    requested: np.ndarray | None = None
+    fetched: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         if self.distance_sum is None:

@@ -73,6 +73,22 @@ class ExecutionBreakdown:
             return 0.0
         return (self.t_block_reduce + self.t_global_reduce) / self.total
 
+    def to_dict(self) -> dict:
+        """Plain-dict view for run reports (derived fields included)."""
+        return {
+            "total": self.total,
+            "t_traversal": self.t_traversal,
+            "t_global": self.t_global,
+            "t_shared": self.t_shared,
+            "t_block_reduce": self.t_block_reduce,
+            "t_global_reduce": self.t_global_reduce,
+            "t_launch": self.t_launch,
+            "t_chain": self.t_chain,
+            "imbalance": self.imbalance,
+            "bw_utilization": self.bw_utilization,
+            "latency_bound": bool(self.latency_bound),
+        }
+
 
 def execution_time(
     counters: TrafficCounters,

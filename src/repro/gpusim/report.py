@@ -4,11 +4,14 @@ Formats a :class:`~repro.strategies.base.StrategyResult` the way NVProf
 summaries read: time breakdown, per-traffic-class volumes and
 efficiencies, occupancy and imbalance indicators.  Used by the CLI's
 ``predict --verbose`` and handy in notebooks.
+
+Also renders :class:`~repro.obs.report.RunReport` artifacts (the
+``repro.obs`` telemetry layer) for the CLI's report-emitting commands.
 """
 
 from __future__ import annotations
 
-__all__ = ["format_strategy_report"]
+__all__ = ["format_run_report", "format_strategy_report"]
 
 
 def _bytes(n: int) -> str:
@@ -51,4 +54,49 @@ def format_strategy_report(result) -> str:
             f"fetched {_bytes(counter.fetched_bytes):>11}  "
             f"efficiency {counter.load_efficiency:6.1%}"
         )
+    return "\n".join(lines)
+
+
+def format_run_report(report) -> str:
+    """Multi-line summary of a :class:`~repro.obs.report.RunReport`.
+
+    Covers the three things the telemetry layer exists to track: the
+    conversion-stage breakdown (section 7.4), per-batch strategy choices,
+    and the predicted-vs-simulated model accounting (section 6).
+    """
+    lines = [
+        f"run report: engine={report.engine}  gpu={report.gpu or '?'}"
+        + (f"  dataset={report.dataset}" if report.dataset else ""),
+        f"  samples: {report.n_samples}  batch: {report.batch_size}  "
+        f"simulated time: {report.total_time * 1e3:.4f} ms",
+    ]
+    if report.conversions:
+        last = report.conversions[-1]
+        lines.append(
+            f"  conversion ({len(report.conversions)}x, last "
+            f"{last.total * 1e3:.2f} ms):"
+        )
+        for stage, seconds in last.stages.items():
+            share = seconds / last.total if last.total else 0.0
+            lines.append(f"    {stage:22} {seconds * 1e3:9.3f} ms  ({share:5.1%})")
+    if report.decisions:
+        lines.append("  batches:")
+        for d in report.decisions:
+            pred = f"{d.predicted_time * 1e3:9.4f}" if d.predicted_time else "        -"
+            sim = f"{d.simulated_time * 1e3:9.4f}" if d.simulated_time else "        -"
+            ratio = d.prediction_ratio
+            ratio_s = f"  pred/sim {ratio:5.2f}" if ratio is not None else ""
+            lines.append(
+                f"    #{d.batch_index:<3} {d.chosen:26} predicted {pred} ms  "
+                f"simulated {sim} ms{ratio_s}"
+            )
+    accounting = report.model_accounting()
+    if accounting:
+        lines.append("  model accounting (predicted vs simulated):")
+        for name, row in accounting.items():
+            lines.append(
+                f"    {name:26} n={row['n']:<4} "
+                f"mean |err| {row['mean_abs_rel_error']:6.1%}  "
+                f"mean ratio {row['mean_ratio']:5.2f}"
+            )
     return "\n".join(lines)

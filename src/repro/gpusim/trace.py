@@ -38,6 +38,7 @@ from repro.gpusim.memory import (
     transactions_per_row,
 )
 from repro.gpusim.specs import GPUSpec
+from repro.obs.trace import span
 from repro.trees.tree import LEAF
 
 __all__ = [
@@ -339,19 +340,27 @@ def trace_tree_parallel(
     if shared_batch_rows is None:
         shared_batch_rows = np.arange(sample_rows.shape[0], dtype=np.int64)
     visits = 0
-    for k in range(n_rounds):
-        tree_of_lane = np.full(pad_threads, -1, dtype=np.int64)
-        for t, assigned in enumerate(assignments):
-            if k < assigned.shape[0]:
-                tree_of_lane[t] = assigned[k]
-        for start in range(0, sample_rows.shape[0], chunk):
-            rows = sample_rows[start : start + chunk]
-            srows = shared_batch_rows[start : start + chunk]
-            visits += _traverse_chunk(
-                flat, X, rows, tree_of_lane, srows,
-                counters, level_stats, spec, node_space, sample_space,
-                leaf_sum, per_thread_steps, warp_major=False,
-            )
+    with span(
+        "gpusim.trace_tree_parallel",
+        category="kernel",
+        samples=int(sample_rows.shape[0]),
+        threads=n_threads,
+        rounds=n_rounds,
+    ) as sp:
+        for k in range(n_rounds):
+            tree_of_lane = np.full(pad_threads, -1, dtype=np.int64)
+            for t, assigned in enumerate(assignments):
+                if k < assigned.shape[0]:
+                    tree_of_lane[t] = assigned[k]
+            for start in range(0, sample_rows.shape[0], chunk):
+                rows = sample_rows[start : start + chunk]
+                srows = shared_batch_rows[start : start + chunk]
+                visits += _traverse_chunk(
+                    flat, X, rows, tree_of_lane, srows,
+                    counters, level_stats, spec, node_space, sample_space,
+                    leaf_sum, per_thread_steps, warp_major=False,
+                )
+        sp.set(node_visits=visits)
     return TraceResult(
         leaf_sum=leaf_sum,
         per_thread_steps=per_thread_steps[:n_threads],
@@ -394,17 +403,24 @@ def trace_sample_parallel(
     per_thread_steps = np.zeros(pad, dtype=np.int64)
     visits = 0
     tree_positions = np.asarray(tree_positions, dtype=np.int64)
-    for p in tree_positions:
-        for w0 in range(0, grid.shape[0], chunk_warps):
-            rows = grid[w0 : w0 + chunk_warps]
-            mask = valid[w0 : w0 + chunk_warps]
-            tree_of_lane = np.where(mask, p, -1)
-            steps_view = per_thread_steps[w0 * warp : w0 * warp + rows.size]
-            visits += _traverse_chunk(
-                flat, X, np.maximum(rows, 0), tree_of_lane, None,
-                counters, level_stats, spec, node_space, sample_space,
-                leaf_sum, steps_view, warp_major=True,
-            )
+    with span(
+        "gpusim.trace_sample_parallel",
+        category="kernel",
+        samples=n,
+        trees=int(tree_positions.shape[0]),
+    ) as sp:
+        for p in tree_positions:
+            for w0 in range(0, grid.shape[0], chunk_warps):
+                rows = grid[w0 : w0 + chunk_warps]
+                mask = valid[w0 : w0 + chunk_warps]
+                tree_of_lane = np.where(mask, p, -1)
+                steps_view = per_thread_steps[w0 * warp : w0 * warp + rows.size]
+                visits += _traverse_chunk(
+                    flat, X, np.maximum(rows, 0), tree_of_lane, None,
+                    counters, level_stats, spec, node_space, sample_space,
+                    leaf_sum, steps_view, warp_major=True,
+                )
+        sp.set(node_visits=visits)
     # Padding lanes pointed at sample row 0 but were inactive (tree -1),
     # so leaf_sum is exact; steps for pad threads are zero.
     return TraceResult(

@@ -1,0 +1,70 @@
+"""Observability: structured tracing, metrics, and run reports.
+
+The telemetry substrate every benchmark and engine claim rests on.  The
+paper grounds its results in NVProf counters (section 7.3), a five-stage
+conversion-overhead breakdown (section 7.4) and analytic-model accuracy
+checks (section 6); this package turns those one-off measurements into a
+continuously-collected, exportable record:
+
+* :mod:`repro.obs.trace` — a span-based tracer (``with span("stage")``),
+  nestable, near-zero overhead when disabled.
+* :mod:`repro.obs.metrics` — counters / gauges / histograms, plus
+  adapters for the simulator's :class:`TrafficCounters`.
+* :mod:`repro.obs.report` — the :class:`RunReport` schema: conversion
+  stage timings, per-batch strategy decisions with predicted *and*
+  simulated times, traffic summaries.
+* :mod:`repro.obs.exporters` — JSON run reports, Prometheus-style text,
+  and Chrome ``trace_event`` JSON (open in ``chrome://tracing`` or
+  Perfetto).
+* :mod:`repro.obs.recorder` — the :class:`RunRecorder` glue the engines
+  drive.
+
+The package is dependency-free within the repo (stdlib only) so every
+layer — strategies, the simulator kernel loop, the selector — can emit
+spans without import cycles.
+"""
+
+from repro.obs.exporters import (
+    chrome_trace_events,
+    load_report_json,
+    metrics_to_prometheus,
+    report_to_json,
+    write_chrome_trace,
+    write_report_json,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.recorder import RunRecorder
+from repro.obs.report import (
+    SCHEMA_VERSION,
+    BatchRecord,
+    CandidateRecord,
+    ConversionRecord,
+    RunReport,
+    SelectorDecision,
+)
+from repro.obs.trace import Span, Tracer, current_tracer, span, use_tracer
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BatchRecord",
+    "CandidateRecord",
+    "ConversionRecord",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunRecorder",
+    "RunReport",
+    "SelectorDecision",
+    "Span",
+    "Tracer",
+    "chrome_trace_events",
+    "current_tracer",
+    "load_report_json",
+    "metrics_to_prometheus",
+    "report_to_json",
+    "span",
+    "use_tracer",
+    "write_chrome_trace",
+    "write_report_json",
+]

@@ -1,0 +1,162 @@
+"""Exporters: JSON run reports, Prometheus text, Chrome trace JSON.
+
+Three output formats for the three consumers the repo has:
+
+* **JSON run reports** — the stable ``BENCH_*.json`` / ``--report-json``
+  artifact; ``load_report_json`` inverts ``write_report_json`` exactly.
+* **Prometheus exposition text** — so a scraping stack can ingest the
+  registry without a client library; names are sanitised to
+  ``[a-zA-Z0-9_]`` and histograms emit ``_count`` / ``_sum`` plus
+  quantile gauges.
+* **Chrome ``trace_event`` JSON** — spans as complete (``"ph": "X"``)
+  events, loadable in ``chrome://tracing`` or https://ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry
+from repro.obs.report import RunReport
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "chrome_trace_events",
+    "jsonable",
+    "load_report_json",
+    "metrics_to_prometheus",
+    "report_to_json",
+    "write_chrome_trace",
+    "write_report_json",
+]
+
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def jsonable(value):
+    """Coerce span args / report values into strict-JSON-safe types.
+
+    numpy scalars collapse to Python numbers, NaN/inf to ``None``,
+    unknown objects to ``str`` — JSON output never fails.
+    """
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, (int, float)):
+        # numpy scalars subclass int/float-likes via __index__/__float__;
+        # plain conversion normalises them and strips inf/nan.
+        value = float(value)
+        if value != value or value in (float("inf"), float("-inf")):
+            return None
+        return int(value) if value.is_integer() else value
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if hasattr(value, "item"):  # numpy scalar
+        return jsonable(value.item())
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# JSON run reports
+# ----------------------------------------------------------------------
+def report_to_json(report: RunReport, indent: int | None = 2) -> str:
+    """Serialise a report to strict JSON (no NaN/Infinity literals)."""
+    return json.dumps(jsonable(report.to_dict()), indent=indent, allow_nan=False)
+
+
+def write_report_json(report: RunReport, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(report_to_json(report) + "\n")
+    return path
+
+
+def load_report_json(path: str | Path) -> RunReport:
+    """Inverse of :func:`write_report_json`."""
+    return RunReport.from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition text
+# ----------------------------------------------------------------------
+def _prom_name(name: str) -> str:
+    name = _PROM_BAD.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def metrics_to_prometheus(registry: MetricsRegistry, prefix: str = "repro") -> str:
+    """Render a registry in Prometheus text exposition format."""
+    lines: list[str] = []
+    for metric in registry:
+        name = _prom_name(f"{prefix}_{metric.name}")
+        if isinstance(metric, Counter):
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {metric.value:g}")
+        elif isinstance(metric, Gauge):
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {metric.value:g}")
+        else:  # Histogram -> summary
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} summary")
+            for q in (0.5, 0.95):
+                lines.append(f'{name}{{quantile="{q}"}} {metric.quantile(q):g}')
+            lines.append(f"{name}_sum {metric.total:g}")
+            lines.append(f"{name}_count {metric.count}")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event JSON
+# ----------------------------------------------------------------------
+def chrome_trace_events(
+    tracer: Tracer, pid: int = 1, tid: int = 1, process_name: str = "repro"
+) -> list[dict]:
+    """Spans as Chrome ``trace_event`` complete events.
+
+    Timestamps are microseconds since the tracer epoch; nesting is
+    reconstructed by the viewer from time containment, which the
+    tracer's strict span nesting guarantees.
+    """
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": process_name},
+        }
+    ]
+    for s in tracer.spans:
+        events.append(
+            {
+                "name": s.name,
+                "cat": s.category or "default",
+                "ph": "X",
+                "ts": s.start * 1e6,
+                "dur": s.duration * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": jsonable(s.args),
+            }
+        )
+    return events
+
+
+def write_chrome_trace(tracer: Tracer, path: str | Path, **kwargs) -> Path:
+    """Write a ``chrome://tracing`` / Perfetto-loadable trace file."""
+    path = Path(path)
+    payload = {
+        "traceEvents": chrome_trace_events(tracer, **kwargs),
+        "displayTimeUnit": "ms",
+    }
+    path.write_text(json.dumps(payload, allow_nan=False))
+    return path

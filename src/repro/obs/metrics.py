@@ -1,0 +1,178 @@
+"""Metrics: counters, gauges, histograms, and a registry.
+
+A deliberately small instrument set (the Prometheus trinity) shared by
+the engines and benchmarks.  The registry adopts the simulator's
+existing accounting — :class:`~repro.gpusim.counters.TrafficCounters`
+(the NVProf stand-in) folds in via :meth:`MetricsRegistry.record_traffic`
+— so the paper's section 7.3 quantities become ordinary metrics instead
+of ad-hoc dataclass fields.
+
+Metric names are dotted (``traffic.forest_global.fetched_bytes``); the
+Prometheus exporter sanitises them.  Histograms keep raw observations
+(runs here are thousands of batches at most), so exact quantiles are
+available for the model-accuracy accounting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Traffic classes mirrored from ``TrafficCounters`` (duck-typed to keep
+#: this module import-cycle-free).
+_TRAFFIC_CLASSES = (
+    "forest_global",
+    "sample_global",
+    "output_global",
+    "shared_read",
+    "shared_write",
+)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing total."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """A distribution; keeps raw observations for exact quantiles."""
+
+    name: str
+    help: str = ""
+    observations: list = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self.observations.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.observations)
+
+    @property
+    def total(self) -> float:
+        return math.fsum(self.observations)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Exact q-quantile (nearest-rank); 0 when empty."""
+        if not self.observations:
+            return 0.0
+        ordered = sorted(self.observations)
+        rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+        return ordered[rank]
+
+    def summary(self) -> dict:
+        if not self.observations:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": min(self.observations),
+            "max": max(self.observations),
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry keyed by metric name.
+
+    Names are unique across types: asking for ``counter("x")`` after
+    ``gauge("x")`` is a programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind, help: str):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(name=name, help=help)
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(metric).__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, Counter, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, Gauge, help)
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self._get(name, Histogram, help)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def record_traffic(self, counters, prefix: str = "traffic") -> None:
+        """Fold one kernel's :class:`TrafficCounters` into the registry.
+
+        Accumulates requested/fetched bytes, transactions and accesses
+        per traffic class, and tracks the per-kernel load efficiency of
+        the forest stream (the paper's coalescing-quality metric) as a
+        histogram.
+        """
+        for cls in _TRAFFIC_CLASSES:
+            mc = getattr(counters, cls, None)
+            if mc is None:
+                continue
+            base = f"{prefix}.{cls}"
+            self.counter(f"{base}.requested_bytes").inc(mc.requested_bytes)
+            self.counter(f"{base}.fetched_bytes").inc(mc.fetched_bytes)
+            self.counter(f"{base}.transactions").inc(mc.transactions)
+            self.counter(f"{base}.accesses").inc(mc.accesses)
+        forest = getattr(counters, "forest_global", None)
+        if forest is not None and forest.fetched_bytes:
+            self.histogram(
+                f"{prefix}.forest_global.load_efficiency",
+                help="requested / fetched bytes per kernel (coalescing quality)",
+            ).observe(forest.load_efficiency)
+
+    def snapshot(self) -> dict:
+        """A plain-dict view of every metric (JSON-ready)."""
+        out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for metric in self._metrics.values():
+            if isinstance(metric, Counter):
+                out["counters"][metric.name] = metric.value
+            elif isinstance(metric, Gauge):
+                out["gauges"][metric.name] = metric.value
+            else:
+                out["histograms"][metric.name] = metric.summary()
+        return out
+
+    def reset(self) -> None:
+        self._metrics.clear()

@@ -1,0 +1,189 @@
+"""Span-based tracing.
+
+A :class:`Tracer` records *spans* — named, nested wall-clock intervals —
+through ordinary ``with`` blocks::
+
+    tracer = Tracer(enabled=True)
+    with use_tracer(tracer):
+        with span("convert", category="conversion"):
+            with span("node_rearrangement"):
+                ...
+
+Design constraints, in order:
+
+1. **Near-zero overhead when disabled.**  The conversion pipeline, the
+   four strategies and the simulator's kernel loop are all instrumented
+   unconditionally; with tracing off, ``span()`` returns one shared
+   no-op context manager — a dict lookup and two empty method calls, no
+   allocation, no clock read.
+2. **No import cycles.**  The module depends on the stdlib only, so any
+   layer of the repo can emit spans.
+3. **Single-threaded simplicity.**  The simulator is single-threaded;
+   the "current tracer" is a module global swapped by
+   :func:`use_tracer`, not a contextvar.
+
+Spans record start/duration relative to the tracer's epoch (a
+``perf_counter`` origin), the nesting depth at entry, and free-form
+``args`` — exactly what the Chrome ``trace_event`` exporter needs.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "Tracer", "current_tracer", "span", "use_tracer"]
+
+
+@dataclass
+class Span:
+    """One finished span.
+
+    Attributes:
+        name: span label (e.g. ``"node_rearrangement"``).
+        category: coarse grouping for trace viewers (``"conversion"``,
+            ``"kernel"``, ``"selector"`` ...).
+        start: seconds since the tracer's epoch.
+        duration: wall-clock seconds.
+        depth: nesting depth at entry (0 = top level).
+        args: free-form attributes attached via :meth:`_LiveSpan.set`.
+    """
+
+    name: str
+    category: str = ""
+    start: float = 0.0
+    duration: float = 0.0
+    depth: int = 0
+    args: dict = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+class _NullSpan:
+    """The shared no-op span handed out when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **args) -> None:
+        """Discard attributes (live spans record them)."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """An open span; appended to the tracer on ``__exit__``."""
+
+    __slots__ = ("_tracer", "name", "category", "args", "depth", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str, args: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.args = args
+        self.depth = 0
+        self._start = 0.0
+
+    def __enter__(self) -> "_LiveSpan":
+        tracer = self._tracer
+        self.depth = tracer._depth
+        tracer._depth += 1
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        end = time.perf_counter()
+        tracer = self._tracer
+        tracer._depth -= 1
+        if len(tracer.spans) < tracer.max_spans:
+            tracer.spans.append(
+                Span(
+                    name=self.name,
+                    category=self.category,
+                    start=self._start - tracer.epoch,
+                    duration=end - self._start,
+                    depth=self.depth,
+                    args=self.args,
+                )
+            )
+        else:
+            tracer.dropped += 1
+        return False
+
+    def set(self, **args) -> None:
+        """Attach attributes discovered mid-span (e.g. node visit counts)."""
+        self.args.update(args)
+
+
+class Tracer:
+    """Collects spans; cheap to keep around disabled.
+
+    Attributes:
+        enabled: when False, :meth:`span` returns the shared no-op.
+        spans: finished spans in completion order.
+        dropped: spans discarded past ``max_spans`` (backstop against
+            unbounded growth in long runs).
+        epoch: ``perf_counter`` origin all span starts are relative to.
+    """
+
+    def __init__(self, enabled: bool = True, max_spans: int = 100_000) -> None:
+        self.enabled = enabled
+        self.max_spans = max_spans
+        self.spans: list[Span] = []
+        self.dropped = 0
+        self.epoch = time.perf_counter()
+        self._depth = 0
+
+    def span(self, name: str, category: str = "", **args):
+        """A context manager timing one interval (no-op when disabled)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _LiveSpan(self, name, category, args)
+
+    def reset(self) -> None:
+        """Drop recorded spans and restart the epoch."""
+        self.spans.clear()
+        self.dropped = 0
+        self.epoch = time.perf_counter()
+        self._depth = 0
+
+    def find(self, name: str) -> list[Span]:
+        """All finished spans with the given name."""
+        return [s for s in self.spans if s.name == name]
+
+
+#: The module-level "current" tracer: disabled by default, so library
+#: code can call :func:`span` unconditionally at no cost.
+_DISABLED = Tracer(enabled=False)
+_current: Tracer = _DISABLED
+
+
+def current_tracer() -> Tracer:
+    """The tracer :func:`span` currently records into."""
+    return _current
+
+
+def span(name: str, category: str = "", **args):
+    """Open a span on the current tracer (no-op unless one is active)."""
+    return _current.span(name, category, **args)
+
+
+@contextlib.contextmanager
+def use_tracer(tracer: Tracer):
+    """Install ``tracer`` as the current tracer for the block (reentrant)."""
+    global _current
+    prev = _current
+    _current = tracer
+    try:
+        yield tracer
+    finally:
+        _current = prev

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.formats.layout import ForestLayout
 from repro.gpusim.specs import GPUSpec
+from repro.obs.trace import span
 from repro.perfmodel.microbench import measure_hardware_parameters
 from repro.perfmodel.models import (
     PredictedTime,
@@ -57,6 +58,17 @@ class StrategyChoice:
         """Build the strategy object this choice names."""
         return _STRATEGY_CLASSES[self.name]()
 
+    def to_record(self) -> dict:
+        """JSON-safe summary of this candidate (inf becomes None)."""
+        t = self.predicted_time
+        applicable = t != float("inf")
+        return {
+            "strategy": self.name,
+            "predicted_time": float(t) if applicable else None,
+            "applicable": applicable,
+            "note": self.prediction.note,
+        }
+
 
 def rank_strategies(
     layout: ForestLayout,
@@ -72,23 +84,25 @@ def rank_strategies(
     """
     if hw is None:
         hw = measure_hardware_parameters(spec)
-    sample, fp = workload_params(layout, n_batch)
-    predictions = [
-        predict_shared_data(sample, fp, hw, layout=layout),
-        predict_direct(sample, fp, hw),
-        predict_shared_forest(sample, fp, hw),
-        predict_splitting_shared_forest(sample, fp, hw, layout=layout),
-    ]
-    # Splitting additionally requires every single tree to fit.
-    biggest_tree = max(
-        t.n_nodes for t in layout.forest.trees
-    ) * layout.node_size
-    for p in predictions:
-        if p.strategy == "splitting_shared_forest" and biggest_tree > hw.shared_capacity:
-            p.applicable = False
-            p.note = "a single tree exceeds shared memory"
-    choices = [StrategyChoice(prediction=p) for p in predictions]
-    choices.sort(key=lambda c: c.predicted_time)
+    with span("rank_strategies", category="selector", batch=n_batch) as sp:
+        sample, fp = workload_params(layout, n_batch)
+        predictions = [
+            predict_shared_data(sample, fp, hw, layout=layout),
+            predict_direct(sample, fp, hw),
+            predict_shared_forest(sample, fp, hw),
+            predict_splitting_shared_forest(sample, fp, hw, layout=layout),
+        ]
+        # Splitting additionally requires every single tree to fit.
+        biggest_tree = max(
+            t.n_nodes for t in layout.forest.trees
+        ) * layout.node_size
+        for p in predictions:
+            if p.strategy == "splitting_shared_forest" and biggest_tree > hw.shared_capacity:
+                p.applicable = False
+                p.note = "a single tree exceeds shared memory"
+        choices = [StrategyChoice(prediction=p) for p in predictions]
+        choices.sort(key=lambda c: c.predicted_time)
+        sp.set(best=choices[0].name)
     return choices
 
 

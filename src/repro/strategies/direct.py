@@ -15,6 +15,7 @@ from repro.formats.layout import ForestLayout
 from repro.gpusim.engine_sim import execution_time
 from repro.gpusim.specs import GPUSpec
 from repro.gpusim.trace import trace_sample_parallel
+from repro.obs.trace import span
 from repro.strategies.base import StrategyResult, add_coalesced_staging, finalize_predictions
 
 __all__ = ["DirectStrategy"]
@@ -45,30 +46,31 @@ class DirectStrategy:
         n = int(sample_rows.shape[0])
         tpb = self._threads_per_block
         n_blocks = max(1, (n + tpb - 1) // tpb)
-        trace = trace_sample_parallel(
-            layout,
-            X,
-            sample_rows,
-            np.arange(forest.n_trees),
-            spec,
-            node_space="global",
-            sample_space="global",
-            collect_level_stats=collect_level_stats,
-        )
-        add_coalesced_staging(trace.counters, n * 4, spec, source="sample", to_shared=False)
-        max_steps = int(trace.per_thread_steps.max()) if trace.per_thread_steps.size else 0
-        waves = -(-n_blocks // spec.concurrent_blocks(tpb))
-        breakdown = execution_time(
-            trace.counters,
-            spec,
-            n_threads=n,
-            threads_per_block=tpb,
-            n_blocks=n_blocks,
-            per_thread_steps=trace.per_thread_steps,
-            chain_steps=max_steps * waves,
-            sample_first_touch_bytes=n * forest.n_attributes * 4,
-            forest_footprint_bytes=layout.total_bytes,
-        )
+        with span("strategy.direct", category="strategy", batch=n, blocks=n_blocks):
+            trace = trace_sample_parallel(
+                layout,
+                X,
+                sample_rows,
+                np.arange(forest.n_trees),
+                spec,
+                node_space="global",
+                sample_space="global",
+                collect_level_stats=collect_level_stats,
+            )
+            add_coalesced_staging(trace.counters, n * 4, spec, source="sample", to_shared=False)
+            max_steps = int(trace.per_thread_steps.max()) if trace.per_thread_steps.size else 0
+            waves = -(-n_blocks // spec.concurrent_blocks(tpb))
+            breakdown = execution_time(
+                trace.counters,
+                spec,
+                n_threads=n,
+                threads_per_block=tpb,
+                n_blocks=n_blocks,
+                per_thread_steps=trace.per_thread_steps,
+                chain_steps=max_steps * waves,
+                sample_first_touch_bytes=n * forest.n_attributes * 4,
+                forest_footprint_bytes=layout.total_bytes,
+            )
         return StrategyResult(
             strategy=self.name,
             predictions=finalize_predictions(forest, trace.leaf_sum[sample_rows]),

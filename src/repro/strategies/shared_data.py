@@ -18,6 +18,7 @@ from repro.formats.tree_rearrange import round_robin_assignment
 from repro.gpusim.engine_sim import execution_time
 from repro.gpusim.specs import GPUSpec
 from repro.gpusim.trace import trace_tree_parallel
+from repro.obs.trace import span
 from repro.strategies.base import (
     StrategyResult,
     add_coalesced_staging,
@@ -125,49 +126,52 @@ class SharedDataStrategy:
         # Samples are staged shared-memory-batch by batch; the shared row
         # of a sample is its position within its block's stage.
         shared_rows = np.arange(n, dtype=np.int64) % s_cap
-        trace = trace_tree_parallel(
-            layout,
-            X,
-            sample_rows,
-            assignments,
-            spec,
-            node_space="global",
-            sample_space="shared" if sample_fits else "global",
-            shared_batch_rows=shared_rows,
-            collect_level_stats=collect_level_stats,
-        )
-        if sample_fits:
-            add_coalesced_staging(
-                trace.counters,
-                n * forest.n_attributes * _ATT_BYTES,
+        with span(
+            "strategy.shared_data", category="strategy", batch=n, blocks=n_blocks
+        ):
+            trace = trace_tree_parallel(
+                layout,
+                X,
+                sample_rows,
+                assignments,
                 spec,
-                source="sample",
+                node_space="global",
+                sample_space="shared" if sample_fits else "global",
+                shared_batch_rows=shared_rows,
+                collect_level_stats=collect_level_stats,
             )
-        # One coalesced result write per sample.
-        add_coalesced_staging(trace.counters, n * 4, spec, source="sample", to_shared=False)
-        active_threads = min(tpb, forest.n_trees)
-        block_smem = s_cap * forest.n_attributes * _ATT_BYTES if sample_fits else 0
-        # cub::BlockReduce synchronises the whole block, so the reduction
-        # width is the block size, not just the tree-holding threads.
-        # Latency chain: the busiest thread's dependent loads, spread over
-        # the concurrently resident blocks (wave-serialised beyond that).
-        max_steps = int(trace.per_thread_steps.max()) if trace.per_thread_steps.size else 0
-        resident = spec.concurrent_blocks(tpb, block_smem)
-        chain = max_steps / max(1, min(n_blocks, resident))
-        breakdown = execution_time(
-            trace.counters,
-            spec,
-            n_threads=n_blocks * active_threads,
-            threads_per_block=tpb,
-            n_blocks=n_blocks,
-            block_reduction_events=n,
-            block_reduction_width=tpb,
-            per_thread_steps=trace.per_thread_steps,
-            chain_steps=chain,
-            block_shared_bytes=block_smem,
-            sample_first_touch_bytes=n * sample_bytes,
-            forest_footprint_bytes=layout.total_bytes,
-        )
+            if sample_fits:
+                add_coalesced_staging(
+                    trace.counters,
+                    n * forest.n_attributes * _ATT_BYTES,
+                    spec,
+                    source="sample",
+                )
+            # One coalesced result write per sample.
+            add_coalesced_staging(trace.counters, n * 4, spec, source="sample", to_shared=False)
+            active_threads = min(tpb, forest.n_trees)
+            block_smem = s_cap * forest.n_attributes * _ATT_BYTES if sample_fits else 0
+            # cub::BlockReduce synchronises the whole block, so the reduction
+            # width is the block size, not just the tree-holding threads.
+            # Latency chain: the busiest thread's dependent loads, spread over
+            # the concurrently resident blocks (wave-serialised beyond that).
+            max_steps = int(trace.per_thread_steps.max()) if trace.per_thread_steps.size else 0
+            resident = spec.concurrent_blocks(tpb, block_smem)
+            chain = max_steps / max(1, min(n_blocks, resident))
+            breakdown = execution_time(
+                trace.counters,
+                spec,
+                n_threads=n_blocks * active_threads,
+                threads_per_block=tpb,
+                n_blocks=n_blocks,
+                block_reduction_events=n,
+                block_reduction_width=tpb,
+                per_thread_steps=trace.per_thread_steps,
+                chain_steps=chain,
+                block_shared_bytes=block_smem,
+                sample_first_touch_bytes=n * sample_bytes,
+                forest_footprint_bytes=layout.total_bytes,
+            )
         result = StrategyResult(
             strategy=self.name,
             predictions=finalize_predictions(forest, trace.leaf_sum[sample_rows]),

@@ -18,6 +18,7 @@ from repro.formats.partition import PartitionError, cached_partition
 from repro.gpusim.engine_sim import execution_time
 from repro.gpusim.specs import GPUSpec
 from repro.gpusim.trace import trace_sample_parallel
+from repro.obs.trace import span
 from repro.strategies.base import (
     StrategyNotApplicable,
     StrategyResult,
@@ -64,54 +65,60 @@ class SplittingSharedForestStrategy:
         per_thread_steps: list[np.ndarray] = []
         counters = None
         staged_bytes = 0
-        for part in parts:
-            sub_forest = forest.with_trees([forest.trees[p] for p in part])
-            sub_layout = build_interleaved_layout(
-                sub_forest, layout.record, None, f"{layout.format_name}-part"
-            )
-            staged_bytes += sub_layout.total_bytes
-            trace = trace_sample_parallel(
-                sub_layout,
-                X,
-                sample_rows,
-                np.arange(len(part)),
+        with span(
+            "strategy.splitting_shared_forest",
+            category="strategy",
+            batch=n,
+            parts=len(parts),
+        ):
+            for part in parts:
+                sub_forest = forest.with_trees([forest.trees[p] for p in part])
+                sub_layout = build_interleaved_layout(
+                    sub_forest, layout.record, None, f"{layout.format_name}-part"
+                )
+                staged_bytes += sub_layout.total_bytes
+                trace = trace_sample_parallel(
+                    sub_layout,
+                    X,
+                    sample_rows,
+                    np.arange(len(part)),
+                    spec,
+                    node_space="shared",
+                    sample_space="global",
+                    collect_level_stats=collect_level_stats,
+                )
+                leaf_sum += trace.leaf_sum[sample_rows]
+                # Fold per-sample work into the part-block's tpb threads
+                # (thread j of the block handles samples j, j+tpb, ...).
+                pad = ((n + tpb - 1) // tpb) * tpb
+                folded = np.zeros(pad, dtype=np.int64)
+                folded[:n] = trace.per_thread_steps
+                per_thread_steps.append(folded.reshape(-1, tpb).sum(axis=0))
+                if counters is None:
+                    counters = trace.counters
+                else:
+                    counters.merge(trace.counters)
+            # Every part is staged from global to shared once per batch.
+            add_coalesced_staging(counters, staged_bytes, spec, source="forest")
+            add_coalesced_staging(counters, n * 4, spec, source="sample", to_shared=False)
+            steps = np.concatenate(per_thread_steps)
+            n_blocks = len(parts)
+            max_steps = int(steps.max()) if steps.size else 0
+            block_smem = min(spec.shared_mem_per_block, max(staged_bytes // max(n_blocks, 1), 1))
+            waves = -(-n_blocks // spec.concurrent_blocks(tpb, block_smem))
+            breakdown = execution_time(
+                counters,
                 spec,
-                node_space="shared",
-                sample_space="global",
-                collect_level_stats=collect_level_stats,
+                n_threads=n_blocks * tpb,
+                threads_per_block=tpb,
+                n_blocks=n_blocks,
+                global_reduction_events=1,
+                global_reduction_blocks=n_blocks,
+                per_thread_steps=steps,
+                chain_steps=max_steps * waves,
+                block_shared_bytes=block_smem,
+                sample_first_touch_bytes=n * forest.n_attributes * 4,
             )
-            leaf_sum += trace.leaf_sum[sample_rows]
-            # Fold per-sample work into the part-block's tpb threads
-            # (thread j of the block handles samples j, j+tpb, ...).
-            pad = ((n + tpb - 1) // tpb) * tpb
-            folded = np.zeros(pad, dtype=np.int64)
-            folded[:n] = trace.per_thread_steps
-            per_thread_steps.append(folded.reshape(-1, tpb).sum(axis=0))
-            if counters is None:
-                counters = trace.counters
-            else:
-                counters.merge(trace.counters)
-        # Every part is staged from global to shared once per batch.
-        add_coalesced_staging(counters, staged_bytes, spec, source="forest")
-        add_coalesced_staging(counters, n * 4, spec, source="sample", to_shared=False)
-        steps = np.concatenate(per_thread_steps)
-        n_blocks = len(parts)
-        max_steps = int(steps.max()) if steps.size else 0
-        block_smem = min(spec.shared_mem_per_block, max(staged_bytes // max(n_blocks, 1), 1))
-        waves = -(-n_blocks // spec.concurrent_blocks(tpb, block_smem))
-        breakdown = execution_time(
-            counters,
-            spec,
-            n_threads=n_blocks * tpb,
-            threads_per_block=tpb,
-            n_blocks=n_blocks,
-            global_reduction_events=1,
-            global_reduction_blocks=n_blocks,
-            per_thread_steps=steps,
-            chain_steps=max_steps * waves,
-            block_shared_bytes=block_smem,
-            sample_first_touch_bytes=n * forest.n_attributes * 4,
-        )
         return StrategyResult(
             strategy=self.name,
             predictions=finalize_predictions(forest, leaf_sum),

@@ -1,0 +1,167 @@
+"""Exporters: JSON round trips, Prometheus text, Chrome trace validity."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.exporters import (
+    chrome_trace_events,
+    jsonable,
+    load_report_json,
+    metrics_to_prometheus,
+    report_to_json,
+    write_chrome_trace,
+    write_report_json,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import (
+    SCHEMA_VERSION,
+    BatchRecord,
+    CandidateRecord,
+    ConversionRecord,
+    RunReport,
+    SelectorDecision,
+)
+from repro.obs.trace import Tracer
+
+
+def _sample_report() -> RunReport:
+    return RunReport(
+        engine="tahoe",
+        gpu="Tesla P100",
+        dataset="letter",
+        n_samples=300,
+        batch_size=100,
+        total_time=0.012,
+        conversions=[
+            ConversionRecord(
+                stages={"fetch_probabilities": 0.001, "copy_to_gpu": 0.002},
+                total=0.003,
+            )
+        ],
+        batches=[
+            BatchRecord(
+                index=0,
+                strategy="shared_data",
+                batch_size=100,
+                simulated_time=0.004,
+                n_blocks=3,
+                threads_per_block=128,
+                breakdown={"total": 0.004, "t_traversal": 0.003},
+                traffic={"forest_global": {"requested_bytes": 64, "fetched_bytes": 128}},
+            )
+        ],
+        decisions=[
+            SelectorDecision(
+                batch_index=0,
+                batch_size=100,
+                chosen="shared_data",
+                predicted_time=0.0039,
+                simulated_time=0.004,
+                candidates=[
+                    CandidateRecord("shared_data", 0.0039),
+                    CandidateRecord("shared_forest", None, applicable=False, note="too big"),
+                ],
+            )
+        ],
+        metrics={"counters": {"batches_total": 1.0}},
+        meta={"note": "fixture"},
+    )
+
+
+def test_report_json_round_trip_is_exact(tmp_path):
+    report = _sample_report()
+    path = write_report_json(report, tmp_path / "report.json")
+    loaded = load_report_json(path)
+    assert loaded.to_dict() == report.to_dict()
+    # and the artifact really is strict JSON with the schema marker
+    raw = json.loads(path.read_text())
+    assert raw["schema_version"] == SCHEMA_VERSION
+
+
+def test_report_json_has_no_infinity_literals():
+    report = _sample_report()
+    report.decisions[0].predicted_time = float("inf")
+    text = report_to_json(report)
+    assert "Infinity" not in text
+    assert json.loads(text)["decisions"][0]["predicted_time"] is None
+
+
+def test_from_dict_refuses_newer_schema():
+    payload = _sample_report().to_dict()
+    payload["schema_version"] = SCHEMA_VERSION + 1
+    with pytest.raises(ValueError, match="newer"):
+        RunReport.from_dict(payload)
+
+
+def test_jsonable_coerces_numpy_inf_and_objects():
+    value = {
+        "i": np.int64(3),
+        "f": np.float32(1.5),
+        "arr": (np.float64(2.0), 1),
+        "inf": float("inf"),
+        "nan": float("nan"),
+        "obj": object(),
+        "ok": True,
+    }
+    out = jsonable(value)
+    assert out["i"] == 3 and isinstance(out["i"], int)
+    assert out["f"] == 1.5
+    assert out["arr"] == [2, 1]
+    assert out["inf"] is None and out["nan"] is None
+    assert isinstance(out["obj"], str)
+    assert out["ok"] is True
+    json.dumps(out, allow_nan=False)  # must not raise
+
+
+def test_prometheus_text_format():
+    reg = MetricsRegistry()
+    reg.counter("batches_total", help="batches executed").inc(3)
+    reg.gauge("conversion_last_seconds").set(0.25)
+    h = reg.histogram("selector.prediction_ratio")
+    for v in (0.9, 1.0, 1.1):
+        h.observe(v)
+    text = metrics_to_prometheus(reg, prefix="repro")
+    assert "# HELP repro_batches_total batches executed" in text
+    assert "# TYPE repro_batches_total counter" in text
+    assert "repro_batches_total 3" in text
+    assert "repro_conversion_last_seconds 0.25" in text
+    # dotted names are sanitised; histograms render as summaries
+    assert "# TYPE repro_selector_prediction_ratio summary" in text
+    assert 'repro_selector_prediction_ratio{quantile="0.5"} 1' in text
+    assert "repro_selector_prediction_ratio_count 3" in text
+    assert text.endswith("\n")
+
+
+def test_chrome_trace_events_structure():
+    tracer = Tracer(enabled=True)
+    with tracer.span("outer", category="conversion"):
+        with tracer.span("inner", trees=np.int32(8)):
+            pass
+    events = chrome_trace_events(tracer, pid=7, tid=2, process_name="demo")
+    meta, *spans = events
+    assert meta["ph"] == "M" and meta["args"]["name"] == "demo"
+    assert [e["name"] for e in spans] == ["inner", "outer"]
+    for e in spans:
+        assert e["ph"] == "X"
+        assert e["pid"] == 7 and e["tid"] == 2
+        assert e["ts"] >= 0 and e["dur"] >= 0
+    inner, outer = spans
+    assert inner["args"] == {"trees": 8}  # numpy arg coerced
+    # time containment is what the viewer uses to nest spans
+    assert outer["ts"] <= inner["ts"]
+    assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-3
+
+
+def test_write_chrome_trace_is_loadable_json(tmp_path):
+    tracer = Tracer(enabled=True)
+    with tracer.span("a"):
+        pass
+    path = write_chrome_trace(tracer, tmp_path / "trace.json")
+    payload = json.loads(path.read_text())
+    assert payload["displayTimeUnit"] == "ms"
+    assert isinstance(payload["traceEvents"], list)
+    assert len(payload["traceEvents"]) == 2  # metadata + one span
