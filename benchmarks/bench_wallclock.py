@@ -1,0 +1,193 @@
+"""Wall-clock tracking of the simulator hot path across PRs.
+
+Unlike the figure/table benchmarks — whose interesting output is the
+*simulated* GPU time — this benchmark measures how long the simulator
+itself takes to run, so kernel-level optimisations (PR 2's sort-free
+memory model and batched trace accounting) stay visible and regressions
+are caught.
+
+Scenarios:
+
+* ``predict`` — the profiled workload from the PR-2 issue: a 60-tree /
+  depth-8 random forest on letter, 3 000 samples, P100 spec, end-to-end
+  through ``TahoeEngine.predict()`` (selector, COA probe and all).
+* ``tree_parallel`` / ``sample_parallel`` — the two raw trace kernels on
+  the same forest, isolating the lockstep loop from the engine.
+
+Each scenario key embeds its workload size, so quick-mode (CI) and
+full-mode (local) numbers coexist in ``BENCH_wallclock.json`` and are
+only ever compared like-for-like.  The artifact is written through
+:func:`common.write_bench_report` (schema-versioned envelope); existing
+scenario entries from the committed baseline are preserved on merge.
+
+Usage::
+
+    python benchmarks/bench_wallclock.py            # full mode
+    python benchmarks/bench_wallclock.py --quick    # CI perf-smoke mode
+
+The script *warns* (GitHub annotation + stderr) when a scenario runs
+more than ``--regress-factor`` (default 2x) slower than the committed
+baseline in ``benchmarks/results/BENCH_wallclock.json``; it never fails
+the build — CI runners are too noisy for a hard wall-clock gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np
+
+import common
+from repro.core import TahoeEngine
+from repro.datasets import load_dataset, train_test_split
+from repro.formats import build_adaptive_layout
+from repro.formats.tree_rearrange import round_robin_assignment
+from repro.gpusim.specs import GPU_SPECS
+from repro.gpusim.trace import trace_sample_parallel, trace_tree_parallel
+from repro.trees import RandomForestTrainer
+from repro.trees.io import forest_from_dict, forest_to_dict
+
+RESULT_PATH = common._RESULTS_DIR / "BENCH_wallclock.json"
+CACHE = Path(__file__).resolve().parent / ".cache" / "wallclock-letter-rf60d8.json"
+
+N_TREES, MAX_DEPTH = 60, 8
+
+
+def profiled_workload():
+    """The issue's profiled scenario: 60-tree depth-8 RF, letter, P100."""
+    data = load_dataset("letter", scale=0.6, seed=11)
+    split = train_test_split(data, seed=11)
+    if CACHE.exists():
+        forest = forest_from_dict(json.loads(CACHE.read_text()))
+    else:
+        forest = RandomForestTrainer(
+            n_trees=N_TREES, max_depth=MAX_DEPTH, seed=3
+        ).fit(split.train)
+        CACHE.parent.mkdir(exist_ok=True)
+        CACHE.write_text(json.dumps(forest_to_dict(forest)))
+    X = split.test.X
+    if X.shape[0] < 3000:
+        X = np.tile(X, (3000 // X.shape[0] + 1, 1))[:3000]
+    return forest, np.ascontiguousarray(X[:3000])
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_scenarios(quick: bool) -> dict:
+    """Time every scenario; returns {scenario_key: entry}."""
+    n = 600 if quick else 3000
+    repeats = 1 if quick else 3
+    forest, X_full = profiled_workload()
+    X = X_full[:n]
+    spec = GPU_SPECS["P100"]
+    engine = TahoeEngine(forest, spec)
+    engine.predict(X[:50])  # warm layout caches and the COA probe
+    layout = build_adaptive_layout(forest)
+    assignments = round_robin_assignment(forest.n_trees, 64)
+    rows = np.arange(n, dtype=np.int64)
+    trees = np.arange(forest.n_trees, dtype=np.int64)
+    scenarios = {
+        f"predict/letter_rf60d8/P100/n{n}": lambda: engine.predict(X),
+        f"kernel/tree_parallel/letter_rf60d8/n{n}": lambda: trace_tree_parallel(
+            layout, X, rows, assignments, spec
+        ),
+        f"kernel/sample_parallel/letter_rf60d8/n{n}": lambda: trace_sample_parallel(
+            layout, X, rows, trees, spec
+        ),
+    }
+    out = {}
+    for key, fn in scenarios.items():
+        wall = _best_of(fn, repeats)
+        out[key] = {
+            "wall_s": wall,
+            "samples": n,
+            "trees": int(forest.n_trees),
+            "max_depth": MAX_DEPTH,
+            "repeats": repeats,
+            "mode": "quick" if quick else "full",
+        }
+        print(f"{key:45} {wall * 1e3:9.1f} ms")
+    return out
+
+
+def load_baseline() -> dict:
+    """Scenario entries of the committed artifact (empty when absent)."""
+    if not RESULT_PATH.exists():
+        return {}
+    try:
+        return json.loads(RESULT_PATH.read_text())["payload"]["scenarios"]
+    except (json.JSONDecodeError, KeyError):
+        return {}
+
+
+def check_regressions(
+    baseline: dict, fresh: dict, factor: float
+) -> list[str]:
+    """Warn-only comparison against the committed per-scenario numbers."""
+    warnings = []
+    for key, entry in fresh.items():
+        old = baseline.get(key)
+        if not old or old.get("wall_s", 0) <= 0:
+            continue
+        ratio = entry["wall_s"] / old["wall_s"]
+        if ratio > factor:
+            warnings.append(
+                f"{key}: {entry['wall_s'] * 1e3:.1f} ms is {ratio:.2f}x the "
+                f"baseline {old['wall_s'] * 1e3:.1f} ms (threshold {factor}x)"
+            )
+    return warnings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI perf-smoke mode")
+    parser.add_argument(
+        "--regress-factor",
+        type=float,
+        default=2.0,
+        help="warn when a scenario is this many times slower than the baseline",
+    )
+    args = parser.parse_args(argv)
+    baseline = load_baseline()
+    fresh = run_scenarios(quick=args.quick)
+    for warning in check_regressions(baseline, fresh, args.regress_factor):
+        # GitHub Actions renders ::warning:: as an annotation; stderr for
+        # local runs.
+        print(f"::warning title=perf-smoke regression::{warning}")
+        print(f"PERF WARNING: {warning}", file=sys.stderr)
+    merged = dict(baseline)
+    merged.update(fresh)
+    path = common.write_bench_report(
+        "wallclock", {"wallclock_schema": 1, "scenarios": merged}
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+def test_wallclock_smoke(benchmark):
+    """Suite entry: track the quick scenarios alongside the figure runs."""
+    fresh = benchmark.pedantic(lambda: run_scenarios(quick=True), rounds=1, iterations=1)
+    merged = dict(load_baseline())
+    merged.update(fresh)
+    common.write_bench_report("wallclock", {"wallclock_schema": 1, "scenarios": merged})
+    assert all(entry["wall_s"] > 0 for entry in fresh.values())
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

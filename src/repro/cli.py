@@ -15,8 +15,10 @@ compares Tahoe against the FIL baseline on the dataset's inference
 split.  ``predict --report-json out.json`` additionally writes the run's
 :class:`~repro.obs.report.RunReport` (conversion stages, per-batch
 strategy decisions with predicted and simulated times, traffic
-counters); ``trace`` records spans and writes a Chrome ``trace_event``
-file loadable in ``chrome://tracing`` or Perfetto.
+counters); ``predict --cprofile out.pstats`` additionally dumps CPU
+profiler data for the run (the workflow behind docs/performance.md);
+``trace`` records spans and writes a Chrome ``trace_event`` file
+loadable in ``chrome://tracing`` or Perfetto.
 """
 
 from __future__ import annotations
@@ -147,8 +149,21 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     X = split.test.X[: args.limit] if args.limit else split.test.X
     tahoe = TahoeEngine(forest, spec)
     fil = FILEngine(forest, spec)
+    profiler = None
+    if args.cprofile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     rt = tahoe.predict(X, batch_size=args.batch, report=bool(args.report_json))
     rf = fil.predict(X, batch_size=args.batch)
+    if profiler is not None:
+        profiler.disable()
+        profiler.dump_stats(args.cprofile)
+        print(
+            f"wrote {args.cprofile} — inspect with "
+            f"python -m pstats {args.cprofile} (sort cumtime / stats 25)"
+        )
     if not np.allclose(rt.predictions, rf.predictions, atol=1e-5):
         print("WARNING: engines disagree on predictions", file=sys.stderr)
         return 1
@@ -249,6 +264,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=None)
     p.add_argument("--verbose", action="store_true")
     p.add_argument("--report-json", type=Path, default=None, dest="report_json")
+    p.add_argument(
+        "--cprofile",
+        type=Path,
+        default=None,
+        help="profile both engines' predict() and dump pstats data to FILE",
+    )
     p.set_defaults(func=_cmd_predict)
 
     p = sub.add_parser(

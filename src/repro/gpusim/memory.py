@@ -13,6 +13,20 @@ deep tree levels (section 3).
 Shared memory: 32 banks of 4 bytes.  Lanes hitting the same bank at
 different 4-byte words serialise; the per-access cost multiplier is the
 maximum bank multiplicity of the warp access.
+
+These kernels are the simulator's innermost loop — every strategy, the
+COA probe and the selector funnel all of their accounting through them —
+so they are written around a single 1-D sort per call:
+
+* :func:`transactions_per_row` sorts the masked *addresses* once and
+  derives both granule sizes (128 B transactions, 32 B sectors) from the
+  same sorted array (floor division is monotonic, so sorted addresses
+  yield sorted granule indices).
+* :func:`bank_conflict_factor` packs each active ``(row, word)`` pair
+  into one int64 key, deduplicates with a single 1-D sort, and reduces
+  per-``(row, bank)`` multiplicities with ``np.bincount`` — replacing a
+  lexicographic ``np.unique(axis=0)`` over (row, bank, word) triples
+  that cost three sorts and dominated the simulator's profile.
 """
 
 from __future__ import annotations
@@ -32,21 +46,22 @@ _SENTINEL = np.int64(np.iinfo(np.int64).max)
 SECTOR_BYTES = 32
 
 
-def _distinct_per_row(start: np.ndarray, end: np.ndarray, active: np.ndarray):
-    """Distinct [start, end] granule count per row (ends inclusive).
+def _distinct_granules(
+    addr_sorted: np.ndarray,
+    first_active: np.ndarray,
+    granule_bytes: int,
+) -> np.ndarray:
+    """Distinct start granules per row, from row-sorted masked addresses.
 
-    ``start``/``end`` are granule indices per lane; inactive lanes are
-    excluded.  Straddling accesses (end > start) count their extra
-    granules.
+    ``addr_sorted`` has inactive lanes pushed to the right as
+    ``_SENTINEL``; dividing keeps it sorted, so distinct granules are
+    counted from adjacent differences without re-sorting per granule
+    size.
     """
-    start_m = np.where(active, start, _SENTINEL)
-    spans = np.where(active, end - start, 0)
-    start_sorted = np.sort(start_m, axis=1)
-    # A new granule starts at each distinct index among active lanes;
-    # transitions into the inactive-lane sentinel region must not count.
-    fresh = (np.diff(start_sorted, axis=1) > 0) & (start_sorted[:, 1:] != _SENTINEL)
-    first_active = start_sorted[:, 0] != _SENTINEL
-    return first_active.astype(np.int64) + fresh.sum(axis=1) + spans.sum(axis=1)
+    start_sorted = addr_sorted // granule_bytes
+    sentinel = _SENTINEL // granule_bytes
+    fresh = (np.diff(start_sorted, axis=1) > 0) & (start_sorted[:, 1:] != sentinel)
+    return first_active.astype(np.int64) + fresh.sum(axis=1)
 
 
 def transactions_per_row(
@@ -72,18 +87,22 @@ def transactions_per_row(
     """
     addresses = np.asarray(addresses, dtype=np.int64)
     active = np.asarray(active, dtype=bool)
-    transactions = _distinct_per_row(
-        addresses // transaction_bytes,
-        (addresses + access_bytes - 1) // transaction_bytes,
-        active,
-    )
-    sectors = _distinct_per_row(
-        addresses // SECTOR_BYTES,
-        (addresses + access_bytes - 1) // SECTOR_BYTES,
-        active,
-    )
+    addr_sorted = np.sort(np.where(active, addresses, _SENTINEL), axis=1)
+    first_active = addr_sorted[:, 0] != _SENTINEL
+    # Straddling accesses contribute their extra granules independently
+    # of lane order; computed from the unsorted arrays so the sentinel
+    # never enters the ``+ access_bytes - 1`` arithmetic.
+    last = addresses + (access_bytes - 1)
+    tx = _distinct_granules(addr_sorted, first_active, transaction_bytes)
+    tx += np.where(
+        active, last // transaction_bytes - addresses // transaction_bytes, 0
+    ).sum(axis=1)
+    sectors = _distinct_granules(addr_sorted, first_active, SECTOR_BYTES)
+    sectors += np.where(
+        active, last // SECTOR_BYTES - addresses // SECTOR_BYTES, 0
+    ).sum(axis=1)
     requested = active.sum(axis=1).astype(np.int64) * access_bytes
-    return transactions, sectors, requested
+    return tx, sectors, requested
 
 
 def coalesced_transactions(
@@ -145,11 +164,36 @@ def bank_conflict_factor(
     if r_idx.size == 0:
         return factor
     words = addresses[r_idx, l_idx] // bank_width
-    banks = words % n_banks
-    # Distinct (row, bank, word) triples; the multiplicity of each
-    # (row, bank) among them is that bank's conflict degree for the row.
-    triples = np.unique(np.stack([r_idx, banks, words], axis=1), axis=0)
-    row_bank = triples[:, 0] * np.int64(n_banks) + triples[:, 1]
+    # The bank is derived from the word (bank = word % n_banks), so the
+    # distinct (row, bank, word) triples of the model are exactly the
+    # distinct (row, word) pairs — packable into one int64 key.
+    wmin = words.min()
+    span = int(words.max() - wmin) + 1
+    if span > int(np.iinfo(np.int64).max) // max(rows, 1):
+        return _bank_conflict_factor_wide(
+            factor, r_idx, words, rows, n_banks
+        )
+    keys = np.sort(r_idx * np.int64(span) + (words - wmin))
+    distinct = np.empty(keys.shape[0], dtype=bool)
+    distinct[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=distinct[1:])
+    keys = keys[distinct]
+    urow = keys // span
+    ubank = (keys - urow * span + wmin) % n_banks
+    degree = np.bincount(urow * np.int64(n_banks) + ubank, minlength=rows * n_banks)
+    return degree.reshape(rows, n_banks).max(axis=1)
+
+
+def _bank_conflict_factor_wide(
+    factor: np.ndarray,
+    r_idx: np.ndarray,
+    words: np.ndarray,
+    rows: int,
+    n_banks: int,
+) -> np.ndarray:
+    """Fallback when the (row, word) key range overflows int64 packing."""
+    pairs = np.unique(np.stack([r_idx, words], axis=1), axis=0)
+    row_bank = pairs[:, 0] * np.int64(n_banks) + pairs[:, 1] % n_banks
     uniq_rb, degree = np.unique(row_bank, return_counts=True)
     np.maximum.at(factor, uniq_rb // n_banks, degree)
     return factor

@@ -22,6 +22,17 @@ the reference predictor bit-for-bit).
 Address spaces are disjoint: the forest lives at byte 0, samples at
 ``SAMPLE_BASE``, outputs at ``OUTPUT_BASE`` — matching distinct
 allocations on a real device.
+
+Hot-path structure (PR 2): the lockstep loop only *records* each level's
+``(addr, alive)`` warp rows into per-chunk buffers; all counter and
+level-stat arithmetic is flushed in one vectorised call per chunk
+(:class:`_AccessBuffer`), leaf values accumulate through a single
+``np.bincount``, fully-finished tile rows are compacted away mid-chunk,
+and the sample-parallel mapping stacks several trees into one tile so
+the Python-level loop count drops from ``n_trees x n_chunks`` to
+``ceil(n_trees / trees_per_tile) x n_chunks``.  Equivalence tests pin
+every observable output to the original per-level implementation
+(``tests/test_kernel_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -39,7 +50,6 @@ from repro.gpusim.memory import (
 )
 from repro.gpusim.specs import GPUSpec
 from repro.obs.trace import span
-from repro.trees.tree import LEAF
 
 __all__ = [
     "FlatForest",
@@ -137,67 +147,109 @@ def _as_warp_rows(arr: np.ndarray, warp_size: int) -> np.ndarray:
     return arr.reshape(rows * (lanes // warp_size), warp_size)
 
 
-def _account_node_fetch(
-    counters: TrafficCounters,
-    level_stats: LevelStats | None,
-    level: int,
-    addr: np.ndarray,
-    alive: np.ndarray,
-    node_space: str,
-    spec: GPUSpec,
-    node_size: int,
-) -> None:
-    """Charge one lockstep node fetch (already reshaped to warp rows)."""
-    if node_space == "global":
-        tx, sectors, req = transactions_per_row(
-            addr, alive, spec.transaction_bytes, node_size
-        )
-        total_tx = int(tx.sum())
-        total_req = int(req.sum())
-        fetched = int(sectors.sum()) * 32
-        counters.forest_global.add(total_req, fetched, total_tx, int(alive.sum()))
-        if level_stats is not None and level < level_stats.max_levels:
-            dist, pairs = adjacent_lane_distances(addr, alive)
-            level_stats.distance_sum[level] += float(dist.sum())
-            level_stats.pair_count[level] += int(pairs.sum())
-            level_stats.requested[level] += total_req
-            level_stats.fetched[level] += fetched
-    elif node_space == "shared":
+class _AccessBuffer:
+    """Per-chunk buffer of warp-row accesses, flushed in one batch.
+
+    The lockstep loop appends each level's ``(addr, alive)`` warp rows
+    (plus the level id when level stats are wanted); :meth:`flush` then
+    runs the memory-model kernel exactly once over the concatenation.
+    Buffered rows are warp-shaped, so concatenating levels — or even
+    different trees' tiles — never mixes lanes across rows, and every
+    per-row quantity the kernels emit is independent of the batching.
+    """
+
+    __slots__ = ("_addr", "_active", "_levels", "_track_levels")
+
+    def __init__(self, track_levels: bool) -> None:
+        self._addr: list[np.ndarray] = []
+        self._active: list[np.ndarray] = []
+        self._levels: list[np.ndarray] = []
+        self._track_levels = track_levels
+
+    def append(self, addr: np.ndarray, active: np.ndarray, level: int) -> None:
+        self._addr.append(addr)
+        self._active.append(active)
+        if self._track_levels:
+            self._levels.append(np.full(addr.shape[0], level, dtype=np.int64))
+
+    def flush_node(
+        self,
+        counters: TrafficCounters,
+        level_stats: LevelStats | None,
+        node_space: str,
+        spec: GPUSpec,
+        node_size: int,
+    ) -> None:
+        """Charge all buffered node fetches to the right traffic class."""
+        if not self._addr:
+            return
+        addr = np.concatenate(self._addr)
+        active = np.concatenate(self._active)
+        if node_space == "global":
+            tx, sectors, req = transactions_per_row(
+                addr, active, spec.transaction_bytes, node_size
+            )
+            fetched_rows = sectors * 32
+            counters.forest_global.add(
+                int(req.sum()), int(fetched_rows.sum()), int(tx.sum()), int(active.sum())
+            )
+            if level_stats is not None:
+                lev = np.concatenate(self._levels)
+                mask = lev < level_stats.max_levels
+                if mask.any():
+                    lv = lev[mask]
+                    cap = level_stats.max_levels
+                    dist, pairs = adjacent_lane_distances(addr[mask], active[mask])
+                    level_stats.distance_sum += np.bincount(
+                        lv, weights=dist, minlength=cap
+                    )
+                    level_stats.pair_count += np.bincount(
+                        lv, weights=pairs, minlength=cap
+                    ).astype(np.int64)
+                    level_stats.requested += np.bincount(
+                        lv, weights=req[mask], minlength=cap
+                    ).astype(np.int64)
+                    level_stats.fetched += np.bincount(
+                        lv, weights=fetched_rows[mask], minlength=cap
+                    ).astype(np.int64)
+        elif node_space == "shared":
+            self._flush_shared(counters, node_size)
+        else:
+            raise ValueError(f"unknown node_space {node_space!r}")
+
+    def flush_sample(
+        self, counters: TrafficCounters, sample_space: str, spec: GPUSpec
+    ) -> None:
+        """Charge all buffered attribute fetches."""
+        if not self._addr:
+            return
+        if sample_space == "global":
+            addr = np.concatenate(self._addr)
+            active = np.concatenate(self._active)
+            tx, sectors, req = transactions_per_row(
+                addr, active, spec.transaction_bytes, _ATT_BYTES
+            )
+            counters.sample_global.add(
+                int(req.sum()), int(sectors.sum()) * 32, int(tx.sum()), int(active.sum())
+            )
+        elif sample_space == "shared":
+            self._flush_shared(counters, _ATT_BYTES)
+        else:
+            raise ValueError(f"unknown sample_space {sample_space!r}")
+
+    def _flush_shared(self, counters: TrafficCounters, access_bytes: int) -> None:
         # Conflict factor f serialises the warp access into f replays:
         # effective bytes moved = requested bytes of the row times f.
-        factor = bank_conflict_factor(addr, alive)
-        per_row_req = alive.sum(axis=1).astype(np.int64) * node_size
-        req = int(per_row_req.sum())
-        fetched = int((per_row_req * np.maximum(factor, 1)).sum())
-        counters.shared_read.add(req, fetched, int(factor.sum()), int(alive.sum()))
-    else:
-        raise ValueError(f"unknown node_space {node_space!r}")
-
-
-def _account_sample_fetch(
-    counters: TrafficCounters,
-    addr: np.ndarray,
-    active: np.ndarray,
-    sample_space: str,
-    spec: GPUSpec,
-) -> None:
-    """Charge one lockstep attribute fetch (warp rows)."""
-    if sample_space == "global":
-        tx, sectors, req = transactions_per_row(
-            addr, active, spec.transaction_bytes, _ATT_BYTES
-        )
-        total_tx = int(tx.sum())
-        counters.sample_global.add(
-            int(req.sum()), int(sectors.sum()) * 32, total_tx, int(active.sum())
-        )
-    elif sample_space == "shared":
+        addr = np.concatenate(self._addr)
+        active = np.concatenate(self._active)
         factor = bank_conflict_factor(addr, active)
-        per_row_req = active.sum(axis=1).astype(np.int64) * _ATT_BYTES
-        req = int(per_row_req.sum())
-        fetched = int((per_row_req * np.maximum(factor, 1)).sum())
-        counters.shared_read.add(req, fetched, int(factor.sum()), int(active.sum()))
-    else:
-        raise ValueError(f"unknown sample_space {sample_space!r}")
+        per_row_req = active.sum(axis=1).astype(np.int64) * access_bytes
+        counters.shared_read.add(
+            int(per_row_req.sum()),
+            int((per_row_req * np.maximum(factor, 1)).sum()),
+            int(factor.sum()),
+            int(active.sum()),
+        )
 
 
 def _traverse_chunk(
@@ -221,8 +273,9 @@ def _traverse_chunk(
         sample_rows: (rows, lanes) sample index per slot, or (rows,) when
             every lane of a row shares the sample (tree-parallel).
         tree_of_lane: (lanes,) layout tree position per lane (-1 = idle)
-            for tree-parallel, or a scalar array broadcast for
-            sample-parallel (every lane same tree).
+            for tree-parallel, or a (rows, lanes) matrix when different
+            tile rows walk different trees (sample-parallel tree
+            stacking).
         shared_rows: shared-memory row index per slot when samples are
             cached in shared memory (None otherwise).
         leaf_sum: per-sample accumulator, indexed by sample row.
@@ -231,16 +284,37 @@ def _traverse_chunk(
         warp_major: True when the (rows, lanes) tile is already
             warp-shaped (sample-parallel); False when lanes span a whole
             block and must be re-chunked into warps for accounting.
+
+    Rows whose lanes have all finished are compacted out of the live
+    tile; all memory accounting is buffered per level and flushed once
+    per chunk (see :class:`_AccessBuffer`).
     """
     rows = sample_rows.shape[0]
     lanes = tree_of_lane.shape[0] if tree_of_lane.ndim == 1 else tree_of_lane.shape[1]
-    sample_2d = sample_rows if sample_rows.ndim == 2 else np.broadcast_to(
-        sample_rows[:, None], (rows, lanes)
+    sample_2d = np.ascontiguousarray(
+        sample_rows
+        if sample_rows.ndim == 2
+        else np.broadcast_to(sample_rows[:, None], (rows, lanes))
     )
     tree_2d = np.broadcast_to(tree_of_lane, (rows, lanes))
-    alive = np.broadcast_to(tree_of_lane >= 0, (rows, lanes)).copy()
-    cur = np.zeros((rows, lanes), dtype=np.int64)
+    alive = (tree_2d >= 0).copy() if tree_2d.base is not None else tree_2d >= 0
     base = flat.offsets[np.maximum(tree_2d, 0)]
+    cur = np.zeros((rows, lanes), dtype=np.int64)
+    srow_2d = None
+    if sample_space == "shared":
+        srow = shared_rows if shared_rows is not None else sample_2d
+        srow_2d = np.ascontiguousarray(
+            srow if srow.ndim == 2 else np.broadcast_to(srow[:, None], (rows, lanes))
+        ).astype(np.int64)
+    # Per-thread step accounting: tree-parallel sums over tile rows
+    # directly; sample-parallel needs the original row ids to survive
+    # compaction, so it accumulates into a local tile first.
+    local_steps = np.zeros((rows, lanes), dtype=np.int64) if warp_major else None
+    row_ids = np.arange(rows, dtype=np.int64)
+    node_buf = _AccessBuffer(track_levels=level_stats is not None)
+    samp_buf = _AccessBuffer(track_levels=False)
+    leaf_idx_parts: list[np.ndarray] = []
+    leaf_val_parts: list[np.ndarray] = []
     visits = 0
     level = 0
     n_att = flat.n_attributes
@@ -248,40 +322,37 @@ def _traverse_chunk(
         idx = base + cur
         addr = np.where(alive, flat.address[idx], np.int64(-1))
         if warp_major:
-            warp_addr, warp_alive = addr, alive
+            node_buf.append(addr, alive, level)
         else:
-            warp_addr = _as_warp_rows(addr, spec.warp_size)
-            warp_alive = _as_warp_rows(alive, spec.warp_size)
-        _account_node_fetch(
-            counters, level_stats, level, warp_addr, warp_alive,
-            node_space, spec, flat.node_size,
-        )
+            node_buf.append(
+                _as_warp_rows(addr, spec.warp_size),
+                _as_warp_rows(alive, spec.warp_size),
+                level,
+            )
         visits += int(alive.sum())
         if warp_major:
-            # Sample-parallel: one thread per slot, accumulator is flat.
-            step_rows += alive.reshape(-1)
+            local_steps[row_ids] += alive
         else:
-            # Tree-parallel: lanes are block threads, rows are samples.
             step_rows += alive.sum(axis=0)
         leaf_here = alive & flat.is_leaf[idx]
         if leaf_here.any():
-            contrib = np.where(leaf_here, flat.value[idx], 0.0).astype(np.float64)
-            np.add.at(leaf_sum, sample_2d[leaf_here], contrib[leaf_here])
+            leaf_idx_parts.append(sample_2d[leaf_here])
+            leaf_val_parts.append(flat.value[idx[leaf_here]].astype(np.float64))
         decide = alive & ~leaf_here
         if decide.any():
             feat = np.where(decide, flat.feature[idx], 0)
             if sample_space == "shared":
-                srow = shared_rows if shared_rows is not None else sample_2d
-                srow2d = srow if srow.ndim == 2 else np.broadcast_to(srow[:, None], (rows, lanes))
-                s_addr = (srow2d.astype(np.int64) * n_att + feat) * _ATT_BYTES
+                s_addr = (srow_2d * n_att + feat) * _ATT_BYTES
             else:
                 s_addr = SAMPLE_BASE + (sample_2d.astype(np.int64) * n_att + feat) * _ATT_BYTES
             if warp_major:
-                w_s_addr, w_decide = s_addr, decide
+                samp_buf.append(s_addr, decide, level)
             else:
-                w_s_addr = _as_warp_rows(s_addr, spec.warp_size)
-                w_decide = _as_warp_rows(decide, spec.warp_size)
-            _account_sample_fetch(counters, w_s_addr, w_decide, sample_space, spec)
+                samp_buf.append(
+                    _as_warp_rows(s_addr, spec.warp_size),
+                    _as_warp_rows(decide, spec.warp_size),
+                    level,
+                )
             vals = X[sample_2d, feat]
             missing = np.isnan(vals)
             go_left = (vals < flat.threshold[idx]) ^ flat.flip[idx]
@@ -292,6 +363,27 @@ def _traverse_chunk(
         level += 1
         if level > 64:
             raise RuntimeError("traversal exceeded 64 levels; corrupt tree?")
+        # Compact finished tile rows out of the live state.
+        live = alive.any(axis=1)
+        if not live.all():
+            keep = np.nonzero(live)[0]
+            alive = alive[keep]
+            cur = cur[keep]
+            base = base[keep]
+            sample_2d = sample_2d[keep]
+            row_ids = row_ids[keep]
+            if srow_2d is not None:
+                srow_2d = srow_2d[keep]
+    node_buf.flush_node(counters, level_stats, node_space, spec, flat.node_size)
+    samp_buf.flush_sample(counters, sample_space, spec)
+    if leaf_idx_parts:
+        leaf_sum += np.bincount(
+            np.concatenate(leaf_idx_parts),
+            weights=np.concatenate(leaf_val_parts),
+            minlength=leaf_sum.shape[0],
+        )
+    if warp_major:
+        step_rows += local_steps.reshape(-1)
     return visits
 
 
@@ -339,6 +431,11 @@ def trace_tree_parallel(
     sample_rows = np.asarray(sample_rows, dtype=np.int64)
     if shared_batch_rows is None:
         shared_batch_rows = np.arange(sample_rows.shape[0], dtype=np.int64)
+    # One padded (n_rounds, pad_threads) assignment matrix up front
+    # instead of rebuilding the lane map once per round.
+    assign_matrix = np.full((n_rounds, pad_threads), -1, dtype=np.int64)
+    for t, assigned in enumerate(assignments):
+        assign_matrix[: assigned.shape[0], t] = assigned
     visits = 0
     with span(
         "gpusim.trace_tree_parallel",
@@ -348,10 +445,7 @@ def trace_tree_parallel(
         rounds=n_rounds,
     ) as sp:
         for k in range(n_rounds):
-            tree_of_lane = np.full(pad_threads, -1, dtype=np.int64)
-            for t, assigned in enumerate(assignments):
-                if k < assigned.shape[0]:
-                    tree_of_lane[t] = assigned[k]
+            tree_of_lane = assign_matrix[k]
             for start in range(0, sample_rows.shape[0], chunk):
                 rows = sample_rows[start : start + chunk]
                 srows = shared_batch_rows[start : start + chunk]
@@ -381,12 +475,19 @@ def trace_sample_parallel(
     collect_level_stats: bool = False,
     max_levels: int = 32,
     chunk_warps: int = 64,
+    trees_per_tile: int = 8,
 ) -> TraceResult:
     """Trace the one-sample-per-thread mapping.
 
     Every thread owns one sample from ``sample_rows`` and walks every tree
     in ``tree_positions`` (the block's tree set — the whole forest for the
     direct and shared-forest strategies, one part for splitting).
+
+    ``trees_per_tile`` trees are stacked into the row dimension of each
+    traversal tile, so the Python loop runs ``ceil(n_trees /
+    trees_per_tile) x n_chunks`` times instead of once per (tree, chunk)
+    pair.  Warp rows stay independent, so all counters are identical to
+    the tree-at-a-time loop.
     """
     flat = flatten_layout(layout)
     sample_rows = np.asarray(sample_rows, dtype=np.int64)
@@ -403,23 +504,33 @@ def trace_sample_parallel(
     per_thread_steps = np.zeros(pad, dtype=np.int64)
     visits = 0
     tree_positions = np.asarray(tree_positions, dtype=np.int64)
+    trees_per_tile = max(1, int(trees_per_tile))
     with span(
         "gpusim.trace_sample_parallel",
         category="kernel",
         samples=n,
         trees=int(tree_positions.shape[0]),
     ) as sp:
-        for p in tree_positions:
+        for p0 in range(0, tree_positions.shape[0], trees_per_tile):
+            tile_trees = tree_positions[p0 : p0 + trees_per_tile]
+            t = tile_trees.shape[0]
             for w0 in range(0, grid.shape[0], chunk_warps):
                 rows = grid[w0 : w0 + chunk_warps]
                 mask = valid[w0 : w0 + chunk_warps]
-                tree_of_lane = np.where(mask, p, -1)
-                steps_view = per_thread_steps[w0 * warp : w0 * warp + rows.size]
-                visits += _traverse_chunk(
-                    flat, X, np.maximum(rows, 0), tree_of_lane, None,
-                    counters, level_stats, spec, node_space, sample_space,
-                    leaf_sum, steps_view, warp_major=True,
+                tile_rows = np.tile(rows, (t, 1))
+                tree_of_lane = np.where(
+                    np.tile(mask, (t, 1)),
+                    np.repeat(tile_trees, rows.shape[0])[:, None],
+                    np.int64(-1),
                 )
+                tile_steps = np.zeros(tile_rows.size, dtype=np.int64)
+                visits += _traverse_chunk(
+                    flat, X, np.maximum(tile_rows, 0), tree_of_lane, None,
+                    counters, level_stats, spec, node_space, sample_space,
+                    leaf_sum, tile_steps, warp_major=True,
+                )
+                seg = per_thread_steps[w0 * warp : w0 * warp + rows.size]
+                seg += tile_steps.reshape(t, rows.size).sum(axis=0)
         sp.set(node_visits=visits)
     # Padding lanes pointed at sample row 0 but were inactive (tree -1),
     # so leaf_sum is exact; steps for pad threads are zero.

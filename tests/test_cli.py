@@ -65,6 +65,20 @@ class TestCli:
         assert "speedup" in out
         assert "Tahoe" in out and "FIL" in out
 
+    def test_predict_cprofile_dumps_pstats(self, forest_file, tmp_path, capsys):
+        stats_path = tmp_path / "run.pstats"
+        code = main(
+            ["predict", "--forest", str(forest_file), "--dataset", "letter",
+             "--scale", "0.08", "--limit", "60", "--cprofile", str(stats_path)]
+        )
+        assert code == 0
+        assert "run.pstats" in capsys.readouterr().out
+        import pstats
+
+        stats = pstats.Stats(str(stats_path))
+        functions = {name for _, _, name in stats.stats}
+        assert "_traverse_chunk" in functions
+
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])

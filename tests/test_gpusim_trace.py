@@ -182,3 +182,32 @@ class TestSampleParallel:
             trace_sample_parallel(
                 layout, test_X, np.arange(4), np.arange(2), p100, node_space="l2",
             )
+
+    @pytest.mark.parametrize("trees_per_tile", [1, 3, 64])
+    def test_tree_stacking_invariant(self, small_forest, test_X, p100, trees_per_tile):
+        """Stacking trees into one tile must not change any observable."""
+        layout = build_reorg_layout(small_forest)
+        rows = np.arange(70)
+        trees = np.arange(small_forest.n_trees)
+        kwargs = dict(collect_level_stats=True, chunk_warps=2)
+        baseline = trace_sample_parallel(
+            layout, test_X, rows, trees, p100, trees_per_tile=8, **kwargs
+        )
+        other = trace_sample_parallel(
+            layout, test_X, rows, trees, p100, trees_per_tile=trees_per_tile, **kwargs
+        )
+        np.testing.assert_array_equal(baseline.leaf_sum, other.leaf_sum)
+        np.testing.assert_array_equal(
+            baseline.per_thread_steps, other.per_thread_steps
+        )
+        assert baseline.node_visits == other.node_visits
+        for cls in ("forest_global", "sample_global", "shared_read"):
+            assert getattr(baseline.counters, cls).to_dict() == getattr(
+                other.counters, cls
+            ).to_dict()
+        np.testing.assert_array_equal(
+            baseline.level_stats.requested, other.level_stats.requested
+        )
+        np.testing.assert_array_equal(
+            baseline.level_stats.distance_sum, other.level_stats.distance_sum
+        )

@@ -1,4 +1,13 @@
-"""Property-based tests for the coalescing model and hashing primitives."""
+"""Property-based tests for the coalescing model and hashing primitives.
+
+The packed-key kernels (PR 2) are additionally checked against
+brute-force per-row Python references on randomized address/mask
+patterns — including all-inactive rows, same-word broadcasts and
+straddling accesses — so the single-sort implementations can never
+silently drift from the model they encode.
+"""
+
+from collections import Counter
 
 import numpy as np
 from hypothesis import given, settings
@@ -14,6 +23,113 @@ addr_arrays = arrays(
     shape=st.tuples(st.integers(1, 8), st.integers(1, 32)),
     elements=st.integers(0, 1 << 20),
 )
+
+
+def ref_transactions_per_row(addr, active, transaction_bytes=128, access_bytes=4):
+    """Naive per-row reference for the coalescing model.
+
+    Distinct start granules among active lanes, plus one extra granule
+    per boundary an access straddles (the model's exact semantics).
+    """
+    tx, sectors, req = [], [], []
+    for a_row, m_row in zip(addr, active):
+        lanes = [int(a) for a, m in zip(a_row, m_row) if m]
+        counts = []
+        for granule in (transaction_bytes, 32):
+            starts = {a // granule for a in lanes}
+            straddle = sum(
+                (a + access_bytes - 1) // granule - a // granule for a in lanes
+            )
+            counts.append(len(starts) + straddle)
+        tx.append(counts[0])
+        sectors.append(counts[1])
+        req.append(len(lanes) * access_bytes)
+    return np.array(tx), np.array(sectors), np.array(req)
+
+
+def ref_bank_conflict_factor(addr, active, n_banks=32, bank_width=4):
+    """Naive per-row reference: max multiplicity of distinct words per bank."""
+    out = []
+    for a_row, m_row in zip(addr, active):
+        words = {int(a) // bank_width for a, m in zip(a_row, m_row) if m}
+        if not words:
+            out.append(0)
+            continue
+        out.append(max(Counter(w % n_banks for w in words).values()))
+    return np.array(out)
+
+
+@given(addr_arrays, st.data(), st.sampled_from([1, 4, 8, 9, 16]))
+@settings(max_examples=80, deadline=None)
+def test_transactions_match_reference(addr, data, access_bytes):
+    active = data.draw(arrays(dtype=bool, shape=addr.shape, elements=st.booleans()))
+    tx, sectors, req = transactions_per_row(addr, active, access_bytes=access_bytes)
+    rtx, rsec, rreq = ref_transactions_per_row(addr, active, access_bytes=access_bytes)
+    np.testing.assert_array_equal(tx, rtx)
+    np.testing.assert_array_equal(sectors, rsec)
+    np.testing.assert_array_equal(req, rreq)
+
+
+@given(addr_arrays, st.data())
+@settings(max_examples=80, deadline=None)
+def test_bank_conflict_matches_reference(addr, data):
+    active = data.draw(arrays(dtype=bool, shape=addr.shape, elements=st.booleans()))
+    np.testing.assert_array_equal(
+        bank_conflict_factor(addr, active), ref_bank_conflict_factor(addr, active)
+    )
+
+
+def test_bank_conflict_edge_cases():
+    # All-inactive rows get factor 0; same-word lanes broadcast (factor 1);
+    # same-bank different-word lanes serialise.
+    addr = np.array(
+        [
+            [4, 4, 4, 4],  # same word -> broadcast
+            [0, 128, 256, 384],  # bank 0, four distinct words
+            [0, 4, 8, 12],  # four distinct banks
+            [7, 7, 7, 7],  # inactive row
+        ],
+        dtype=np.int64,
+    )
+    active = np.ones_like(addr, dtype=bool)
+    active[3] = False
+    np.testing.assert_array_equal(bank_conflict_factor(addr, active), [1, 4, 1, 0])
+    np.testing.assert_array_equal(
+        bank_conflict_factor(addr, active), ref_bank_conflict_factor(addr, active)
+    )
+
+
+def test_bank_conflict_wide_span_fallback():
+    # Word spread too wide for int64 key packing: the kernel must fall
+    # back to lexicographic dedup and still match the reference.
+    big = np.int64(1) << 62
+    addr = np.stack(
+        [np.array([0, 4, big, big + 4, big + 128, 0, 4, 128], dtype=np.int64)] * 64
+    )
+    active = np.ones_like(addr, dtype=bool)
+    result = bank_conflict_factor(addr, active)
+    np.testing.assert_array_equal(result, ref_bank_conflict_factor(addr, active))
+
+
+def test_transactions_straddling_and_broadcast_edges():
+    addr = np.array(
+        [
+            [126, 126, 126, 126],  # same straddling access in every lane
+            [0, 32, 64, 96],  # four sectors, one transaction
+            [0, 0, 0, 0],  # broadcast
+            [120, 130, 250, 260],  # mixed boundaries
+        ],
+        dtype=np.int64,
+    )
+    active = np.ones_like(addr, dtype=bool)
+    for access_bytes in (1, 4, 8, 9):
+        tx, sectors, req = transactions_per_row(addr, active, access_bytes=access_bytes)
+        rtx, rsec, rreq = ref_transactions_per_row(
+            addr, active, access_bytes=access_bytes
+        )
+        np.testing.assert_array_equal(tx, rtx)
+        np.testing.assert_array_equal(sectors, rsec)
+        np.testing.assert_array_equal(req, rreq)
 
 
 @given(addr_arrays, st.data())
