@@ -42,7 +42,7 @@ def _tahoe_cv(forest, X, spec, batch):
     # Force the shared-data strategy so both engines use the same
     # algorithm and only the layout/assignment differs (table 3 isolates
     # load balance, not strategy choice).
-    engine = TahoeEngine(forest, spec, TahoeConfig(strategy_override="shared_data"))
+    engine = TahoeEngine(forest, spec, config=TahoeConfig(strategy_override="shared_data"))
     result = engine.predict(X, batch_size=batch)
     return np.mean([coefficient_of_variation(b.per_thread_steps) for b in result.batches])
 

@@ -59,7 +59,7 @@ def main() -> None:
     # paths, then check the node order adapted.
     drifted = X + 1.5  # shift every attribute: different branches go hot
     counting_engine = TahoeEngine(
-        forest_v2, spec, TahoeConfig(count_edge_probabilities=True, edge_count_decay=0.0)
+        forest_v2, spec, config=TahoeConfig(count_edge_probabilities=True, edge_count_decay=0.0)
     )
     before = [tree.flip.copy() for tree in counting_engine.forest.trees]
     counting_engine.predict(drifted)  # counts routing, triggers reconversion

@@ -32,7 +32,7 @@ def main() -> None:
     # Tracing is off by default (the no-op spans cost almost nothing);
     # opt in through the engine config.
     spec = GPU_SPECS["P100"].scaled(compute=1 / 16)
-    engine = TahoeEngine(forest, spec, TahoeConfig(obs=ObsConfig(tracing=True)))
+    engine = TahoeEngine(forest, spec, config=TahoeConfig(obs=ObsConfig(tracing=True)))
 
     # report=True asks for the RunReport artifact alongside predictions.
     result = engine.predict(X, batch_size=100, report=True)

@@ -25,8 +25,12 @@ paper-vs-measured record of every table and figure.
 
 from repro.core import (
     ConversionStats,
+    Engine,
     EngineResult,
     FILEngine,
+    LayoutCache,
+    MultiGPUResult,
+    MultiGPUTahoeEngine,
     ObsConfig,
     TahoeConfig,
     TahoeEngine,
@@ -35,16 +39,20 @@ from repro.gpusim.specs import GPU_SPECS, GPUSpec
 from repro.trees.forest import Forest
 from repro.trees.tree import DecisionTree
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ConversionStats",
     "DecisionTree",
+    "Engine",
     "EngineResult",
     "FILEngine",
     "Forest",
     "GPUSpec",
     "GPU_SPECS",
+    "LayoutCache",
+    "MultiGPUResult",
+    "MultiGPUTahoeEngine",
     "ObsConfig",
     "TahoeConfig",
     "TahoeEngine",

@@ -191,6 +191,99 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core import LayoutCache
+    from repro.obs.exporters import jsonable
+    from repro.serving import ServerConfig, TahoeServer, poisson_workload
+    from repro.trees import train_forest_for_spec
+
+    if not args.bench:
+        print(
+            "repro serve currently ships the synthetic benchmark harness only; "
+            "run with --bench",
+            file=sys.stderr,
+        )
+        return 2
+    if args.quick:
+        args.qps = min(args.qps, 500.0)
+        args.duration = min(args.duration, 0.5)
+    spec = GPU_SPECS[args.gpu]
+    workload = train_forest_for_spec(
+        args.dataset, scale=args.scale, tree_scale=args.tree_scale, seed=args.seed
+    )
+    cache = LayoutCache()
+    server = TahoeServer(
+        workload.forest,
+        spec,
+        server_config=ServerConfig(
+            n_engines=args.n_engines,
+            max_batch=args.max_batch,
+            max_wait=args.max_wait_ms / 1e3,
+            max_queue=args.max_queue,
+        ),
+        layout_cache=cache,
+    )
+    requests = poisson_workload(
+        workload.split.test.X,
+        qps=args.qps,
+        duration=args.duration,
+        seed=args.seed,
+        deadline=args.deadline_ms / 1e3 if args.deadline_ms else None,
+    )
+    result = server.run(requests, report=True)
+    s = result.summary
+    payload = {
+        "schema_version": 1,
+        "kind": "serving_bench",
+        "gpu": spec.name,
+        "dataset": args.dataset,
+        "config": {
+            "qps": args.qps,
+            "duration_s": args.duration,
+            "n_engines": args.n_engines,
+            "max_batch": args.max_batch,
+            "max_wait_ms": args.max_wait_ms,
+            "max_queue": args.max_queue,
+            "deadline_ms": args.deadline_ms,
+            "quick": bool(args.quick),
+        },
+        "summary": s,
+        "report": result.report.to_dict(),
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(jsonable(payload), indent=2))
+    lat = s["latency_s"]
+    print(
+        f"served {s['completed']}/{s['requests']} requests "
+        f"({s['rejected_queue_full']} backpressure, "
+        f"{s['rejected_deadline']} expired, {s['deadline_misses']} late)"
+    )
+    print(
+        f"offered {s['offered_qps']:.0f} qps (target {args.qps:.0f}) -> "
+        f"achieved {s['achieved_qps']:.0f} qps "
+        f"on {s['n_engines']} engine(s), flush point {s['target_batch']}"
+    )
+    print(
+        f"latency p50 {lat['p50'] * 1e3:.3f} ms  p99 {lat['p99'] * 1e3:.3f} ms  "
+        f"max {lat['max'] * 1e3:.3f} ms over {s['batches']} micro-batches"
+    )
+    hits = s["layout_cache"]["hits"]
+    print(
+        f"layout cache: {hits} hit(s), {s['layout_cache']['misses']} miss(es) — "
+        f"replica conversions: "
+        + ", ".join(
+            f"{'hit' if c['cache_hit'] else 'miss'} {c['total_s'] * 1e3:.2f} ms"
+            for c in s["conversions"]
+        )
+    )
+    print(f"wrote {out}")
+    sustained = s["achieved_qps"] >= 0.9 * min(args.qps, s["offered_qps"])
+    if not sustained:
+        print("WARNING: configured QPS not sustained", file=sys.stderr)
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.gpusim.report import format_run_report
     from repro.obs import write_chrome_trace, write_report_json
@@ -201,7 +294,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     split = train_test_split(data, seed=args.seed)
     X = split.test.X[: args.limit] if args.limit else split.test.X
     config = TahoeConfig(obs=ObsConfig(tracing=True))
-    engine = TahoeEngine(forest, spec, config)
+    engine = TahoeEngine(forest, spec, config=config)
     result = engine.predict(X, batch_size=args.batch, report=True)
     result.report.dataset = args.dataset
     tracer = engine.recorder.tracer
@@ -271,6 +364,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="profile both engines' predict() and dump pstats data to FILE",
     )
     p.set_defaults(func=_cmd_predict)
+
+    p = sub.add_parser(
+        "serve",
+        help="micro-batching serving layer (synthetic open-loop benchmark)",
+    )
+    p.add_argument(
+        "--bench",
+        action="store_true",
+        help="drive a Poisson open-loop workload and write BENCH_serving.json",
+    )
+    p.add_argument("--quick", action="store_true", help="CI-sized run (caps qps/duration)")
+    p.add_argument("--dataset", default="letter", choices=DATASET_ORDER)
+    p.add_argument("--gpu", choices=sorted(GPU_SPECS), default="P100")
+    p.add_argument("--scale", type=float, default=0.05)
+    p.add_argument("--tree-scale", type=float, default=0.05, dest="tree_scale")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--qps", type=float, default=2000.0, help="offered request rate")
+    p.add_argument("--duration", type=float, default=2.0, help="arrival window, seconds")
+    p.add_argument("--n-engines", type=int, default=2, dest="n_engines")
+    p.add_argument("--max-batch", type=int, default=1024, dest="max_batch")
+    p.add_argument("--max-wait-ms", type=float, default=2.0, dest="max_wait_ms")
+    p.add_argument("--max-queue", type=int, default=4096, dest="max_queue")
+    p.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=50.0,
+        dest="deadline_ms",
+        help="per-request latency budget (0 disables deadlines)",
+    )
+    p.add_argument(
+        "--out", type=Path, default=Path("benchmarks/results/BENCH_serving.json")
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "trace", help="run inference with tracing on and write a Chrome trace"

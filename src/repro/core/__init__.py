@@ -1,5 +1,9 @@
 """Tahoe: the adaptive inference engine (paper section 6.2, Algorithm 1).
 
+* :class:`~repro.core.base.Engine` — the protocol every engine
+  conforms to: keyword-only construction after ``(forest, spec)``,
+  uniform ``predict(X, *, batch_size=None, report=False)``, and
+  ``update_forest`` returning :class:`ConversionStats`.
 * :class:`~repro.core.engine.TahoeEngine` — offline hardware detection,
   online adaptive-format conversion (with per-stage timing for the
   section 7.4 overhead analysis), per-batch model-guided strategy
@@ -7,20 +11,29 @@
   learning reconversion.
 * :class:`~repro.core.fil.FILEngine` — the RAPIDS FIL baseline: reorg
   format + shared-data strategy, no rearrangement, fixed-width records.
+* :class:`~repro.core.multi.MultiGPUTahoeEngine` — data-parallel pool of
+  Tahoe replicas sharing one converted layout.
+* :class:`~repro.core.cache.LayoutCache` — converted-forest reuse, so
+  rebuilding an engine (or a replica) from an unchanged forest skips
+  the conversion pipeline.
 * :mod:`repro.core.metrics` — throughput / speedup / CV helpers used by
   every benchmark.
 """
 
+from repro.core.base import ConversionStats, Engine, EngineResult
+from repro.core.cache import LayoutCache
 from repro.core.config import ObsConfig, TahoeConfig
-from repro.core.engine import ConversionStats, EngineResult, TahoeEngine
+from repro.core.engine import TahoeEngine
 from repro.core.fil import FILEngine
 from repro.core.metrics import geometric_mean, speedup, throughput
 from repro.core.multi import MultiGPUResult, MultiGPUTahoeEngine
 
 __all__ = [
     "ConversionStats",
+    "Engine",
     "EngineResult",
     "FILEngine",
+    "LayoutCache",
     "MultiGPUResult",
     "MultiGPUTahoeEngine",
     "ObsConfig",

@@ -1,0 +1,152 @@
+"""The unified engine surface: one protocol, one result shape.
+
+Every engine in :mod:`repro.core` — :class:`~repro.core.engine.TahoeEngine`,
+:class:`~repro.core.fil.FILEngine` and
+:class:`~repro.core.multi.MultiGPUTahoeEngine` — conforms to the
+:class:`Engine` protocol:
+
+* construction is ``Engine(forest, spec, *, config=..., hardware=...,
+  recorder=..., layout_cache=...)`` — everything after ``(forest, spec)``
+  is keyword-only,
+* inference is ``predict(X, *, batch_size=None, report=False)`` and
+  returns an :class:`EngineResult` (or a subclass),
+* ``update_forest(forest)`` returns the :class:`ConversionStats` of the
+  reconversion,
+* an empty inference batch raises ``ValueError("empty inference
+  batch")`` instead of failing mid-batch.
+
+The old positional call shapes (``TahoeEngine(forest, spec, config)``,
+``MultiGPUTahoeEngine(forest, spec, n_gpus, config)``, positional
+``predict(X, batch_size)``) keep working for one release behind
+:func:`adopt_deprecated_positionals`, which maps them onto the keyword
+surface and emits a :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from repro.obs.report import RunReport
+    from repro.strategies import StrategyResult
+    from repro.trees.forest import Forest
+
+__all__ = [
+    "ConversionStats",
+    "Engine",
+    "EngineResult",
+    "adopt_deprecated_positionals",
+    "check_batch",
+]
+
+
+@dataclass
+class ConversionStats:
+    """Wall-clock seconds of the online CPU part (section 7.4's five stages).
+
+    ``cache_hit`` marks a conversion the
+    :class:`~repro.core.cache.LayoutCache` satisfied without running the
+    pipeline — the stage timings are then all zero and ``t_cache_lookup``
+    is the only cost paid.
+    """
+
+    t_fetch_probabilities: float = 0.0
+    t_node_rearrangement: float = 0.0
+    t_similarity_detection: float = 0.0
+    t_format_conversion: float = 0.0
+    t_copy_to_gpu: float = 0.0
+    t_cache_lookup: float = 0.0
+    cache_hit: bool = False
+
+    @property
+    def total(self) -> float:
+        return (
+            self.t_fetch_probabilities
+            + self.t_node_rearrangement
+            + self.t_similarity_detection
+            + self.t_format_conversion
+            + self.t_copy_to_gpu
+            + self.t_cache_lookup
+        )
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one ``Engine.predict`` call.
+
+    Attributes:
+        predictions: final per-sample predictions.
+        total_time: simulated GPU seconds over all batches.
+        batches: per-batch strategy results.
+        strategies_used: strategy name per batch.
+        report: the run's :class:`~repro.obs.report.RunReport` (only when
+            ``predict(..., report=True)``).
+    """
+
+    predictions: np.ndarray
+    total_time: float
+    batches: "list[StrategyResult]" = field(default_factory=list)
+    strategies_used: list[str] = field(default_factory=list)
+    report: "RunReport | None" = None
+
+    @property
+    def throughput(self) -> float:
+        n = self.predictions.shape[0]
+        return n / self.total_time if self.total_time > 0 else float("inf")
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """What every inference engine exposes (structural typing)."""
+
+    def predict(
+        self, X: np.ndarray, *, batch_size: int | None = None, report: bool = False
+    ) -> EngineResult: ...
+
+    def update_forest(self, forest: "Forest") -> ConversionStats: ...
+
+    def build_report(self, **meta) -> "RunReport": ...
+
+
+def adopt_deprecated_positionals(
+    args: tuple, names: tuple[str, ...], kwargs: dict, context: str
+) -> None:
+    """Map legacy positional arguments onto keyword-only parameters.
+
+    Mutates ``kwargs`` in place (``kwargs[name]`` must be the
+    already-bound keyword value, ``None`` meaning "not given").  One
+    :class:`DeprecationWarning` per call; a positional argument that
+    collides with an explicit keyword raises ``TypeError`` exactly like
+    a normal duplicate argument would.
+    """
+    if not args:
+        return
+    if len(args) > len(names):
+        raise TypeError(
+            f"{context} takes at most {len(names)} deprecated positional "
+            f"arguments ({', '.join(names)}); got {len(args)}"
+        )
+    shape = ", ".join(f"{n}=..." for n in names[: len(args)])
+    warnings.warn(
+        f"positional arguments to {context} are deprecated and will be "
+        f"removed in the next release; call it with keyword arguments "
+        f"({shape})",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    for name, value in zip(names, args):
+        if kwargs.get(name) is not None:
+            raise TypeError(f"{context} got multiple values for argument {name!r}")
+        kwargs[name] = value
+
+
+def check_batch(X: np.ndarray) -> np.ndarray:
+    """Coerce an inference batch to float32 and reject empty input."""
+    X = np.asarray(X, dtype=np.float32)
+    if X.shape[0] == 0:
+        raise ValueError("empty inference batch")
+    return X

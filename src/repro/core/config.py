@@ -62,3 +62,21 @@ class TahoeConfig:
     count_edge_probabilities: bool = False
     edge_count_decay: float = 0.9
     obs: ObsConfig = field(default_factory=ObsConfig)
+
+    def conversion_key(self) -> tuple:
+        """The knobs the conversion pipeline's output depends on.
+
+        Hashable; part of the :class:`~repro.core.cache.LayoutCache`
+        key.  Runtime-only knobs (strategy override, observability,
+        edge counting) deliberately excluded — they never change the
+        layout.
+        """
+        return (
+            self.t_nodes,
+            self.l_hash,
+            self.m_chunks,
+            self.node_rearrangement,
+            self.tree_rearrangement,
+            self.variable_width,
+            self.similarity_method,
+        )

@@ -18,11 +18,16 @@ Workflow, exactly as the paper stages it:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.core.base import (
+    ConversionStats,
+    EngineResult,
+    adopt_deprecated_positionals,
+    check_batch,
+)
+from repro.core.cache import LayoutCache
 from repro.core.config import TahoeConfig
 from repro.obs.recorder import RunRecorder
 from repro.obs.trace import span
@@ -37,60 +42,16 @@ from repro.strategies import StrategyNotApplicable, StrategyResult
 from repro.trees.forest import Forest
 from repro.trees.probabilities import update_visit_counts
 
-if TYPE_CHECKING:
-    from repro.obs.report import RunReport
-
 __all__ = ["ConversionStats", "EngineResult", "TahoeEngine"]
-
-
-@dataclass
-class ConversionStats:
-    """Wall-clock seconds of the online CPU part (section 7.4's five stages)."""
-
-    t_fetch_probabilities: float = 0.0
-    t_node_rearrangement: float = 0.0
-    t_similarity_detection: float = 0.0
-    t_format_conversion: float = 0.0
-    t_copy_to_gpu: float = 0.0
-
-    @property
-    def total(self) -> float:
-        return (
-            self.t_fetch_probabilities
-            + self.t_node_rearrangement
-            + self.t_similarity_detection
-            + self.t_format_conversion
-            + self.t_copy_to_gpu
-        )
-
-
-@dataclass
-class EngineResult:
-    """Outcome of one :meth:`TahoeEngine.predict` call.
-
-    Attributes:
-        predictions: final per-sample predictions.
-        total_time: simulated GPU seconds over all batches.
-        batches: per-batch strategy results.
-        strategies_used: strategy name per batch.
-        report: the run's :class:`~repro.obs.report.RunReport` (only when
-            ``predict(..., report=True)``).
-    """
-
-    predictions: np.ndarray
-    total_time: float
-    batches: list[StrategyResult] = field(default_factory=list)
-    strategies_used: list[str] = field(default_factory=list)
-    report: "RunReport | None" = None
-
-    @property
-    def throughput(self) -> float:
-        n = self.predictions.shape[0]
-        return n / self.total_time if self.total_time > 0 else float("inf")
 
 
 class TahoeEngine:
     """Tree structure-aware adaptive inference engine.
+
+    Everything after ``(forest, spec)`` is keyword-only (the shared
+    :class:`~repro.core.base.Engine` surface); the old positional
+    ``TahoeEngine(forest, spec, config)`` shape still works for one
+    release with a :class:`DeprecationWarning`.
 
     Args:
         forest: trained forest (visit counts carry the edge
@@ -101,16 +62,26 @@ class TahoeEngine:
         hardware: pre-measured hardware parameters (reuse across engines
             on the same GPU; measured on demand otherwise).
         recorder: telemetry sink (built from ``config.obs`` otherwise).
+        layout_cache: converted-layout cache shared across engines; a
+            hit skips the whole conversion pipeline (``conversion_stats``
+            records it).
     """
 
     def __init__(
         self,
         forest: Forest,
         spec: GPUSpec,
+        *args,
         config: TahoeConfig | None = None,
         hardware: HardwareParams | None = None,
         recorder: RunRecorder | None = None,
+        layout_cache: LayoutCache | None = None,
     ) -> None:
+        kw = {"config": config, "hardware": hardware, "recorder": recorder}
+        adopt_deprecated_positionals(
+            args, ("config", "hardware", "recorder"), kw, "TahoeEngine(...)"
+        )
+        config, hardware, recorder = kw["config"], kw["hardware"], kw["recorder"]
         self.spec = spec
         self.config = config if config is not None else TahoeConfig()
         obs = self.config.obs
@@ -118,6 +89,7 @@ class TahoeEngine:
             tracing=obs.tracing, metrics=obs.metrics, max_spans=obs.max_spans
         )
         self.hardware = hardware or measure_hardware_parameters(spec)
+        self.layout_cache = layout_cache
         self.layout: ForestLayout | None = None
         self.conversion_stats = ConversionStats()
         self._convert(forest)
@@ -126,6 +98,22 @@ class TahoeEngine:
     # Online part: format optimisation (Algorithm 1, lines 5-7)
     # ------------------------------------------------------------------
     def _convert(self, forest: Forest) -> None:
+        cache_key = None
+        if self.layout_cache is not None:
+            t0 = time.perf_counter()
+            cache_key = LayoutCache.key(forest, self.spec, self.config.conversion_key())
+            cached = self.layout_cache.get(cache_key)
+            lookup = time.perf_counter() - t0
+            if cached is not None:
+                with self.recorder.activate(), span(
+                    "engine.convert", category="conversion", cache_hit=True
+                ):
+                    stats = ConversionStats(t_cache_lookup=lookup, cache_hit=True)
+                self.layout = cached
+                self.forest = cached.forest
+                self.conversion_stats = stats
+                self.recorder.record_conversion(stats)
+                return
         with self.recorder.activate(), span(
             "engine.convert",
             category="conversion",
@@ -189,6 +177,8 @@ class TahoeEngine:
         self.forest = layout.forest
         self.conversion_stats = stats
         self.recorder.record_conversion(stats)
+        if cache_key is not None:
+            self.layout_cache.put(cache_key, layout)
 
     def update_forest(self, forest: Forest) -> ConversionStats:
         """Incremental learning hook: reconvert for an updated forest."""
@@ -208,6 +198,7 @@ class TahoeEngine:
     def predict(
         self,
         X: np.ndarray,
+        *args,
         batch_size: int | None = None,
         collect_level_stats: bool = False,
         report: bool = False,
@@ -215,7 +206,8 @@ class TahoeEngine:
         """Run inference over ``X`` batch by batch.
 
         Args:
-            X: sample matrix.
+            X: sample matrix (non-empty; an empty batch raises
+                ``ValueError``).
             batch_size: samples per batch (whole input when omitted) —
                 the paper's high-parallelism regime uses 100K, the
                 low-parallelism one 100.
@@ -225,7 +217,13 @@ class TahoeEngine:
                 (conversions, per-batch decisions with predicted vs.
                 simulated times, traffic metrics).
         """
-        X = np.asarray(X, dtype=np.float32)
+        kw = {"batch_size": batch_size, "collect_level_stats": None}
+        adopt_deprecated_positionals(
+            args, ("batch_size", "collect_level_stats"), kw, "TahoeEngine.predict(...)"
+        )
+        batch_size = kw["batch_size"]
+        collect_level_stats = collect_level_stats or bool(kw["collect_level_stats"])
+        X = check_batch(X)
         n = X.shape[0]
         if batch_size is None or batch_size >= n:
             batch_size = n

@@ -6,19 +6,38 @@ and evaluated with the shared-data algorithm — samples staged in shared
 memory, trees dealt round-robin over the block's threads, one block-wise
 reduction per sample.  No structure awareness anywhere: this is the
 baseline every Tahoe speedup in section 7 is measured against.
+
+The engine conforms to the shared :class:`~repro.core.base.Engine`
+surface (keyword-only construction, uniform ``predict``, ``update_forest``
+returning :class:`ConversionStats`, ``report=True`` support) so callers
+and the serving layer can swap it in anywhere a Tahoe engine fits.
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
-from repro.core.engine import EngineResult
+from repro.core.base import (
+    ConversionStats,
+    EngineResult,
+    adopt_deprecated_positionals,
+    check_batch,
+)
+from repro.core.cache import LayoutCache
+from repro.core.config import TahoeConfig
 from repro.formats.reorg import build_reorg_layout
 from repro.gpusim.specs import GPUSpec
+from repro.obs.recorder import RunRecorder
+from repro.perfmodel.notation import HardwareParams
 from repro.strategies import SharedDataStrategy, StrategyResult
 from repro.trees.forest import Forest
 
 __all__ = ["FILEngine"]
+
+#: FIL's conversion has no tunables; this constant keys its cache slot.
+_FIL_CONVERSION_KEY = ("reorg",)
 
 
 def fil_block_size(n_trees: int, spec: GPUSpec, cap: int = 256) -> int:
@@ -30,50 +49,151 @@ def fil_block_size(n_trees: int, spec: GPUSpec, cap: int = 256) -> int:
 
 
 class FILEngine:
-    """Reorg format + shared-data strategy, unconditionally."""
+    """Reorg format + shared-data strategy, unconditionally.
 
-    def __init__(self, forest: Forest, spec: GPUSpec) -> None:
+    Args:
+        forest: trained forest.
+        spec: GPU to run on.
+        config: accepted for engine-surface uniformity; FIL has no
+            structure-aware knobs, only ``config.obs`` is honoured.
+        hardware: accepted for uniformity (FIL needs no microbenchmarks).
+        recorder: telemetry sink (built from ``config.obs`` otherwise).
+        layout_cache: reorg-layout cache shared across engines.
+    """
+
+    def __init__(
+        self,
+        forest: Forest,
+        spec: GPUSpec,
+        *args,
+        config: TahoeConfig | None = None,
+        hardware: HardwareParams | None = None,
+        recorder: RunRecorder | None = None,
+        layout_cache: LayoutCache | None = None,
+    ) -> None:
+        kw = {"config": config, "hardware": hardware, "recorder": recorder}
+        adopt_deprecated_positionals(
+            args, ("config", "hardware", "recorder"), kw, "FILEngine(...)"
+        )
+        config, hardware, recorder = kw["config"], kw["hardware"], kw["recorder"]
         self.spec = spec
-        self.layout = build_reorg_layout(forest)
-        self.forest = self.layout.forest
+        self.config = config if config is not None else TahoeConfig()
+        obs = self.config.obs
+        self.recorder = recorder if recorder is not None else RunRecorder(
+            tracing=obs.tracing, metrics=obs.metrics, max_spans=obs.max_spans
+        )
+        self.hardware = hardware
+        self.layout_cache = layout_cache
+        self.conversion_stats = ConversionStats()
+        self._convert(forest)
         # FIL is industry-quality: it sizes its sample stages for device
         # occupancy just like any tuned kernel.  Its structural handicaps
         # are the ones the paper documents -- reorg layout, training-order
         # round-robin assignment, one-round-wide blocks, and the
         # unconditional block-wise reduction.
         self._strategy = SharedDataStrategy(
-            threads_per_block=fil_block_size(forest.n_trees, spec),
+            threads_per_block=fil_block_size(self.forest.n_trees, spec),
         )
+
+    def _convert(self, forest: Forest) -> None:
+        cache_key = None
+        if self.layout_cache is not None:
+            t0 = time.perf_counter()
+            cache_key = LayoutCache.key(forest, self.spec, _FIL_CONVERSION_KEY)
+            cached = self.layout_cache.get(cache_key)
+            lookup = time.perf_counter() - t0
+            if cached is not None:
+                stats = ConversionStats(t_cache_lookup=lookup, cache_hit=True)
+                self.layout = cached
+                self.forest = cached.forest
+                self.conversion_stats = stats
+                self.recorder.record_conversion(stats)
+                return
+        stats = ConversionStats()
+        t0 = time.perf_counter()
+        layout = build_reorg_layout(forest)
+        t1 = time.perf_counter()
+        stats.t_format_conversion = t1 - t0
+        from repro.gpusim.trace import flatten_layout
+
+        flatten_layout(layout)
+        stats.t_copy_to_gpu = time.perf_counter() - t1
+        self.layout = layout
+        self.forest = layout.forest
+        self.conversion_stats = stats
+        self.recorder.record_conversion(stats)
+        if cache_key is not None:
+            self.layout_cache.put(cache_key, layout)
+
+    def update_forest(self, forest: Forest) -> ConversionStats:
+        """Rebuild the reorg layout for an updated forest."""
+        self._convert(forest)
+        self._strategy = SharedDataStrategy(
+            threads_per_block=fil_block_size(self.forest.n_trees, self.spec),
+        )
+        return self.conversion_stats
 
     def predict(
         self,
         X: np.ndarray,
+        *args,
         batch_size: int | None = None,
         collect_level_stats: bool = False,
+        report: bool = False,
     ) -> EngineResult:
         """Run inference over ``X`` batch by batch (shared data only)."""
-        X = np.asarray(X, dtype=np.float32)
+        kw = {"batch_size": batch_size, "collect_level_stats": None}
+        adopt_deprecated_positionals(
+            args, ("batch_size", "collect_level_stats"), kw, "FILEngine.predict(...)"
+        )
+        batch_size = kw["batch_size"]
+        collect_level_stats = collect_level_stats or bool(kw["collect_level_stats"])
+        X = check_batch(X)
         n = X.shape[0]
         if batch_size is None or batch_size >= n:
             batch_size = n
         predictions = np.zeros(n, dtype=np.float64)
         batches: list[StrategyResult] = []
         total_time = 0.0
-        for start in range(0, n, batch_size):
-            rows = np.arange(start, min(start + batch_size, n), dtype=np.int64)
-            result = self._strategy.run(
-                self.layout,
-                X,
-                self.spec,
-                sample_rows=rows,
-                collect_level_stats=collect_level_stats,
-            )
-            predictions[rows] = result.predictions
-            batches.append(result)
-            total_time += result.time
+        with self.recorder.activate():
+            for index, start in enumerate(range(0, n, batch_size)):
+                rows = np.arange(start, min(start + batch_size, n), dtype=np.int64)
+                result = self._strategy.run(
+                    self.layout,
+                    X,
+                    self.spec,
+                    sample_rows=rows,
+                    collect_level_stats=collect_level_stats,
+                )
+                predictions[rows] = result.predictions
+                batches.append(result)
+                total_time += result.time
+                self.recorder.record_batch(index, result)
         return EngineResult(
             predictions=predictions,
             total_time=total_time,
             batches=batches,
             strategies_used=["shared_data"] * len(batches),
+            report=self.build_report(
+                n_samples=n, batch_size=batch_size, total_time=total_time
+            )
+            if report
+            else None,
+        )
+
+    def build_report(
+        self,
+        n_samples: int = 0,
+        batch_size: int | None = None,
+        total_time: float = 0.0,
+        **meta,
+    ):
+        """Assemble the engine's telemetry into a :class:`RunReport`."""
+        return self.recorder.build_report(
+            engine="fil",
+            gpu=self.spec.name,
+            n_samples=n_samples,
+            batch_size=batch_size,
+            total_time=total_time,
+            **meta,
         )

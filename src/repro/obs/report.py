@@ -103,10 +103,15 @@ class SelectorDecision:
 
 @dataclass
 class ConversionRecord:
-    """Wall-clock seconds of one online conversion (section 7.4 stages)."""
+    """Wall-clock seconds of one online conversion (section 7.4 stages).
+
+    ``cache_hit`` marks a conversion the layout cache satisfied without
+    running the pipeline (stage timings then hold only the lookup cost).
+    """
 
     stages: dict = field(default_factory=dict)
     total: float = 0.0
+    cache_hit: bool = False
 
     @classmethod
     def from_stats(cls, stats) -> "ConversionRecord":
@@ -116,14 +121,26 @@ class ConversionRecord:
             for name in vars(stats)
             if name.startswith("t_")
         }
-        return cls(stages=stages, total=sum(stages.values()))
+        return cls(
+            stages=stages,
+            total=sum(stages.values()),
+            cache_hit=bool(getattr(stats, "cache_hit", False)),
+        )
 
     def to_dict(self) -> dict:
-        return {"stages": dict(self.stages), "total": self.total}
+        return {
+            "stages": dict(self.stages),
+            "total": self.total,
+            "cache_hit": self.cache_hit,
+        }
 
     @classmethod
     def from_dict(cls, d: dict) -> "ConversionRecord":
-        return cls(stages=dict(d["stages"]), total=d["total"])
+        return cls(
+            stages=dict(d["stages"]),
+            total=d["total"],
+            cache_hit=bool(d.get("cache_hit", False)),
+        )
 
 
 @dataclass

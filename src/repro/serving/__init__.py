@@ -1,0 +1,47 @@
+"""Serving: a micro-batching request scheduler over the Tahoe engines.
+
+The ROADMAP's north star is request-level traffic, not offline
+``predict(X)`` sweeps.  This package adds the layer PACSET and the
+decision-forest-serving literature argue matters most in deployment —
+what happens *around* the kernel:
+
+* :class:`~repro.serving.server.TahoeServer` — coalesces single-sample
+  requests into micro-batches sized by the §6 performance models,
+  dispatches round-robin onto a pool of engine replicas (one per
+  simulated GPU, sharing a single converted layout), and applies
+  admission control: bounded queue with backpressure, per-request
+  deadlines, structured rejections.
+* :class:`~repro.serving.request.InferenceRequest` /
+  :class:`~repro.serving.request.InferenceResponse` — the timestamped
+  request/response shapes; failures are structured
+  :class:`~repro.serving.request.ServingError` values, never mid-batch
+  exceptions.
+* :func:`~repro.serving.workload.poisson_workload` — open-loop Poisson
+  traffic at a target QPS (``repro serve --bench`` drives this).
+
+Everything runs on the simulated clock, so serving behaviour — latency
+quantiles, deadline misses, backpressure — is deterministic and
+unit-testable.
+"""
+
+from repro.serving.request import (
+    REJECTED_DEADLINE,
+    REJECTED_QUEUE_FULL,
+    InferenceRequest,
+    InferenceResponse,
+    ServingError,
+)
+from repro.serving.server import ServerConfig, ServingResult, TahoeServer
+from repro.serving.workload import poisson_workload
+
+__all__ = [
+    "REJECTED_DEADLINE",
+    "REJECTED_QUEUE_FULL",
+    "InferenceRequest",
+    "InferenceResponse",
+    "ServerConfig",
+    "ServingError",
+    "ServingResult",
+    "TahoeServer",
+    "poisson_workload",
+]

@@ -1,0 +1,100 @@
+"""Request/response shapes of the serving layer.
+
+Requests carry simulated-clock timestamps: the server is an event-driven
+simulation over the same simulated seconds the engines' ``total_time``
+is denominated in, so admission, coalescing and completion all live on
+one consistent timeline.
+
+Failures are *data*, not exceptions: a rejected or expired request comes
+back as an :class:`InferenceResponse` whose ``error`` is a structured
+:class:`ServingError` (machine-readable ``code`` + human-readable
+``detail``), so one bad request can never abort a micro-batch that also
+carries healthy neighbours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "REJECTED_DEADLINE",
+    "REJECTED_QUEUE_FULL",
+    "InferenceRequest",
+    "InferenceResponse",
+    "ServingError",
+]
+
+#: Error codes (the only values ``ServingError.code`` takes).
+REJECTED_QUEUE_FULL = "queue_full"
+REJECTED_DEADLINE = "deadline_exceeded"
+
+
+@dataclass(frozen=True)
+class ServingError:
+    """A structured rejection: machine-readable code, human detail."""
+
+    code: str
+    detail: str = ""
+
+
+@dataclass
+class InferenceRequest:
+    """One client request: a small block of samples with a deadline.
+
+    Attributes:
+        request_id: caller-chosen identifier, echoed on the response.
+        X: ``(k, n_attributes)`` sample block (``k`` is typically 1 —
+            micro-batching exists to coalesce these).
+        arrival_time: simulated arrival timestamp (seconds).
+        deadline: absolute simulated time after which the result is
+            useless; ``None`` means no deadline.
+    """
+
+    request_id: int
+    X: np.ndarray
+    arrival_time: float
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        self.X = np.asarray(self.X, dtype=np.float32)
+        if self.X.ndim == 1:
+            self.X = self.X[None, :]
+        if self.X.shape[0] == 0:
+            raise ValueError("empty inference request")
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.X.shape[0])
+
+
+@dataclass
+class InferenceResponse:
+    """The server's answer to one :class:`InferenceRequest`.
+
+    Attributes:
+        request_id: echo of the request's identifier.
+        predictions: per-sample predictions (``None`` when rejected).
+        arrival_time: echo of the request's arrival.
+        completion_time: simulated time the response was produced (for
+            rejections: the time of the rejection decision).
+        error: ``None`` on success, a :class:`ServingError` otherwise.
+        missed_deadline: the request *completed*, but after its
+            deadline (counted, not rejected — the work was already done).
+    """
+
+    request_id: int
+    predictions: np.ndarray | None
+    arrival_time: float
+    completion_time: float
+    error: ServingError | None = None
+    missed_deadline: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def latency(self) -> float:
+        return self.completion_time - self.arrival_time

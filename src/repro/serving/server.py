@@ -1,0 +1,413 @@
+"""The :class:`TahoeServer` — micro-batching request scheduler.
+
+Online serving traffic is the opposite of the paper's offline benchmarks:
+requests arrive one sample at a time, and per-request GPU launches waste
+the device (the launch-latency and bandwidth-utilisation terms of the §6
+models dominate tiny batches).  The server therefore coalesces queued
+requests into micro-batches and lets the performance models pick the
+flush point: the selector already predicts per-strategy time as a
+function of batch size, so the server scans candidate sizes for the knee
+of the predicted per-sample time curve — the smallest batch within
+``knee_tolerance`` of the best achievable per-sample cost.  Waiting past
+the knee buys (almost) no efficiency and only adds latency, so the queue
+flushes at ``target_batch`` samples or when the oldest request has
+waited ``max_wait``, whichever comes first.
+
+Batches dispatch round-robin onto a pool of engine replicas (the
+multi-GPU deployment: one engine per device, all sharing a single
+converted layout through the :class:`~repro.core.cache.LayoutCache`).
+Admission control is a bounded queue — arrivals beyond ``max_queue``
+are rejected immediately with a structured error (backpressure), and
+requests whose deadline has passed by dispatch time are rejected
+gracefully instead of poisoning the batch.
+
+Everything runs on the simulated clock: arrivals are simulated seconds,
+service times are the engines' simulated GPU seconds, so the whole
+serving pipeline is deterministic and unit-testable.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.cache import LayoutCache
+from repro.core.config import TahoeConfig
+from repro.core.engine import TahoeEngine
+from repro.gpusim.specs import GPUSpec
+from repro.obs.recorder import RunRecorder
+from repro.obs.report import RunReport
+from repro.perfmodel.microbench import measure_hardware_parameters
+from repro.perfmodel.notation import HardwareParams
+from repro.perfmodel.selector import rank_strategies
+from repro.serving.request import (
+    REJECTED_DEADLINE,
+    REJECTED_QUEUE_FULL,
+    InferenceRequest,
+    InferenceResponse,
+    ServingError,
+)
+from repro.trees.forest import Forest
+
+__all__ = ["ServerConfig", "ServingResult", "TahoeServer"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Scheduler knobs.
+
+    Attributes:
+        n_engines: engine replicas in the dispatch pool (simulated
+            GPUs; batches go round-robin across them).
+        max_batch: hard ceiling on coalesced samples per dispatch.
+        max_wait: longest a request may sit queued waiting for
+            coalescing (simulated seconds) before a forced flush.
+        max_queue: bounded-queue admission limit, in requests; arrivals
+            beyond it are rejected with ``queue_full`` (backpressure).
+        target_batch: explicit flush point; ``None`` lets the §6
+            performance models pick it (the knee of predicted
+            per-sample time).
+        knee_tolerance: how close to the best predicted per-sample time
+            the chosen flush point must be (0.05 = within 5 %).
+    """
+
+    n_engines: int = 1
+    max_batch: int = 1024
+    max_wait: float = 2e-3
+    max_queue: int = 4096
+    target_batch: int | None = None
+    knee_tolerance: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.n_engines < 1:
+            raise ValueError("n_engines must be >= 1")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if self.max_wait < 0:
+            raise ValueError("max_wait must be >= 0")
+
+
+@dataclass
+class ServingResult:
+    """Outcome of one :meth:`TahoeServer.run` call.
+
+    Attributes:
+        responses: one per submitted request, submission order.
+        summary: JSON-ready aggregate statistics (latency quantiles,
+            batch-size histogram, rejection/deadline counters, cache).
+        report: the serving run's :class:`RunReport`.
+    """
+
+    responses: list[InferenceResponse]
+    summary: dict
+    report: RunReport | None = None
+
+    @property
+    def completed(self) -> list[InferenceResponse]:
+        return [r for r in self.responses if r.ok]
+
+    @property
+    def rejected(self) -> list[InferenceResponse]:
+        return [r for r in self.responses if not r.ok]
+
+
+class TahoeServer:
+    """Micro-batching front end over a pool of Tahoe engine replicas.
+
+    Args:
+        forest: trained forest to serve.
+        spec: GPU model every replica runs on.
+        server_config: scheduler knobs (:class:`ServerConfig`).
+        config: engine configuration shared by every replica.
+        hardware: pre-measured hardware parameters (measured once here
+            otherwise and shared across the pool).
+        recorder: serving-telemetry sink (fresh one otherwise).
+        layout_cache: converted-layout cache; shared across the pool so
+            the forest converts exactly once (and across servers, so a
+            restart with an unchanged forest skips conversion entirely).
+    """
+
+    def __init__(
+        self,
+        forest: Forest,
+        spec: GPUSpec,
+        *,
+        server_config: ServerConfig | None = None,
+        config: TahoeConfig | None = None,
+        hardware: HardwareParams | None = None,
+        recorder: RunRecorder | None = None,
+        layout_cache: LayoutCache | None = None,
+    ) -> None:
+        self.config = server_config if server_config is not None else ServerConfig()
+        self.spec = spec
+        self.engine_config = config if config is not None else TahoeConfig()
+        hardware = hardware or measure_hardware_parameters(spec)
+        self.hardware = hardware
+        self.layout_cache = layout_cache if layout_cache is not None else LayoutCache()
+        self.recorder = recorder if recorder is not None else RunRecorder()
+        self.engines = [
+            TahoeEngine(
+                forest,
+                spec,
+                config=self.engine_config,
+                hardware=hardware,
+                layout_cache=self.layout_cache,
+            )
+            for _ in range(self.config.n_engines)
+        ]
+        self.target_batch = (
+            self.config.target_batch
+            if self.config.target_batch is not None
+            else self.plan_flush_point()
+        )
+        self.recorder.metrics.gauge(
+            "serving.target_batch", help="model-chosen micro-batch flush point"
+        ).set(self.target_batch)
+        # Scheduler state (persists across run() calls).
+        self._queue: deque[InferenceRequest] = deque()
+        self._queued_samples = 0
+        self._engine_free = [0.0] * self.config.n_engines
+        self._next_engine = 0
+        self._batch_index = 0
+
+    # ------------------------------------------------------------------
+    # Flush-point planning (§6 performance models)
+    # ------------------------------------------------------------------
+    def plan_flush_point(self) -> int:
+        """Smallest batch within ``knee_tolerance`` of the best predicted
+        per-sample time.
+
+        Scans power-of-two candidates up to ``max_batch`` through
+        :func:`rank_strategies` — the same models Algorithm 1 uses per
+        batch — and returns the knee of the per-sample cost curve.
+        """
+        layout = self.engines[0].layout
+        candidates = []
+        b = 1
+        while b < self.config.max_batch:
+            candidates.append(b)
+            b *= 2
+        candidates.append(self.config.max_batch)
+        per_sample = {}
+        for b in candidates:
+            best = rank_strategies(layout, b, self.spec, self.hardware)[0]
+            per_sample[b] = best.predicted_time / b
+        floor = min(per_sample.values())
+        for b in candidates:
+            if per_sample[b] <= (1.0 + self.config.knee_tolerance) * floor:
+                return b
+        return self.config.max_batch
+
+    # ------------------------------------------------------------------
+    # Event-driven scheduling (simulated clock)
+    # ------------------------------------------------------------------
+    def run(
+        self, requests: Iterable[InferenceRequest], *, report: bool = False
+    ) -> ServingResult:
+        """Serve a workload of timestamped requests to completion.
+
+        Requests are processed in arrival order; the queue drains fully
+        before returning.  Returns one response per request (successes
+        and structured rejections alike).
+        """
+        metrics = self.recorder.metrics
+        responses: list[InferenceResponse] = []
+        clock = 0.0
+        for req in sorted(requests, key=lambda r: r.arrival_time):
+            # Forced flushes whose max-wait deadline expires before this
+            # arrival happen first, in simulated-time order.
+            self._flush_due(req.arrival_time, responses)
+            clock = max(clock, req.arrival_time)
+            metrics.histogram(
+                "serving.queue_depth", help="queued requests at each arrival"
+            ).observe(len(self._queue))
+            metrics.counter("serving.requests_total").inc()
+            if len(self._queue) >= self.config.max_queue:
+                metrics.counter("serving.rejected.queue_full").inc()
+                responses.append(
+                    InferenceResponse(
+                        request_id=req.request_id,
+                        predictions=None,
+                        arrival_time=req.arrival_time,
+                        completion_time=clock,
+                        error=ServingError(
+                            REJECTED_QUEUE_FULL,
+                            f"queue at capacity ({self.config.max_queue} requests)",
+                        ),
+                    )
+                )
+                continue
+            self._queue.append(req)
+            self._queued_samples += req.n_samples
+            while self._queued_samples >= self.target_batch:
+                self._dispatch(clock, responses)
+        # Drain: whatever is still queued flushes at its max-wait point.
+        while self._queue:
+            due = self._queue[0].arrival_time + self.config.max_wait
+            self._dispatch(max(clock, due), responses)
+        summary = self.summary(responses)
+        run_report = None
+        if report:
+            n_ok = int(sum(r.predictions.shape[0] for r in responses if r.ok))
+            run_report = self.build_report(n_samples=n_ok, serving_summary=summary)
+        responses.sort(key=lambda r: r.request_id)
+        return ServingResult(responses=responses, summary=summary, report=run_report)
+
+    def _flush_due(self, until: float, responses: list[InferenceResponse]) -> None:
+        """Dispatch every queued group whose max-wait expires by ``until``."""
+        while self._queue:
+            due = self._queue[0].arrival_time + self.config.max_wait
+            if due > until:
+                break
+            self._dispatch(due, responses)
+
+    def _dispatch(self, now: float, responses: list[InferenceResponse]) -> None:
+        """Coalesce the queue head into one micro-batch and run it."""
+        if not self._queue:
+            return
+        metrics = self.recorder.metrics
+        batch: list[InferenceRequest] = []
+        total = 0
+        while self._queue:
+            nxt = self._queue[0]
+            if batch and total + nxt.n_samples > self.config.max_batch:
+                break
+            batch.append(self._queue.popleft())
+            total += nxt.n_samples
+            self._queued_samples -= nxt.n_samples
+            if total >= self.target_batch:
+                break
+        # Deadline admission: anything already expired is rejected with a
+        # structured error instead of wasting batch capacity (and instead
+        # of raising mid-batch).
+        live: list[InferenceRequest] = []
+        for req in batch:
+            if req.deadline is not None and req.deadline < now:
+                metrics.counter("serving.rejected.deadline").inc()
+                responses.append(
+                    InferenceResponse(
+                        request_id=req.request_id,
+                        predictions=None,
+                        arrival_time=req.arrival_time,
+                        completion_time=now,
+                        error=ServingError(
+                            REJECTED_DEADLINE,
+                            f"deadline {req.deadline:.6f}s passed before dispatch "
+                            f"at {now:.6f}s",
+                        ),
+                    )
+                )
+            else:
+                live.append(req)
+        if not live:
+            return
+        g = self._next_engine
+        self._next_engine = (self._next_engine + 1) % len(self.engines)
+        start = max(now, self._engine_free[g])
+        X = np.concatenate([req.X for req in live], axis=0)
+        result = self.engines[g].predict(X)
+        service = result.total_time
+        completion = start + service
+        self._engine_free[g] = completion
+        metrics.histogram(
+            "serving.batch_size", help="coalesced samples per dispatched micro-batch"
+        ).observe(X.shape[0])
+        metrics.counter("serving.batches_total").inc()
+        metrics.counter("serving.samples_total").inc(X.shape[0])
+        for strategy_result in result.batches:
+            self.recorder.record_batch(self._batch_index, strategy_result)
+            self._batch_index += 1
+        offset = 0
+        for req in live:
+            preds = result.predictions[offset : offset + req.n_samples]
+            offset += req.n_samples
+            missed = req.deadline is not None and completion > req.deadline
+            if missed:
+                metrics.counter("serving.deadline_misses").inc()
+            metrics.counter("serving.completed").inc()
+            latency = completion - req.arrival_time
+            metrics.histogram(
+                "serving.request_latency_seconds",
+                help="arrival-to-completion latency per request",
+            ).observe(latency)
+            metrics.histogram(
+                "serving.queue_wait_seconds",
+                help="arrival-to-dispatch wait per request",
+            ).observe(start - req.arrival_time)
+            responses.append(
+                InferenceResponse(
+                    request_id=req.request_id,
+                    predictions=preds,
+                    arrival_time=req.arrival_time,
+                    completion_time=completion,
+                    missed_deadline=missed,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def summary(self, responses: list[InferenceResponse]) -> dict:
+        """JSON-ready aggregate of one serving run."""
+        metrics = self.recorder.metrics
+        latency = metrics.histogram("serving.request_latency_seconds")
+        batch_hist = metrics.histogram("serving.batch_size")
+        completed = [r for r in responses if r.ok]
+        sizes = TallyCounter(int(b) for b in batch_hist.observations)
+        makespan = offered_span = 0.0
+        if completed:
+            first = min(r.arrival_time for r in completed)
+            last = max(r.completion_time for r in completed)
+            makespan = last - first
+        if responses:
+            offered_span = max(r.arrival_time for r in responses) - min(
+                r.arrival_time for r in responses
+            )
+        n_samples = int(sum(r.predictions.shape[0] for r in completed))
+        return {
+            "requests": len(responses),
+            "completed": len(completed),
+            "rejected_queue_full": int(
+                metrics.counter("serving.rejected.queue_full").value
+            ),
+            "rejected_deadline": int(metrics.counter("serving.rejected.deadline").value),
+            "deadline_misses": int(metrics.counter("serving.deadline_misses").value),
+            "batches": batch_hist.count,
+            "target_batch": self.target_batch,
+            "n_engines": len(self.engines),
+            "offered_qps": (len(responses) / offered_span)
+            if offered_span > 0
+            else float("inf"),
+            "achieved_qps": (len(completed) / makespan) if makespan > 0 else float("inf"),
+            "achieved_samples_per_s": (n_samples / makespan)
+            if makespan > 0
+            else float("inf"),
+            "latency_s": {
+                "p50": latency.quantile(0.5),
+                "p95": latency.quantile(0.95),
+                "p99": latency.quantile(0.99),
+                "mean": latency.mean,
+                "max": max(latency.observations) if latency.observations else 0.0,
+            },
+            "batch_size_histogram": {str(k): v for k, v in sorted(sizes.items())},
+            "layout_cache": self.layout_cache.stats(),
+            "conversions": [
+                {
+                    "cache_hit": e.conversion_stats.cache_hit,
+                    "total_s": e.conversion_stats.total,
+                }
+                for e in self.engines
+            ],
+        }
+
+    def build_report(self, **meta) -> RunReport:
+        """Assemble serving telemetry into a :class:`RunReport`."""
+        return self.recorder.build_report(
+            engine="tahoe-serving", gpu=self.spec.name, **meta
+        )

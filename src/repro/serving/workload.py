@@ -1,0 +1,70 @@
+"""Synthetic open-loop serving workloads.
+
+Open-loop means arrivals do not wait for responses: a Poisson process at
+a target QPS keeps emitting requests whether or not the server keeps up,
+which is what exposes queueing collapse, deadline misses and the value
+of backpressure (closed-loop load generators famously hide all three).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serving.request import InferenceRequest
+
+__all__ = ["poisson_workload"]
+
+
+def poisson_workload(
+    X_pool: np.ndarray,
+    *,
+    qps: float,
+    duration: float,
+    seed: int = 0,
+    max_request_samples: int = 1,
+    deadline: float | None = None,
+) -> list[InferenceRequest]:
+    """Poisson arrivals at ``qps`` requests/second for ``duration`` seconds.
+
+    Args:
+        X_pool: sample matrix to draw request payloads from (rows are
+            sampled with replacement).
+        qps: mean request arrival rate (simulated requests per simulated
+            second).
+        duration: length of the arrival window (simulated seconds).
+        seed: RNG seed — workloads are fully deterministic given it.
+        max_request_samples: request sizes are uniform in
+            ``[1, max_request_samples]`` (1 = pure single-sample traffic).
+        deadline: per-request latency budget in seconds (absolute
+            deadline = arrival + budget); ``None`` disables deadlines.
+    """
+    if qps <= 0:
+        raise ValueError("qps must be positive")
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    if max_request_samples < 1:
+        raise ValueError("max_request_samples must be >= 1")
+    rng = np.random.default_rng(seed)
+    requests: list[InferenceRequest] = []
+    t = 0.0
+    rid = 0
+    while True:
+        t += rng.exponential(1.0 / qps)
+        if t >= duration:
+            break
+        k = (
+            1
+            if max_request_samples == 1
+            else int(rng.integers(1, max_request_samples + 1))
+        )
+        rows = rng.integers(0, X_pool.shape[0], size=k)
+        requests.append(
+            InferenceRequest(
+                request_id=rid,
+                X=X_pool[rows],
+                arrival_time=t,
+                deadline=(t + deadline) if deadline is not None else None,
+            )
+        )
+        rid += 1
+    return requests

@@ -11,6 +11,7 @@ rule that combines per-tree outputs into a final prediction:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -156,3 +157,29 @@ class Forest:
 
     def copy(self) -> "Forest":
         return self.with_trees([tree.copy() for tree in self.trees])
+
+    def fingerprint(self) -> str:
+        """Content hash of everything that shapes a converted layout.
+
+        Covers structure, parameters *and* visit counts (edge
+        probabilities drive node rearrangement, so two forests differing
+        only in counts convert differently).  Used as the
+        :class:`~repro.core.cache.LayoutCache` key component.
+        """
+        h = hashlib.blake2b(digest_size=16)
+        h.update(
+            f"{self.n_attributes}|{self.task}|{self.aggregation}|"
+            f"{self.base_score!r}|{self.learning_rate!r}|{self.n_trees}".encode()
+        )
+        for tree in self.trees:
+            for arr in (
+                tree.feature,
+                tree.threshold,
+                tree.left,
+                tree.right,
+                tree.value,
+                tree.default_left,
+                tree.visit_count,
+            ):
+                h.update(np.ascontiguousarray(arr).tobytes())
+        return h.hexdigest()

@@ -91,3 +91,36 @@ class TestProfileCommand:
         assert "hot-path skew" in out
         assert "work dispersion" in out
         assert "depth histogram" in out
+
+
+class TestServeCommand:
+    def test_serve_without_bench_exits(self, capsys):
+        assert main(["serve"]) == 2
+
+    def test_serve_bench_quick_writes_artifact(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_serving.json"
+        code = main(
+            ["serve", "--bench", "--quick", "--scale", "0.05",
+             "--tree-scale", "0.04", "--out", str(out_path)]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "qps" in stdout and "p99" in stdout
+        payload = json.loads(out_path.read_text())
+        assert payload["kind"] == "serving_bench"
+        assert payload["schema_version"] == 1
+        s = payload["summary"]
+        # The acceptance surface: latency quantiles, batch-size
+        # histogram, deadline/rejection counters, cache behaviour.
+        assert s["completed"] > 0
+        assert s["latency_s"]["p50"] > 0 and s["latency_s"]["p99"] > 0
+        assert s["batch_size_histogram"]
+        assert "rejected_queue_full" in s and "deadline_misses" in s
+        assert s["achieved_qps"] >= 0.9 * min(
+            payload["config"]["qps"], s["offered_qps"]
+        )
+        # Second replica adopted the cached layout: near-zero conversion.
+        conv = s["conversions"]
+        assert conv[0]["cache_hit"] is False and conv[1]["cache_hit"] is True
+        assert conv[1]["total_s"] < conv[0]["total_s"] / 10
+        assert payload["report"]["engine"] == "tahoe-serving"

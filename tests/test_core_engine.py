@@ -45,14 +45,14 @@ class TestTahoeEngine:
 
     def test_strategy_override(self, small_forest, p100, test_X):
         engine = TahoeEngine(
-            small_forest, p100, TahoeConfig(strategy_override="direct")
+            small_forest, p100, config=TahoeConfig(strategy_override="direct")
         )
         result = engine.predict(test_X)
         assert result.strategies_used == ["direct"]
 
     def test_unknown_override_raises(self, small_forest, p100, test_X):
         engine = TahoeEngine(
-            small_forest, p100, TahoeConfig(strategy_override="warp_magic")
+            small_forest, p100, config=TahoeConfig(strategy_override="warp_magic")
         )
         with pytest.raises(ValueError):
             engine.predict(test_X)
@@ -67,7 +67,7 @@ class TestTahoeEngine:
 
     def test_edge_probability_counting(self, small_forest, p100, test_X):
         engine = TahoeEngine(
-            small_forest, p100, TahoeConfig(count_edge_probabilities=True)
+            small_forest, p100, config=TahoeConfig(count_edge_probabilities=True)
         )
         before = engine.forest.trees[0].visit_count.copy()
         engine.predict(test_X)

@@ -158,7 +158,7 @@ class TestStrategyOverridesAndConfig:
         )
         tiny = dataclasses.replace(p100, shared_mem_per_block=8)
         engine = TahoeEngine(
-            forest, tiny, TahoeConfig(strategy_override="shared_forest")
+            forest, tiny, config=TahoeConfig(strategy_override="shared_forest")
         )
         X = np.zeros((4, 1), dtype=np.float32)
         with pytest.raises(RuntimeError):
@@ -172,7 +172,7 @@ class TestStrategyOverridesAndConfig:
             tree_rearrangement=False,
             variable_width=False,
         )
-        engine = TahoeEngine(small_forest, p100, config)
+        engine = TahoeEngine(small_forest, p100, config=config)
         np.testing.assert_allclose(
             engine.predict(test_X).predictions,
             small_forest.predict(test_X),

@@ -51,7 +51,9 @@ def test_report_covers_conversion_stages_and_traffic(small_forest, test_X, p100)
         "similarity_detection",
         "format_conversion",
         "copy_to_gpu",
+        "cache_lookup",
     }
+    assert not conv.cache_hit
     assert conv.total > 0
     # per-batch traffic made it into the batch records and the metrics
     assert all("forest_global" in b.traffic for b in report.batches)
@@ -80,7 +82,7 @@ def test_report_round_trips_through_json(small_forest, test_X, p100, tmp_path):
 
 def test_tracing_config_records_spans(small_forest, test_X, p100):
     config = TahoeConfig(obs=ObsConfig(tracing=True))
-    engine = TahoeEngine(small_forest, p100, config)
+    engine = TahoeEngine(small_forest, p100, config=config)
     engine.predict(test_X, batch_size=60, report=False)
     names = {s.name for s in engine.recorder.tracer.spans}
     assert "engine.convert" in names
@@ -115,7 +117,7 @@ def test_default_config_engines_do_not_share_state(small_forest, p100):
 def test_predictions_identical_with_and_without_reporting(small_forest, test_X, p100):
     plain = TahoeEngine(small_forest, p100).predict(test_X, batch_size=60)
     traced = TahoeEngine(
-        small_forest, p100, TahoeConfig(obs=ObsConfig(tracing=True))
+        small_forest, p100, config=TahoeConfig(obs=ObsConfig(tracing=True))
     ).predict(test_X, batch_size=60, report=True)
     np.testing.assert_allclose(plain.predictions, traced.predictions)
     assert plain.total_time == traced.total_time
