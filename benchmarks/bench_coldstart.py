@@ -1,0 +1,156 @@
+"""Cold-start benchmark: packed ``.tahoe`` artifacts vs online conversion.
+
+The deployment question behind :mod:`repro.modelstore`: how long from
+"model file on disk" to "engine ready to serve"?  The cold path loads
+forest JSON and runs Tahoe's full conversion pipeline (probability
+fetch, node rearrangement, similarity detection, format build, GPU
+copy); the packed path loads a ``.tahoe`` artifact whose layout was
+converted once at pack time and adopts it with zero conversion work.
+
+For each dataset this measures wall-clock engine-ready time for both
+paths (best of ``repeats``), verifies the packed engine's predictions
+are **bit-identical** to the cold engine's, and verifies the packed
+path's :class:`~repro.core.base.ConversionStats` report zero time in
+every conversion stage (``source="artifact"``).
+
+Writes ``results/coldstart.txt`` and the machine-readable
+``results/BENCH_coldstart.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+import common
+from repro.core import TahoeEngine
+from repro.modelstore import load_packed, pack_forest
+from repro.perfmodel import measure_hardware_parameters
+from repro.trees.io import load_forest, save_forest
+
+DEFAULT_DATASETS = ("letter", "covtype", "Higgs")
+
+_CONVERSION_STAGES = (
+    "t_fetch_probabilities",
+    "t_node_rearrangement",
+    "t_similarity_detection",
+    "t_format_conversion",
+    "t_copy_to_gpu",
+)
+
+
+def run_coldstart(datasets=DEFAULT_DATASETS, repeats: int = 3, gpu: str = "P100"):
+    """Cold vs packed engine-ready time per dataset."""
+    spec = common.bench_spec(gpu)
+    # Hardware microbenchmarks are a per-platform offline step in both
+    # deployment stories; measure once so neither path carries them.
+    hardware = measure_hardware_parameters(spec)
+    work_dir = common._CACHE_DIR / "coldstart"
+    work_dir.mkdir(parents=True, exist_ok=True)
+    rows = []
+    for name in datasets:
+        forest = common.workload(name).forest
+        X = common.inference_X(name, 256)
+        json_path = work_dir / f"{name}.json"
+        tahoe_path = work_dir / f"{name}.tahoe"
+        save_forest(forest, json_path)
+
+        t0 = time.perf_counter()
+        packed = pack_forest(load_forest(json_path), spec, tahoe_path)
+        pack_s = time.perf_counter() - t0
+
+        cold_s, cold_engine = None, None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            cold_forest = load_forest(json_path)
+            cold_engine = TahoeEngine(cold_forest, spec, hardware=hardware)
+            elapsed = time.perf_counter() - t0
+            cold_s = elapsed if cold_s is None else min(cold_s, elapsed)
+
+        packed_s, packed_engine = None, None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            packed = load_packed(tahoe_path)
+            packed_engine = packed.make_engine(spec, hardware=hardware)
+            elapsed = time.perf_counter() - t0
+            packed_s = elapsed if packed_s is None else min(packed_s, elapsed)
+
+        stats = packed_engine.conversion_stats
+        residual = sum(getattr(stats, stage) for stage in _CONVERSION_STAGES)
+        identical = bool(
+            np.array_equal(
+                cold_engine.predict(X).predictions,
+                packed_engine.predict(X).predictions,
+            )
+        )
+        rows.append(
+            {
+                "dataset": name,
+                "trees": forest.n_trees,
+                "nodes": forest.n_nodes,
+                "json_bytes": json_path.stat().st_size,
+                "tahoe_bytes": tahoe_path.stat().st_size,
+                "pack_s": pack_s,
+                "cold_ready_s": cold_s,
+                "cold_convert_s": cold_engine.conversion_stats.total,
+                "packed_ready_s": packed_s,
+                "packed_conversion_s": residual,
+                "packed_source": stats.source,
+                "speedup": cold_s / packed_s if packed_s else float("inf"),
+                "bit_identical": identical,
+            }
+        )
+    return {"gpu": spec.name, "repeats": repeats, "rows": rows}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI-sized run")
+    parser.add_argument("--datasets", nargs="*", default=None)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--gpu", default="P100")
+    args = parser.parse_args(argv)
+    datasets = tuple(args.datasets) if args.datasets else DEFAULT_DATASETS
+    repeats = args.repeats
+    if args.quick:
+        datasets = ("letter",)
+        repeats = 1
+    result = run_coldstart(datasets, repeats=repeats, gpu=args.gpu)
+    result["quick"] = bool(args.quick)
+    table = common.format_table(
+        "Cold start: JSON+convert vs packed .tahoe artifact",
+        ["dataset", "trees", "cold ms", "convert ms", "packed ms", "speedup", "bit-identical"],
+        [
+            [
+                r["dataset"],
+                r["trees"],
+                r["cold_ready_s"] * 1e3,
+                r["cold_convert_s"] * 1e3,
+                r["packed_ready_s"] * 1e3,
+                f"{r['speedup']:.1f}x",
+                r["bit_identical"],
+            ]
+            for r in result["rows"]
+        ],
+    )
+    common.write_result("coldstart", table)
+    common.write_bench_report("coldstart", result)
+    bad = [
+        r["dataset"]
+        for r in result["rows"]
+        if not r["bit_identical"]
+        or r["packed_conversion_s"] != 0.0
+        or r["packed_source"] != "artifact"
+    ]
+    if bad:
+        print(f"FAIL: packed path not conversion-free/bit-identical on {bad}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,7 +39,7 @@ from repro.gpusim.specs import GPU_SPECS, GPUSpec
 from repro.trees.forest import Forest
 from repro.trees.tree import DecisionTree
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ConversionStats",

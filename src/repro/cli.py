@@ -4,11 +4,21 @@ Drives the library end to end without writing Python::
 
     python -m repro specs
     python -m repro train --dataset Higgs --scale 0.004 --out forest.json
+    python -m repro import --model xgb_model.json --out forest.json
     python -m repro convert --forest forest.json
+    python -m repro pack --forest forest.json --gpu P100 --out model.tahoe
+    python -m repro models forest.json model.tahoe
     python -m repro profile --forest forest.json
     python -m repro rank --forest forest.json --gpu P100 --batch 10000
     python -m repro predict --forest forest.json --dataset Higgs --gpu P100
     python -m repro trace --forest forest.json --dataset Higgs --out trace.json
+
+Anywhere a command takes ``--forest`` it accepts any model-store format:
+native forest JSON (v1/v2), a packed ``.tahoe`` artifact (``predict`` /
+``serve`` skip conversion entirely), or a raw XGBoost / LightGBM /
+sklearn-export dump (imported on the fly).  ``import`` converts a dump
+once and saves native JSON; ``pack`` bakes the converted adaptive layout
+into a ``.tahoe`` artifact; ``models`` inventories model files.
 
 Every subcommand prints a compact human-readable report; ``predict``
 compares Tahoe against the FIL baseline on the dataset's inference
@@ -141,13 +151,28 @@ def _cmd_rank(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_any_model(path, *, n_attributes=None):
+    """``--forest`` accepts every model-store format: returns
+    ``(forest, packed_or_None)``."""
+    from repro.modelstore import PackedModel, load_model
+
+    model = load_model(path, n_attributes=n_attributes)
+    if isinstance(model, PackedModel):
+        return model.layout.forest, model
+    return model, None
+
+
 def _cmd_predict(args: argparse.Namespace) -> int:
-    forest = load_forest(args.forest)
     spec = GPU_SPECS[args.gpu]
+    forest, packed = _load_any_model(args.forest, n_attributes=args.n_attributes)
     data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     split = train_test_split(data, seed=args.seed)
     X = split.test.X[: args.limit] if args.limit else split.test.X
-    tahoe = TahoeEngine(forest, spec)
+    if packed is not None and packed.engine_kind == "tahoe":
+        tahoe = packed.make_engine(spec)
+        print(f"loaded packed layout {args.forest} (conversion skipped)")
+    else:
+        tahoe = TahoeEngine(forest, spec)
     fil = FILEngine(forest, spec)
     profiler = None
     if args.cprofile:
@@ -212,17 +237,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         args.dataset, scale=args.scale, tree_scale=args.tree_scale, seed=args.seed
     )
     cache = LayoutCache()
-    server = TahoeServer(
-        workload.forest,
-        spec,
-        server_config=ServerConfig(
-            n_engines=args.n_engines,
-            max_batch=args.max_batch,
-            max_wait=args.max_wait_ms / 1e3,
-            max_queue=args.max_queue,
-        ),
-        layout_cache=cache,
+    server_config = ServerConfig(
+        n_engines=args.n_engines,
+        max_batch=args.max_batch,
+        max_wait=args.max_wait_ms / 1e3,
+        max_queue=args.max_queue,
     )
+    if args.forest is not None:
+        forest, packed = _load_any_model(
+            args.forest, n_attributes=workload.split.test.X.shape[1]
+        )
+        if packed is not None:
+            server = TahoeServer(
+                spec=spec,
+                packed=packed,
+                server_config=server_config,
+                layout_cache=cache,
+            )
+            print(f"serving packed layout {args.forest} (conversion skipped)")
+        else:
+            server = TahoeServer(
+                forest, spec, server_config=server_config, layout_cache=cache
+            )
+    else:
+        server = TahoeServer(
+            workload.forest, spec, server_config=server_config, layout_cache=cache
+        )
     requests = poisson_workload(
         workload.split.test.X,
         qps=args.qps,
@@ -284,6 +324,103 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_import(args: argparse.Namespace) -> int:
+    from repro.modelstore import import_model
+
+    forest = import_model(
+        args.model,
+        format=args.format,
+        n_attributes=args.n_attributes,
+        name=args.name,
+    )
+    save_forest(forest, args.out)
+    print(
+        f"imported {forest.metadata.get('source_format', args.format)} model: "
+        f"{forest.n_trees} trees, {forest.n_nodes} nodes, "
+        f"{forest.n_attributes} attributes, task={forest.task}, "
+        f"aggregation={forest.aggregation}"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_pack(args: argparse.Namespace) -> int:
+    from repro.core import TahoeEngine
+    from repro.core.fil import _FIL_CONVERSION_KEY, FILEngine
+    from repro.modelstore import pack_layout
+
+    spec = GPU_SPECS[args.gpu]
+    forest, packed = _load_any_model(args.forest, n_attributes=args.n_attributes)
+    if packed is not None:
+        print(f"{args.forest} is already a packed artifact", file=sys.stderr)
+        return 2
+    fingerprint = forest.fingerprint()
+    if args.engine == "fil":
+        engine = FILEngine(forest, spec)
+        conversion_key = _FIL_CONVERSION_KEY
+    else:
+        engine = TahoeEngine(forest, spec)
+        conversion_key = engine.config.conversion_key()
+    result = pack_layout(
+        engine.layout,
+        args.out,
+        engine=args.engine,
+        spec_name=spec.name,
+        conversion_key=conversion_key,
+        source_fingerprint=fingerprint,
+    )
+    stats = engine.conversion_stats
+    size = Path(args.out).stat().st_size
+    print(
+        f"converted in {stats.total * 1e3:.2f} ms "
+        f"(rearrange {stats.t_node_rearrangement * 1e3:.2f} ms, "
+        f"similarity {stats.t_similarity_detection * 1e3:.2f} ms, "
+        f"format {stats.t_format_conversion * 1e3:.2f} ms)"
+    )
+    print(
+        f"packed {result.layout.format_name} layout for {spec.name}: "
+        f"{result.layout.forest.n_trees} trees, "
+        f"{result.layout.total_bytes} layout bytes -> {args.out} ({size} B on disk)"
+    )
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    from repro.modelstore import ModelImportError, PackedModel, load_model
+
+    paths: list[Path] = []
+    for raw in args.paths:
+        p = Path(raw)
+        if p.is_dir():
+            paths.extend(
+                sorted(q for q in p.iterdir() if q.suffix in (".json", ".tahoe", ".txt"))
+            )
+        else:
+            paths.append(p)
+    print(f"{'file':32} {'format':16} {'trees':>6} {'nodes':>8} {'attrs':>6} target")
+    status = 0
+    for p in paths:
+        try:
+            model = load_model(p)
+        except (ModelImportError, ValueError) as exc:
+            print(f"{p.name:32} ERROR: {exc}")
+            status = 1
+            continue
+        if isinstance(model, PackedModel):
+            forest = model.layout.forest
+            fmt = "tahoe-artifact"
+            target = f"{model.engine_kind}/{model.spec_name}"
+        else:
+            forest = model
+            fmt = forest.metadata.get("source_format", "forest-json")
+            target = "-"
+        print(
+            f"{p.name:32} {fmt:16} {forest.n_trees:>6} {forest.n_nodes:>8} "
+            f"{forest.n_attributes:>6} {target}"
+        )
+    return status
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.gpusim.report import format_run_report
     from repro.obs import write_chrome_trace, write_report_json
@@ -332,9 +469,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", type=Path, required=True)
     p.set_defaults(func=_cmd_train)
 
+    p = sub.add_parser(
+        "import",
+        help="convert an XGBoost/LightGBM/sklearn model dump to native forest JSON",
+    )
+    p.add_argument("--model", type=Path, required=True, help="model dump to import")
+    p.add_argument(
+        "--format",
+        default="auto",
+        choices=["auto", "xgboost", "xgboost-dump", "lightgbm", "sklearn", "forest-json"],
+    )
+    p.add_argument(
+        "--n-attributes",
+        type=int,
+        default=None,
+        dest="n_attributes",
+        help="widen the attribute space (e.g. to match a dataset)",
+    )
+    p.add_argument("--name", default=None, help="forest name (file stem otherwise)")
+    p.add_argument("--out", type=Path, required=True)
+    p.set_defaults(func=_cmd_import)
+
     p = sub.add_parser("convert", help="report adaptive-format conversion stats")
     p.add_argument("--forest", type=Path, required=True)
     p.set_defaults(func=_cmd_convert)
+
+    p = sub.add_parser(
+        "pack",
+        help="run the conversion pipeline once and pack the layout as .tahoe",
+    )
+    p.add_argument("--forest", type=Path, required=True, help="any importable model file")
+    p.add_argument("--gpu", choices=sorted(GPU_SPECS), default="P100")
+    p.add_argument("--engine", choices=["tahoe", "fil"], default="tahoe")
+    p.add_argument(
+        "--n-attributes", type=int, default=None, dest="n_attributes",
+        help="widen the attribute space before converting",
+    )
+    p.add_argument("--out", type=Path, required=True)
+    p.set_defaults(func=_cmd_pack)
+
+    p = sub.add_parser("models", help="inventory model files (any supported format)")
+    p.add_argument("paths", nargs="+", help="model files or directories to scan")
+    p.set_defaults(func=_cmd_models)
 
     p = sub.add_parser("profile", help="structural profile of a saved forest")
     p.add_argument("--forest", type=Path, required=True)
@@ -356,6 +532,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch", type=int, default=None)
     p.add_argument("--limit", type=int, default=None)
     p.add_argument("--verbose", action="store_true")
+    p.add_argument(
+        "--n-attributes", type=int, default=None, dest="n_attributes",
+        help="widen an imported model's attribute space to the dataset's",
+    )
     p.add_argument("--report-json", type=Path, default=None, dest="report_json")
     p.add_argument(
         "--cprofile",
@@ -375,6 +555,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="drive a Poisson open-loop workload and write BENCH_serving.json",
     )
     p.add_argument("--quick", action="store_true", help="CI-sized run (caps qps/duration)")
+    p.add_argument(
+        "--forest",
+        type=Path,
+        default=None,
+        help="serve this model file (any supported format; .tahoe skips "
+        "conversion) instead of training one",
+    )
     p.add_argument("--dataset", default="letter", choices=DATASET_ORDER)
     p.add_argument("--gpu", choices=sorted(GPU_SPECS), default="P100")
     p.add_argument("--scale", type=float, default=0.05)

@@ -15,16 +15,14 @@ Every engine in :mod:`repro.core` — :class:`~repro.core.engine.TahoeEngine`,
 * an empty inference batch raises ``ValueError("empty inference
   batch")`` instead of failing mid-batch.
 
-The old positional call shapes (``TahoeEngine(forest, spec, config)``,
-``MultiGPUTahoeEngine(forest, spec, n_gpus, config)``, positional
-``predict(X, batch_size)``) keep working for one release behind
-:func:`adopt_deprecated_positionals`, which maps them onto the keyword
-surface and emits a :class:`DeprecationWarning`.
+The v1.1 positional call shapes (``TahoeEngine(forest, spec, config)``
+and friends) had a one-release deprecation grace period; it is over and
+the shims are gone — everything after ``(forest, spec)`` is genuinely
+keyword-only now.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
@@ -39,7 +37,6 @@ __all__ = [
     "ConversionStats",
     "Engine",
     "EngineResult",
-    "adopt_deprecated_positionals",
     "check_batch",
 ]
 
@@ -51,7 +48,10 @@ class ConversionStats:
     ``cache_hit`` marks a conversion the
     :class:`~repro.core.cache.LayoutCache` satisfied without running the
     pipeline — the stage timings are then all zero and ``t_cache_lookup``
-    is the only cost paid.
+    is the only cost paid.  ``source`` records where the layout came
+    from: ``"pipeline"`` (the five stages ran), ``"cache"`` (layout-cache
+    hit) or ``"artifact"`` (loaded pre-converted from a packed ``.tahoe``
+    file — every stage time is exactly zero).
     """
 
     t_fetch_probabilities: float = 0.0
@@ -61,6 +61,7 @@ class ConversionStats:
     t_copy_to_gpu: float = 0.0
     t_cache_lookup: float = 0.0
     cache_hit: bool = False
+    source: str = "pipeline"
 
     @property
     def total(self) -> float:
@@ -110,38 +111,6 @@ class Engine(Protocol):
     def update_forest(self, forest: "Forest") -> ConversionStats: ...
 
     def build_report(self, **meta) -> "RunReport": ...
-
-
-def adopt_deprecated_positionals(
-    args: tuple, names: tuple[str, ...], kwargs: dict, context: str
-) -> None:
-    """Map legacy positional arguments onto keyword-only parameters.
-
-    Mutates ``kwargs`` in place (``kwargs[name]`` must be the
-    already-bound keyword value, ``None`` meaning "not given").  One
-    :class:`DeprecationWarning` per call; a positional argument that
-    collides with an explicit keyword raises ``TypeError`` exactly like
-    a normal duplicate argument would.
-    """
-    if not args:
-        return
-    if len(args) > len(names):
-        raise TypeError(
-            f"{context} takes at most {len(names)} deprecated positional "
-            f"arguments ({', '.join(names)}); got {len(args)}"
-        )
-    shape = ", ".join(f"{n}=..." for n in names[: len(args)])
-    warnings.warn(
-        f"positional arguments to {context} are deprecated and will be "
-        f"removed in the next release; call it with keyword arguments "
-        f"({shape})",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    for name, value in zip(names, args):
-        if kwargs.get(name) is not None:
-            raise TypeError(f"{context} got multiple values for argument {name!r}")
-        kwargs[name] = value
 
 
 def check_batch(X: np.ndarray) -> np.ndarray:

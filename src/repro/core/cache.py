@@ -46,6 +46,7 @@ class LayoutCache:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self._entries: "OrderedDict[tuple, ForestLayout]" = OrderedDict()
+        self._pinned: set[tuple] = set()
         self.hits = 0
         self.misses = 0
 
@@ -67,7 +68,23 @@ class LayoutCache:
         self._entries[key] = layout
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            victim = next(
+                (k for k in self._entries if k not in self._pinned), None
+            )
+            if victim is None:
+                break  # everything pinned: tolerate temporary overflow
+            del self._entries[victim]
+
+    def pin(self, key: tuple) -> None:
+        """Protect ``key`` from eviction (hot-swap keeps the served
+        version pinned while a new version stages through the cache)."""
+        self._pinned.add(key)
+
+    def unpin(self, key: tuple) -> None:
+        self._pinned.discard(key)
+
+    def pinned(self, key: tuple) -> bool:
+        return key in self._pinned
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -85,6 +102,7 @@ class LayoutCache:
         return {
             "entries": len(self._entries),
             "capacity": self.capacity,
+            "pinned": len(self._pinned),
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": self.hit_rate,
@@ -92,5 +110,6 @@ class LayoutCache:
 
     def clear(self) -> None:
         self._entries.clear()
+        self._pinned.clear()
         self.hits = 0
         self.misses = 0

@@ -21,12 +21,7 @@ import time
 
 import numpy as np
 
-from repro.core.base import (
-    ConversionStats,
-    EngineResult,
-    adopt_deprecated_positionals,
-    check_batch,
-)
+from repro.core.base import ConversionStats, EngineResult, check_batch
 from repro.core.cache import LayoutCache
 from repro.core.config import TahoeConfig
 from repro.obs.recorder import RunRecorder
@@ -49,9 +44,7 @@ class TahoeEngine:
     """Tree structure-aware adaptive inference engine.
 
     Everything after ``(forest, spec)`` is keyword-only (the shared
-    :class:`~repro.core.base.Engine` surface); the old positional
-    ``TahoeEngine(forest, spec, config)`` shape still works for one
-    release with a :class:`DeprecationWarning`.
+    :class:`~repro.core.base.Engine` surface).
 
     Args:
         forest: trained forest (visit counts carry the edge
@@ -71,17 +64,23 @@ class TahoeEngine:
         self,
         forest: Forest,
         spec: GPUSpec,
-        *args,
+        *,
         config: TahoeConfig | None = None,
         hardware: HardwareParams | None = None,
         recorder: RunRecorder | None = None,
         layout_cache: LayoutCache | None = None,
     ) -> None:
-        kw = {"config": config, "hardware": hardware, "recorder": recorder}
-        adopt_deprecated_positionals(
-            args, ("config", "hardware", "recorder"), kw, "TahoeEngine(...)"
-        )
-        config, hardware, recorder = kw["config"], kw["hardware"], kw["recorder"]
+        self._init_common(spec, config, hardware, recorder, layout_cache)
+        self._convert(forest)
+
+    def _init_common(
+        self,
+        spec: GPUSpec,
+        config: TahoeConfig | None,
+        hardware: HardwareParams | None,
+        recorder: RunRecorder | None,
+        layout_cache: LayoutCache | None,
+    ) -> None:
         self.spec = spec
         self.config = config if config is not None else TahoeConfig()
         obs = self.config.obs
@@ -92,7 +91,46 @@ class TahoeEngine:
         self.layout_cache = layout_cache
         self.layout: ForestLayout | None = None
         self.conversion_stats = ConversionStats()
-        self._convert(forest)
+
+    @classmethod
+    def from_layout(
+        cls,
+        layout: ForestLayout,
+        spec: GPUSpec,
+        *,
+        cache_key: tuple | None = None,
+        config: TahoeConfig | None = None,
+        hardware: HardwareParams | None = None,
+        recorder: RunRecorder | None = None,
+        layout_cache: LayoutCache | None = None,
+    ) -> "TahoeEngine":
+        """Build an engine around an already-converted layout.
+
+        This is the packed-artifact fast path
+        (:mod:`repro.modelstore.artifact`): the conversion pipeline is
+        skipped entirely, so ``conversion_stats`` reports zero time for
+        every stage with ``source="artifact"``.  When ``cache_key`` and
+        ``layout_cache`` are both given the layout is published to the
+        cache, so later engines built from the *source* forest hit it.
+        """
+        engine = cls.__new__(cls)
+        engine._init_common(spec, config, hardware, recorder, layout_cache)
+        engine._adopt_layout(layout, ConversionStats(source="artifact"), cache_key)
+        return engine
+
+    def _adopt_layout(
+        self,
+        layout: ForestLayout,
+        stats: ConversionStats,
+        cache_key: tuple | None = None,
+    ) -> None:
+        """Install a finished layout and record its conversion stats."""
+        self.layout = layout
+        self.forest = layout.forest
+        self.conversion_stats = stats
+        self.recorder.record_conversion(stats)
+        if self.layout_cache is not None and cache_key is not None:
+            self.layout_cache.put(cache_key, layout)
 
     # ------------------------------------------------------------------
     # Online part: format optimisation (Algorithm 1, lines 5-7)
@@ -108,11 +146,10 @@ class TahoeEngine:
                 with self.recorder.activate(), span(
                     "engine.convert", category="conversion", cache_hit=True
                 ):
-                    stats = ConversionStats(t_cache_lookup=lookup, cache_hit=True)
-                self.layout = cached
-                self.forest = cached.forest
-                self.conversion_stats = stats
-                self.recorder.record_conversion(stats)
+                    stats = ConversionStats(
+                        t_cache_lookup=lookup, cache_hit=True, source="cache"
+                    )
+                self._adopt_layout(cached, stats)
                 return
         with self.recorder.activate(), span(
             "engine.convert",
@@ -173,12 +210,7 @@ class TahoeEngine:
 
                 flatten_layout(layout)
             stats.t_copy_to_gpu = time.perf_counter() - t4
-        self.layout = layout
-        self.forest = layout.forest
-        self.conversion_stats = stats
-        self.recorder.record_conversion(stats)
-        if cache_key is not None:
-            self.layout_cache.put(cache_key, layout)
+        self._adopt_layout(layout, stats, cache_key)
 
     def update_forest(self, forest: Forest) -> ConversionStats:
         """Incremental learning hook: reconvert for an updated forest."""
@@ -198,7 +230,7 @@ class TahoeEngine:
     def predict(
         self,
         X: np.ndarray,
-        *args,
+        *,
         batch_size: int | None = None,
         collect_level_stats: bool = False,
         report: bool = False,
@@ -217,12 +249,6 @@ class TahoeEngine:
                 (conversions, per-batch decisions with predicted vs.
                 simulated times, traffic metrics).
         """
-        kw = {"batch_size": batch_size, "collect_level_stats": None}
-        adopt_deprecated_positionals(
-            args, ("batch_size", "collect_level_stats"), kw, "TahoeEngine.predict(...)"
-        )
-        batch_size = kw["batch_size"]
-        collect_level_stats = collect_level_stats or bool(kw["collect_level_stats"])
         X = check_batch(X)
         n = X.shape[0]
         if batch_size is None or batch_size >= n:

@@ -19,12 +19,7 @@ import time
 
 import numpy as np
 
-from repro.core.base import (
-    ConversionStats,
-    EngineResult,
-    adopt_deprecated_positionals,
-    check_batch,
-)
+from repro.core.base import ConversionStats, EngineResult, check_batch
 from repro.core.cache import LayoutCache
 from repro.core.config import TahoeConfig
 from repro.formats.reorg import build_reorg_layout
@@ -65,26 +60,13 @@ class FILEngine:
         self,
         forest: Forest,
         spec: GPUSpec,
-        *args,
+        *,
         config: TahoeConfig | None = None,
         hardware: HardwareParams | None = None,
         recorder: RunRecorder | None = None,
         layout_cache: LayoutCache | None = None,
     ) -> None:
-        kw = {"config": config, "hardware": hardware, "recorder": recorder}
-        adopt_deprecated_positionals(
-            args, ("config", "hardware", "recorder"), kw, "FILEngine(...)"
-        )
-        config, hardware, recorder = kw["config"], kw["hardware"], kw["recorder"]
-        self.spec = spec
-        self.config = config if config is not None else TahoeConfig()
-        obs = self.config.obs
-        self.recorder = recorder if recorder is not None else RunRecorder(
-            tracing=obs.tracing, metrics=obs.metrics, max_spans=obs.max_spans
-        )
-        self.hardware = hardware
-        self.layout_cache = layout_cache
-        self.conversion_stats = ConversionStats()
+        self._init_common(spec, config, hardware, recorder, layout_cache)
         self._convert(forest)
         # FIL is industry-quality: it sizes its sample stages for device
         # occupancy just like any tuned kernel.  Its structural handicaps
@@ -95,6 +77,54 @@ class FILEngine:
             threads_per_block=fil_block_size(self.forest.n_trees, spec),
         )
 
+    def _init_common(
+        self,
+        spec: GPUSpec,
+        config: TahoeConfig | None,
+        hardware: HardwareParams | None,
+        recorder: RunRecorder | None,
+        layout_cache: LayoutCache | None,
+    ) -> None:
+        self.spec = spec
+        self.config = config if config is not None else TahoeConfig()
+        obs = self.config.obs
+        self.recorder = recorder if recorder is not None else RunRecorder(
+            tracing=obs.tracing, metrics=obs.metrics, max_spans=obs.max_spans
+        )
+        self.hardware = hardware
+        self.layout_cache = layout_cache
+        self.conversion_stats = ConversionStats()
+
+    @classmethod
+    def from_layout(
+        cls,
+        layout,
+        spec: GPUSpec,
+        *,
+        cache_key: tuple | None = None,
+        config: TahoeConfig | None = None,
+        hardware: HardwareParams | None = None,
+        recorder: RunRecorder | None = None,
+        layout_cache: LayoutCache | None = None,
+    ) -> "FILEngine":
+        """Build an engine around an already-built reorg layout (the
+        packed-artifact fast path — no conversion work at all)."""
+        engine = cls.__new__(cls)
+        engine._init_common(spec, config, hardware, recorder, layout_cache)
+        engine._adopt_layout(layout, ConversionStats(source="artifact"), cache_key)
+        engine._strategy = SharedDataStrategy(
+            threads_per_block=fil_block_size(engine.forest.n_trees, spec),
+        )
+        return engine
+
+    def _adopt_layout(self, layout, stats: ConversionStats, cache_key=None) -> None:
+        self.layout = layout
+        self.forest = layout.forest
+        self.conversion_stats = stats
+        self.recorder.record_conversion(stats)
+        if self.layout_cache is not None and cache_key is not None:
+            self.layout_cache.put(cache_key, layout)
+
     def _convert(self, forest: Forest) -> None:
         cache_key = None
         if self.layout_cache is not None:
@@ -103,11 +133,10 @@ class FILEngine:
             cached = self.layout_cache.get(cache_key)
             lookup = time.perf_counter() - t0
             if cached is not None:
-                stats = ConversionStats(t_cache_lookup=lookup, cache_hit=True)
-                self.layout = cached
-                self.forest = cached.forest
-                self.conversion_stats = stats
-                self.recorder.record_conversion(stats)
+                stats = ConversionStats(
+                    t_cache_lookup=lookup, cache_hit=True, source="cache"
+                )
+                self._adopt_layout(cached, stats)
                 return
         stats = ConversionStats()
         t0 = time.perf_counter()
@@ -118,12 +147,7 @@ class FILEngine:
 
         flatten_layout(layout)
         stats.t_copy_to_gpu = time.perf_counter() - t1
-        self.layout = layout
-        self.forest = layout.forest
-        self.conversion_stats = stats
-        self.recorder.record_conversion(stats)
-        if cache_key is not None:
-            self.layout_cache.put(cache_key, layout)
+        self._adopt_layout(layout, stats, cache_key)
 
     def update_forest(self, forest: Forest) -> ConversionStats:
         """Rebuild the reorg layout for an updated forest."""
@@ -136,18 +160,12 @@ class FILEngine:
     def predict(
         self,
         X: np.ndarray,
-        *args,
+        *,
         batch_size: int | None = None,
         collect_level_stats: bool = False,
         report: bool = False,
     ) -> EngineResult:
         """Run inference over ``X`` batch by batch (shared data only)."""
-        kw = {"batch_size": batch_size, "collect_level_stats": None}
-        adopt_deprecated_positionals(
-            args, ("batch_size", "collect_level_stats"), kw, "FILEngine.predict(...)"
-        )
-        batch_size = kw["batch_size"]
-        collect_level_stats = collect_level_stats or bool(kw["collect_level_stats"])
         X = check_batch(X)
         n = X.shape[0]
         if batch_size is None or batch_size >= n:

@@ -21,12 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.base import (
-    ConversionStats,
-    EngineResult,
-    adopt_deprecated_positionals,
-    check_batch,
-)
+from repro.core.base import ConversionStats, EngineResult, check_batch
 from repro.core.cache import LayoutCache
 from repro.core.config import TahoeConfig
 from repro.core.engine import TahoeEngine
@@ -71,27 +66,20 @@ class MultiGPUTahoeEngine:
     and the forest conversion run once and are shared through the layout
     cache.
 
-    Everything after ``(forest, spec)`` is keyword-only; the old
-    positional ``MultiGPUTahoeEngine(forest, spec, n_gpus, config)``
-    shape still works for one release with a :class:`DeprecationWarning`.
+    Everything after ``(forest, spec)`` is keyword-only.
     """
 
     def __init__(
         self,
         forest: Forest,
         spec: GPUSpec,
-        *args,
+        *,
         n_gpus: int | None = None,
         config: TahoeConfig | None = None,
         hardware: HardwareParams | None = None,
         recorder: RunRecorder | None = None,
         layout_cache: LayoutCache | None = None,
     ) -> None:
-        kw = {"n_gpus": n_gpus, "config": config, "hardware": hardware}
-        adopt_deprecated_positionals(
-            args, ("n_gpus", "config", "hardware"), kw, "MultiGPUTahoeEngine(...)"
-        )
-        n_gpus, config, hardware = kw["n_gpus"], kw["config"], kw["hardware"]
         n_gpus = 1 if n_gpus is None else n_gpus
         if n_gpus < 1:
             raise ValueError("n_gpus must be >= 1")
@@ -122,7 +110,7 @@ class MultiGPUTahoeEngine:
     def predict(
         self,
         X: np.ndarray,
-        *args,
+        *,
         batch_size: int | None = None,
         report: bool = False,
     ) -> MultiGPUResult:
@@ -132,11 +120,6 @@ class MultiGPUTahoeEngine:
         ``[g * ceil(n / n_gpus), ...)``.  Completion time is the slowest
         shard's simulated time.
         """
-        kw = {"batch_size": batch_size}
-        adopt_deprecated_positionals(
-            args, ("batch_size",), kw, "MultiGPUTahoeEngine.predict(...)"
-        )
-        batch_size = kw["batch_size"]
         X = check_batch(X)
         n = X.shape[0]
         shard = -(-n // self.n_gpus)

@@ -1,0 +1,644 @@
+"""Framework importers: foreign model dumps → internal :class:`Forest`.
+
+The table-stakes interchange paths for a production decision-forest
+engine (Guan et al.'s database-perspective comparison lists them as the
+baseline feature set): scikit-learn random forests and gradient
+boosting, XGBoost, and LightGBM.  Each importer **parses the framework's
+own dump format directly** — the frameworks themselves are never
+imported, so none of them is a dependency.  Tests that want to check
+against the real libraries import them optionally.
+
+Split-semantics mapping (the part that silently corrupts models when
+done sloppily):
+
+* Our trees route ``x[feature] < threshold`` → left, NaN → the node's
+  ``default_left`` path.
+* **XGBoost** uses ``x < threshold`` → yes-branch and an explicit
+  ``default_left`` flag: a direct 1:1 mapping.
+* **LightGBM** and **scikit-learn** use ``x <= threshold`` → left.  We
+  store ``nextafter(float32(threshold), +inf)`` so that
+  ``x < threshold'`` holds exactly when ``x <= threshold`` does for
+  every float32 ``x``.
+* Leaf values: XGBoost/LightGBM leaves carry additive raw margins
+  (``aggregation="sum"``, sigmoid link for binary objectives);
+  scikit-learn random forests carry per-class probabilities which we
+  reduce to the positive-class probability (``aggregation="mean"``).
+* Visit counts (they drive Tahoe's probability-based node
+  rearrangement): ``sum_hessian`` for XGBoost, ``internal_count`` /
+  ``leaf_count`` for LightGBM, ``n_node_samples`` for scikit-learn;
+  subtree-leaf-count fallback when a dump carries no statistics.
+
+Multiclass models (``num_class > 2``) are rejected with a clear error —
+the engine's forests are single-output.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+
+from repro.trees.forest import Forest
+from repro.trees.tree import LEAF, DecisionTree
+
+__all__ = [
+    "ModelImportError",
+    "from_lightgbm_text",
+    "from_sklearn",
+    "from_sklearn_export",
+    "from_xgboost_dump",
+    "from_xgboost_json",
+    "import_model",
+    "sklearn_to_export_dict",
+]
+
+#: Formats ``import_model`` understands, for error messages and --help.
+SUPPORTED_FORMATS = (
+    "tahoe-forest-json (repro save_forest, v1/v2)",
+    "xgboost-json (Booster.save_model('model.json'))",
+    "xgboost-dump (Booster.get_dump(dump_format='json'))",
+    "lightgbm-text (Booster.save_model('model.txt'))",
+    "sklearn-export (repro.modelstore.sklearn_to_export_dict)",
+)
+
+
+class ModelImportError(ValueError):
+    """A model file/object could not be interpreted."""
+
+
+def _leq_to_lt(threshold: float) -> np.float32:
+    """Map an ``x <= t`` split onto our ``x < t'`` predicate exactly.
+
+    ``t' = nextafter(float32(t), +inf)``: the smallest float32 above
+    ``float32(t)``, so ``x < t'`` ⇔ ``x <= float32(t)`` for float32 x.
+    """
+    return np.nextafter(np.float32(threshold), np.float32(np.inf))
+
+
+def _subtree_leaf_counts(left: list[int], right: list[int]) -> list[int]:
+    """Leaves under each node — the visit-count fallback when a dump
+    carries no sample statistics (uniform leaf-mass assumption)."""
+    n = len(left)
+    counts = [0] * n
+    order = []  # post-order via stack
+    stack = [0]
+    while stack:
+        node = stack.pop()
+        order.append(node)
+        for child in (left[node], right[node]):
+            if child != LEAF:
+                stack.append(child)
+    for node in reversed(order):
+        if left[node] == LEAF:
+            counts[node] = 1
+        else:
+            counts[node] = counts[left[node]] + counts[right[node]]
+    return counts
+
+
+# ----------------------------------------------------------------------
+# XGBoost — native save_model JSON
+# ----------------------------------------------------------------------
+def from_xgboost_json(
+    payload: dict, *, n_attributes: int | None = None, name: str = "xgboost"
+) -> Forest:
+    """Import an XGBoost ``Booster.save_model('*.json')`` payload.
+
+    Handles the ``learner/gradient_booster/model/trees`` schema
+    (XGBoost >= 1.0): per-tree parallel arrays with ``left_children``,
+    ``split_indices``, ``split_conditions`` (threshold on splits, value
+    on leaves), ``default_left`` and ``sum_hessian``.
+    """
+    try:
+        learner = payload["learner"]
+        model = learner["gradient_booster"]["model"]
+        trees_raw = model["trees"]
+        model_param = learner["learner_model_param"]
+    except (KeyError, TypeError) as exc:
+        raise ModelImportError(f"not an XGBoost save_model JSON: missing {exc}") from exc
+    booster = learner["gradient_booster"].get("name", "gbtree")
+    if booster not in ("gbtree", "dart"):
+        raise ModelImportError(f"unsupported XGBoost booster {booster!r} (need gbtree)")
+    num_class = int(model_param.get("num_class", "0") or 0)
+    if num_class > 2:
+        raise ModelImportError(
+            f"multiclass XGBoost models are unsupported (num_class={num_class})"
+        )
+    objective = learner.get("objective", {}).get("name", "reg:squarederror")
+    task = "classification" if ("logistic" in objective or "binary" in objective) else "regression"
+    base_score = float(model_param.get("base_score", "0") or 0.0)
+    if task == "classification" and 0.0 < base_score < 1.0:
+        # save_model stores base_score in probability space for logistic
+        # objectives; our margin accumulator needs the log-odds.
+        base_score = math.log(base_score / (1.0 - base_score))
+    n_features = int(model_param.get("num_feature", "0") or 0)
+
+    trees = []
+    for raw in trees_raw:
+        left = np.asarray(raw["left_children"], dtype=np.int32)
+        right = np.asarray(raw["right_children"], dtype=np.int32)
+        split_idx = np.asarray(raw["split_indices"], dtype=np.int64)
+        cond = np.asarray(raw["split_conditions"], dtype=np.float32)
+        is_leaf = left == -1
+        feature = np.where(is_leaf, LEAF, split_idx).astype(np.int32)
+        threshold = np.where(is_leaf, np.float32(0.0), cond).astype(np.float32)
+        value = np.where(is_leaf, cond, np.float32(0.0)).astype(np.float32)
+        default = np.asarray(raw.get("default_left", np.ones(left.shape[0])), dtype=bool)
+        hess = raw.get("sum_hessian")
+        if hess is not None:
+            visit = np.maximum(1, np.round(np.asarray(hess, dtype=np.float64))).astype(
+                np.int64
+            )
+        else:
+            visit = np.asarray(
+                _subtree_leaf_counts(left.tolist(), right.tolist()), dtype=np.int64
+            )
+        trees.append(
+            DecisionTree(
+                feature=feature,
+                threshold=threshold,
+                left=np.where(is_leaf, LEAF, left).astype(np.int32),
+                right=np.where(is_leaf, LEAF, right).astype(np.int32),
+                value=value,
+                default_left=default,
+                visit_count=visit,
+            )
+        )
+    if not trees:
+        raise ModelImportError("XGBoost model contains no trees")
+    n_attrs = _resolve_width(trees, n_attributes, n_features)
+    return Forest(
+        trees=trees,
+        n_attributes=n_attrs,
+        task=task,
+        aggregation="sum",
+        base_score=base_score,
+        learning_rate=1.0,  # shrinkage is already folded into leaf values
+        name=name,
+        metadata={"source_format": "xgboost-json", "objective": objective},
+    )
+
+
+# ----------------------------------------------------------------------
+# XGBoost — get_dump(dump_format="json") per-tree dumps
+# ----------------------------------------------------------------------
+def from_xgboost_dump(
+    dumps: list, *, n_attributes: int | None = None, name: str = "xgboost"
+) -> Forest:
+    """Import ``Booster.get_dump(dump_format='json')`` output: a list of
+    nested per-tree dicts (``nodeid``/``split``/``yes``/``no``/``missing``
+    inner nodes, ``leaf`` leaves; ``cover`` statistics when dumped
+    ``with_stats=True``)."""
+    if not isinstance(dumps, list) or not dumps:
+        raise ModelImportError("XGBoost dump must be a non-empty list of tree dicts")
+    trees = []
+    for raw in dumps:
+        if isinstance(raw, str):
+            raw = json.loads(raw)
+        feature, threshold, left, right = [], [], [], []
+        value, default, cover = [], [], []
+
+        def grow(node: dict) -> int:
+            idx = len(feature)
+            feature.append(LEAF)
+            threshold.append(0.0)
+            left.append(LEAF)
+            right.append(LEAF)
+            value.append(0.0)
+            default.append(True)
+            cover.append(float(node.get("cover", 0.0)))
+            if "leaf" in node:
+                value[idx] = float(node["leaf"])
+                return idx
+            split = node["split"]
+            if isinstance(split, str):
+                stripped = split.lstrip("f")
+                if not stripped.isdigit():
+                    raise ModelImportError(
+                        f"XGBoost dump uses feature name {split!r}; dump with "
+                        "feature indices (no feature_map) to import"
+                    )
+                split = int(stripped)
+            feature[idx] = int(split)
+            threshold[idx] = float(node["split_condition"])
+            children = {c["nodeid"]: c for c in node["children"]}
+            default[idx] = node.get("missing", node["yes"]) == node["yes"]
+            left[idx] = grow(children[node["yes"]])
+            right[idx] = grow(children[node["no"]])
+            return idx
+
+        grow(raw)
+        if any(cover):
+            visit = np.maximum(1, np.round(np.asarray(cover))).astype(np.int64)
+        else:
+            visit = np.asarray(_subtree_leaf_counts(left, right), dtype=np.int64)
+        trees.append(
+            DecisionTree(
+                feature=np.asarray(feature, dtype=np.int32),
+                threshold=np.asarray(threshold, dtype=np.float32),
+                left=np.asarray(left, dtype=np.int32),
+                right=np.asarray(right, dtype=np.int32),
+                value=np.asarray(value, dtype=np.float32),
+                default_left=np.asarray(default, dtype=bool),
+                visit_count=visit,
+            )
+        )
+    n_attrs = _resolve_width(trees, n_attributes, 0)
+    return Forest(
+        trees=trees,
+        n_attributes=n_attrs,
+        task="classification",
+        aggregation="sum",
+        base_score=0.0,
+        learning_rate=1.0,
+        name=name,
+        metadata={"source_format": "xgboost-dump"},
+    )
+
+
+# ----------------------------------------------------------------------
+# LightGBM — save_model text format
+# ----------------------------------------------------------------------
+def from_lightgbm_text(
+    text: str, *, n_attributes: int | None = None, name: str = "lightgbm"
+) -> Forest:
+    """Import a LightGBM ``Booster.save_model('model.txt')`` dump.
+
+    The text format is header key=value lines, then one ``Tree=i``
+    section per tree with parallel arrays (``split_feature``,
+    ``threshold``, ``left_child``/``right_child`` where a negative child
+    ``c`` denotes leaf ``-(c)-1``, ``leaf_value``, ``decision_type``
+    flag bits, ``internal_count``/``leaf_count``).
+    """
+    header: dict[str, str] = {}
+    tree_sections: list[dict[str, str]] = []
+    current: dict[str, str] | None = None
+    for line in text.splitlines():
+        line = line.strip()
+        if line.startswith("Tree="):
+            current = {}
+            tree_sections.append(current)
+            continue
+        if line in ("end of trees", "end of parameters") or line.startswith("pandas_"):
+            current = None
+            continue
+        if "=" not in line:
+            continue
+        key, _, val = line.partition("=")
+        (current if current is not None else header)[key] = val
+    if not tree_sections:
+        raise ModelImportError("not a LightGBM model dump: no Tree= sections found")
+    num_class = int(header.get("num_class", "1") or 1)
+    if num_class > 1:
+        raise ModelImportError(
+            f"multiclass LightGBM models are unsupported (num_class={num_class})"
+        )
+    objective = header.get("objective", "regression")
+    task = "classification" if objective.startswith("binary") else "regression"
+    n_features = int(header.get("max_feature_idx", "-1")) + 1
+
+    def ints(section: dict, key: str) -> list[int]:
+        raw = section.get(key, "")
+        return [int(float(v)) for v in raw.split()] if raw else []
+
+    def floats(section: dict, key: str) -> list[float]:
+        raw = section.get(key, "")
+        return [float(v) for v in raw.split()] if raw else []
+
+    trees = []
+    for section in tree_sections:
+        num_leaves = int(section.get("num_leaves", "1"))
+        leaf_value = floats(section, "leaf_value") or [0.0]
+        leaf_count = ints(section, "leaf_count")
+        if num_leaves == 1:
+            trees.append(
+                DecisionTree.single_leaf(
+                    leaf_value[0], visit_count=leaf_count[0] if leaf_count else 1
+                )
+            )
+            continue
+        n_internal = num_leaves - 1
+        split_feature = ints(section, "split_feature")
+        raw_threshold = floats(section, "threshold")
+        left_child = ints(section, "left_child")
+        right_child = ints(section, "right_child")
+        decision_type = ints(section, "decision_type") or [2] * n_internal
+        internal_count = ints(section, "internal_count")
+        n = n_internal + num_leaves
+
+        def child_id(c: int) -> int:
+            return c if c >= 0 else n_internal + (-c - 1)
+
+        feature = np.full(n, LEAF, dtype=np.int32)
+        threshold = np.zeros(n, dtype=np.float32)
+        left = np.full(n, LEAF, dtype=np.int32)
+        right = np.full(n, LEAF, dtype=np.int32)
+        value = np.zeros(n, dtype=np.float32)
+        default = np.ones(n, dtype=bool)
+        visit = np.ones(n, dtype=np.int64)
+        for i in range(n_internal):
+            dt = decision_type[i]
+            if dt & 1:
+                raise ModelImportError(
+                    "categorical LightGBM splits are unsupported "
+                    f"(decision_type={dt} at node {i})"
+                )
+            feature[i] = split_feature[i]
+            threshold[i] = _leq_to_lt(raw_threshold[i])
+            left[i] = child_id(left_child[i])
+            right[i] = child_id(right_child[i])
+            default[i] = bool(dt & 2)
+            if internal_count:
+                visit[i] = max(1, internal_count[i])
+        for j in range(num_leaves):
+            value[n_internal + j] = leaf_value[j]
+            if leaf_count:
+                visit[n_internal + j] = max(1, leaf_count[j])
+        if not internal_count:
+            visit = np.asarray(
+                _subtree_leaf_counts(left.tolist(), right.tolist()), dtype=np.int64
+            )
+        trees.append(
+            DecisionTree(
+                feature=feature,
+                threshold=threshold,
+                left=left,
+                right=right,
+                value=value,
+                default_left=default,
+                visit_count=visit,
+            )
+        )
+    n_attrs = _resolve_width(trees, n_attributes, n_features)
+    return Forest(
+        trees=trees,
+        n_attributes=n_attrs,
+        task=task,
+        aggregation="sum",
+        base_score=0.0,  # LightGBM folds the boost-from-average into tree 0
+        learning_rate=1.0,  # shrinkage already applied to leaf values
+        name=name,
+        metadata={"source_format": "lightgbm-text", "objective": objective},
+    )
+
+
+# ----------------------------------------------------------------------
+# scikit-learn — export dict (and duck-typed live estimators)
+# ----------------------------------------------------------------------
+def sklearn_to_export_dict(model) -> dict:
+    """Dump a *fitted* scikit-learn forest to the ``sklearn-export`` JSON
+    schema by duck-typing its public attributes (``estimators_``, each
+    tree's ``tree_`` arrays) — scikit-learn itself is never imported.
+
+    Supported: binary ``RandomForestClassifier``,
+    ``RandomForestRegressor``, binary ``GradientBoostingClassifier``,
+    ``GradientBoostingRegressor``.
+    """
+    estimators = getattr(model, "estimators_", None)
+    if estimators is None:
+        raise ModelImportError(
+            "expected a fitted scikit-learn ensemble with .estimators_"
+        )
+    is_gb = hasattr(model, "learning_rate")
+    classes = getattr(model, "classes_", None)
+    if classes is not None and len(classes) > 2:
+        raise ModelImportError(
+            f"multiclass scikit-learn models are unsupported ({len(classes)} classes)"
+        )
+    if is_gb:
+        stages = np.asarray(estimators, dtype=object)
+        if stages.ndim == 2:
+            if stages.shape[1] != 1:
+                raise ModelImportError(
+                    "multiclass gradient boosting is unsupported "
+                    f"(K={stages.shape[1]} trees per stage)"
+                )
+            flat = [stage[0] for stage in stages]
+        else:
+            flat = list(stages)
+        model_type = (
+            "gradient_boosting_classifier"
+            if classes is not None
+            else "gradient_boosting_regressor"
+        )
+        learning_rate = float(model.learning_rate)
+        base_score = _sklearn_gb_base_score(model, classes is not None)
+    else:
+        flat = list(estimators)
+        model_type = (
+            "random_forest_classifier" if classes is not None else "random_forest_regressor"
+        )
+        learning_rate = 1.0
+        base_score = 0.0
+
+    trees = []
+    for est in flat:
+        t = est.tree_
+        values = np.asarray(t.value, dtype=np.float64)  # (n_nodes, 1, n_outputs)
+        if model_type == "random_forest_classifier":
+            totals = values.sum(axis=2, keepdims=True)
+            node_value = (values[:, 0, 1] / np.maximum(totals[:, 0, 0], 1e-12))
+        else:
+            node_value = values[:, 0, 0]
+        trees.append(
+            {
+                "children_left": np.asarray(t.children_left, dtype=int).tolist(),
+                "children_right": np.asarray(t.children_right, dtype=int).tolist(),
+                "feature": np.asarray(t.feature, dtype=int).tolist(),
+                "threshold": np.asarray(t.threshold, dtype=float).tolist(),
+                "value": np.asarray(node_value, dtype=float).tolist(),
+                "n_node_samples": np.asarray(t.n_node_samples, dtype=int).tolist(),
+            }
+        )
+    return {
+        "format": "sklearn-export",
+        "version": 1,
+        "model_type": model_type,
+        "n_features": int(getattr(model, "n_features_in_", 0)),
+        "learning_rate": learning_rate,
+        "base_score": base_score,
+        "trees": trees,
+    }
+
+
+def _sklearn_gb_base_score(model, is_classifier: bool) -> float:
+    """Best-effort initial raw prediction of a sklearn GB model."""
+    init = getattr(model, "init_", None)
+    if init is None:
+        return 0.0
+    if is_classifier:
+        prior = getattr(init, "class_prior_", None)
+        if prior is not None and len(prior) == 2 and 0.0 < prior[1] < 1.0:
+            return float(math.log(prior[1] / prior[0]))
+        return 0.0
+    constant = getattr(init, "constant_", None)
+    if constant is not None:
+        return float(np.asarray(constant).ravel()[0])
+    return 0.0
+
+
+def from_sklearn_export(
+    payload: dict, *, n_attributes: int | None = None, name: str = "sklearn"
+) -> Forest:
+    """Import the ``sklearn-export`` JSON schema (see
+    :func:`sklearn_to_export_dict`)."""
+    if payload.get("format") != "sklearn-export":
+        raise ModelImportError("not a sklearn-export payload (missing format tag)")
+    model_type = payload.get("model_type", "")
+    is_classifier = model_type.endswith("classifier")
+    is_gb = model_type.startswith("gradient_boosting")
+    trees = []
+    for raw in payload["trees"]:
+        cl = np.asarray(raw["children_left"], dtype=np.int32)
+        cr = np.asarray(raw["children_right"], dtype=np.int32)
+        feat = np.asarray(raw["feature"], dtype=np.int32)
+        thresh = np.asarray(raw["threshold"], dtype=np.float64)
+        val = np.asarray(raw["value"], dtype=np.float32)
+        samples = np.asarray(raw["n_node_samples"], dtype=np.int64)
+        is_leaf = cl == -1
+        # sklearn splits are `x <= threshold` → left; shift to our `<`.
+        threshold = np.where(
+            is_leaf,
+            np.float32(0.0),
+            np.nextafter(thresh.astype(np.float32), np.float32(np.inf)),
+        ).astype(np.float32)
+        trees.append(
+            DecisionTree(
+                feature=np.where(is_leaf, LEAF, feat).astype(np.int32),
+                threshold=threshold,
+                left=np.where(is_leaf, LEAF, cl).astype(np.int32),
+                right=np.where(is_leaf, LEAF, cr).astype(np.int32),
+                value=np.where(is_leaf, val, np.float32(0.0)).astype(np.float32),
+                default_left=np.ones(cl.shape[0], dtype=bool),
+                visit_count=np.maximum(samples, 1),
+            )
+        )
+    if not trees:
+        raise ModelImportError("sklearn-export payload contains no trees")
+    n_attrs = _resolve_width(trees, n_attributes, int(payload.get("n_features", 0)))
+    return Forest(
+        trees=trees,
+        n_attributes=n_attrs,
+        task="classification" if is_classifier else "regression",
+        aggregation="sum" if is_gb else "mean",
+        base_score=float(payload.get("base_score", 0.0)),
+        learning_rate=float(payload.get("learning_rate", 1.0)),
+        name=name,
+        metadata={"source_format": "sklearn-export", "model_type": model_type},
+    )
+
+
+def from_sklearn(model, *, n_attributes: int | None = None, name: str = "sklearn") -> Forest:
+    """Import a fitted scikit-learn ensemble object (duck-typed)."""
+    return from_sklearn_export(
+        sklearn_to_export_dict(model), n_attributes=n_attributes, name=name
+    )
+
+
+# ----------------------------------------------------------------------
+# Entry point: sniff a file and dispatch
+# ----------------------------------------------------------------------
+def import_model(
+    path: str | Path,
+    *,
+    format: str = "auto",
+    n_attributes: int | None = None,
+    name: str | None = None,
+) -> Forest:
+    """Read a model file in any supported format and return a Forest.
+
+    Args:
+        path: model file (JSON or LightGBM text).
+        format: ``auto`` (sniff), ``xgboost``, ``xgboost-dump``,
+            ``lightgbm``, ``sklearn`` or ``forest-json`` (our native
+            format).
+        n_attributes: widen the forest's attribute space (e.g. to match
+            a dataset whose tail features the model never split on).
+        name: forest provenance label (file stem when omitted).
+
+    Raises:
+        ModelImportError: unrecognised or malformed input; the message
+            lists every supported format.
+    """
+    path = Path(path)
+    name = name if name is not None else path.stem
+    text = path.read_text()
+    if format == "auto":
+        format = _sniff_text(text)
+    if format == "lightgbm":
+        return from_lightgbm_text(text, n_attributes=n_attributes, name=name)
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ModelImportError(
+            f"{path} is neither valid JSON nor a recognised text dump; "
+            f"supported formats: {', '.join(SUPPORTED_FORMATS)}"
+        ) from exc
+    if format == "xgboost":
+        return from_xgboost_json(payload, n_attributes=n_attributes, name=name)
+    if format == "xgboost-dump":
+        return from_xgboost_dump(payload, n_attributes=n_attributes, name=name)
+    if format == "sklearn":
+        return from_sklearn_export(payload, n_attributes=n_attributes, name=name)
+    if format == "forest-json":
+        from repro.trees.io import forest_from_dict
+
+        return forest_from_dict(payload)
+    raise ModelImportError(
+        f"unknown import format {format!r}; supported formats: "
+        f"{', '.join(SUPPORTED_FORMATS)}"
+    )
+
+
+def _sniff_text(text: str) -> str:
+    """Classify a model file's contents into an import format name."""
+    stripped = text.lstrip()
+    if stripped[:1] in ("{", "["):
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ModelImportError(
+                "file looks like JSON but does not parse; supported formats: "
+                f"{', '.join(SUPPORTED_FORMATS)}"
+            ) from exc
+        if isinstance(payload, list):
+            return "xgboost-dump"
+        if "learner" in payload:
+            return "xgboost"
+        if payload.get("format") == "sklearn-export":
+            return "sklearn"
+        if "format_version" in payload and "trees" in payload:
+            return "forest-json"
+        raise ModelImportError(
+            "unrecognised JSON model schema; supported formats: "
+            f"{', '.join(SUPPORTED_FORMATS)}"
+        )
+    if "Tree=" in text and "num_leaves" in text:
+        return "lightgbm"
+    raise ModelImportError(
+        "unrecognised model file; supported formats: "
+        f"{', '.join(SUPPORTED_FORMATS)}"
+    )
+
+
+def _resolve_width(
+    trees: list[DecisionTree], requested: int | None, declared: int
+) -> int:
+    """Final ``n_attributes``: max of what the trees use, what the dump
+    declares, and what the caller requests."""
+    used = 0
+    for tree in trees:
+        idx = tree.feature[tree.feature >= 0]
+        if idx.size:
+            used = max(used, int(idx.max()) + 1)
+    width = max(used, declared, 1)
+    if requested is not None:
+        if requested < used:
+            raise ModelImportError(
+                f"n_attributes={requested} is narrower than the model "
+                f"(features up to index {used - 1} are used)"
+            )
+        width = max(width, requested)
+    return width

@@ -1,0 +1,208 @@
+"""Versioned model bookkeeping with an atomic active pointer.
+
+The registry is deliberately dumb: it owns *which* model versions exist
+and which one is active, never the engines themselves.  The serving
+layer (:class:`~repro.serving.server.TahoeServer`) stages engines for a
+registered version off the hot path and asks the registry to flip the
+active pointer at the swap instant — the pointer move is a single
+assignment, so there is never a moment where requests see half a model.
+
+A :class:`ModelVersion` carries whichever ingest product it was
+registered from: a source :class:`~repro.trees.forest.Forest` (the
+conversion pipeline runs at staging time) or a packed
+:class:`~repro.modelstore.artifact.PackedModel` layout (staging is
+conversion-free).  Timestamps are caller-provided simulated-clock
+values, keeping the whole serving story deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.formats.layout import ForestLayout
+from repro.trees.forest import Forest
+
+__all__ = ["ModelRegistry", "ModelVersion"]
+
+
+@dataclass
+class ModelVersion:
+    """One immutable registered version of a logical model.
+
+    Attributes:
+        name: logical model name (many versions share one name).
+        version: monotonically increasing per-name version number.
+        source: how it got here — ``"object"`` (in-process forest),
+            ``"artifact"`` (packed ``.tahoe`` layout) or ``"import"``
+            (converted from a foreign dump).
+        engine_kind: ``"tahoe"`` or ``"fil"``.
+        forest: source forest (``None`` when only a layout was given).
+        layout: pre-converted layout (``None`` when staging must convert).
+        cache_key: :class:`~repro.core.cache.LayoutCache` key of the
+            layout, when known — lets staging publish/pin it.
+        path: originating file, for provenance.
+        registered_at: simulated registration timestamp.
+    """
+
+    name: str
+    version: int
+    source: str = "object"
+    engine_kind: str = "tahoe"
+    forest: Forest | None = None
+    layout: ForestLayout | None = None
+    cache_key: tuple | None = None
+    path: str | None = None
+    registered_at: float = 0.0
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.forest is None and self.layout is None:
+            raise ValueError("a model version needs a forest or a layout")
+
+    @property
+    def label(self) -> str:
+        """Human identity, e.g. ``fraud@v3``."""
+        return f"{self.name}@v{self.version}"
+
+    @property
+    def n_trees(self) -> int:
+        obj = self.forest if self.forest is not None else self.layout.forest
+        return obj.n_trees
+
+    def describe(self) -> dict:
+        """JSON-ready provenance row (``repro models``, run reports)."""
+        return {
+            "label": self.label,
+            "name": self.name,
+            "version": self.version,
+            "source": self.source,
+            "engine": self.engine_kind,
+            "n_trees": self.n_trees,
+            "preconverted": self.layout is not None,
+            "path": self.path,
+            "registered_at": self.registered_at,
+            "metadata": self.metadata,
+        }
+
+
+class ModelRegistry:
+    """Versioned models plus the active pointer and its swap history."""
+
+    def __init__(self) -> None:
+        self._versions: dict[str, list[ModelVersion]] = {}
+        self._active: dict[str, int] = {}
+        self.events: list[dict] = []
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        *,
+        name: str = "default",
+        forest: Forest | None = None,
+        packed=None,
+        source: str | None = None,
+        path: str | None = None,
+        at_time: float = 0.0,
+        metadata: dict | None = None,
+    ) -> ModelVersion:
+        """Register a new version of ``name`` and return it.
+
+        Pass either a ``forest`` (conversion runs at staging time) or a
+        ``packed`` :class:`~repro.modelstore.artifact.PackedModel`
+        (staging reuses the packed layout, zero conversion).  The first
+        registered version of a name becomes active automatically.
+        """
+        if (forest is None) == (packed is None):
+            raise ValueError("register exactly one of forest= or packed=")
+        existing = self._versions.setdefault(name, [])
+        version = existing[-1].version + 1 if existing else 1
+        if packed is not None:
+            mv = ModelVersion(
+                name=name,
+                version=version,
+                source=source or "artifact",
+                engine_kind=packed.engine_kind,
+                layout=packed.layout,
+                cache_key=packed.cache_key,
+                path=str(packed.path) if path is None else path,
+                registered_at=at_time,
+                metadata=metadata or {},
+            )
+        else:
+            mv = ModelVersion(
+                name=name,
+                version=version,
+                source=source or "object",
+                forest=forest,
+                path=path,
+                registered_at=at_time,
+                metadata=metadata or {},
+            )
+        existing.append(mv)
+        if name not in self._active:
+            self._active[name] = version
+        return mv
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def names(self) -> list[str]:
+        return sorted(self._versions)
+
+    def versions(self, name: str = "default") -> list[ModelVersion]:
+        return list(self._versions.get(name, []))
+
+    def get(self, name: str = "default", version: int | None = None) -> ModelVersion:
+        """A specific version, or the active one when ``version`` is None."""
+        versions = self._versions.get(name)
+        if not versions:
+            raise KeyError(f"no model registered under {name!r}")
+        if version is None:
+            version = self._active[name]
+        for mv in versions:
+            if mv.version == version:
+                return mv
+        raise KeyError(f"model {name!r} has no version {version}")
+
+    def active(self, name: str = "default") -> ModelVersion | None:
+        version = self._active.get(name)
+        return None if version is None else self.get(name, version)
+
+    # ------------------------------------------------------------------
+    # The atomic pointer
+    # ------------------------------------------------------------------
+    def activate(
+        self, name: str = "default", version: int | None = None, *, at_time: float = 0.0
+    ) -> dict:
+        """Atomically move the active pointer and record the swap event.
+
+        Returns the event dict (also appended to :attr:`events`).
+        """
+        target = self.get(name, version)
+        previous = self._active.get(name)
+        self._active[name] = target.version  # the atomic swap
+        event = {
+            "model": name,
+            "from_version": previous,
+            "to_version": target.version,
+            "to_label": target.label,
+            "source": target.source,
+            "time": at_time,
+        }
+        self.events.append(event)
+        return event
+
+    def summary(self) -> dict:
+        """JSON-ready registry state for reports and ``repro models``."""
+        return {
+            "models": {
+                name: {
+                    "active": self._active.get(name),
+                    "versions": [mv.describe() for mv in versions],
+                }
+                for name, versions in sorted(self._versions.items())
+            },
+            "swap_events": list(self.events),
+        }

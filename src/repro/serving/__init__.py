@@ -18,6 +18,11 @@ what happens *around* the kernel:
   exceptions.
 * :func:`~repro.serving.workload.poisson_workload` — open-loop Poisson
   traffic at a target QPS (``repro serve --bench`` drives this).
+* Hot model swap via :mod:`repro.modelstore`: the server registers every
+  model it serves in a :class:`~repro.modelstore.registry.ModelRegistry`,
+  stages replacement engine pools off the hot path (conversion-free from
+  packed ``.tahoe`` artifacts), and flips versions between micro-batches
+  without dropping a request.
 
 Everything runs on the simulated clock, so serving behaviour — latency
 quantiles, deadline misses, backpressure — is deterministic and

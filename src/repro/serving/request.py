@@ -82,6 +82,9 @@ class InferenceResponse:
         error: ``None`` on success, a :class:`ServingError` otherwise.
         missed_deadline: the request *completed*, but after its
             deadline (counted, not rejected — the work was already done).
+        model_version: label of the model version that served the
+            request (e.g. ``default@v2``) — requests in flight across a
+            hot swap show which side of the swap they landed on.
     """
 
     request_id: int
@@ -90,6 +93,7 @@ class InferenceResponse:
     completion_time: float
     error: ServingError | None = None
     missed_deadline: bool = False
+    model_version: str | None = None
 
     @property
     def ok(self) -> bool:

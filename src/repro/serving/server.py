@@ -21,6 +21,16 @@ are rejected immediately with a structured error (backpressure), and
 requests whose deadline has passed by dispatch time are rejected
 gracefully instead of poisoning the batch.
 
+The server is also the hot-swap site of the model store: every model it
+serves is a version in a :class:`~repro.modelstore.registry.ModelRegistry`.
+:meth:`stage` builds a full replacement engine pool for a new version
+*off* the hot path (conversion, or a packed artifact's zero-conversion
+load), and :meth:`swap`/:meth:`schedule_swap` flip the pool between
+micro-batches: dispatched batches complete on the old engines, queued
+requests dispatch on the new ones, and nothing is dropped.  The active
+version's layout is pinned in the cache so staging churn can never evict
+the model currently serving traffic.
+
 Everything runs on the simulated clock: arrivals are simulated seconds,
 service times are the engines' simulated GPU seconds, so the whole
 serving pipeline is deterministic and unit-testable.
@@ -38,7 +48,9 @@ import numpy as np
 from repro.core.cache import LayoutCache
 from repro.core.config import TahoeConfig
 from repro.core.engine import TahoeEngine
+from repro.core.fil import FILEngine
 from repro.gpusim.specs import GPUSpec
+from repro.modelstore.registry import ModelRegistry, ModelVersion
 from repro.obs.recorder import RunRecorder
 from repro.obs.report import RunReport
 from repro.perfmodel.microbench import measure_hardware_parameters
@@ -131,19 +143,34 @@ class TahoeServer:
         layout_cache: converted-layout cache; shared across the pool so
             the forest converts exactly once (and across servers, so a
             restart with an unchanged forest skips conversion entirely).
+        registry: model-version bookkeeping; a private one is created
+            otherwise.  The initial forest is registered as version 1 of
+            ``model_name`` and activated.
+        model_name: logical name the served model is registered under.
+        packed: serve a packed ``.tahoe``
+            :class:`~repro.modelstore.artifact.PackedModel` instead of a
+            ``forest`` — the pool adopts the packed layout with zero
+            conversion work.  Exactly one of ``forest``/``packed``.
     """
 
     def __init__(
         self,
-        forest: Forest,
-        spec: GPUSpec,
+        forest: Forest | None = None,
+        spec: GPUSpec | None = None,
         *,
         server_config: ServerConfig | None = None,
         config: TahoeConfig | None = None,
         hardware: HardwareParams | None = None,
         recorder: RunRecorder | None = None,
         layout_cache: LayoutCache | None = None,
+        registry: ModelRegistry | None = None,
+        model_name: str = "default",
+        packed=None,
     ) -> None:
+        if spec is None:
+            raise TypeError("TahoeServer requires a GPU spec")
+        if (forest is None) == (packed is None):
+            raise TypeError("TahoeServer takes exactly one of forest= or packed=")
         self.config = server_config if server_config is not None else ServerConfig()
         self.spec = spec
         self.engine_config = config if config is not None else TahoeConfig()
@@ -151,16 +178,24 @@ class TahoeServer:
         self.hardware = hardware
         self.layout_cache = layout_cache if layout_cache is not None else LayoutCache()
         self.recorder = recorder if recorder is not None else RunRecorder()
-        self.engines = [
-            TahoeEngine(
-                forest,
-                spec,
-                config=self.engine_config,
-                hardware=hardware,
-                layout_cache=self.layout_cache,
-            )
-            for _ in range(self.config.n_engines)
-        ]
+        self.registry = registry if registry is not None else ModelRegistry()
+        self.model_name = model_name
+        # Model-store state: staged pools by version, pending swap times.
+        self._staged: dict[int, list] = {}
+        self._pending_swaps: list[tuple[float, int]] = []
+        self._served_by_version: TallyCounter = TallyCounter()
+        self.swap_events: list[dict] = []
+        version = self.registry.register(
+            name=model_name,
+            forest=forest,
+            packed=packed,
+            source="object" if packed is None else "artifact",
+        )
+        self._active_version = version
+        self.engines = self._build_engines(version)
+        self._active_key = self._version_key(version)
+        if self._active_key is not None:
+            self.layout_cache.pin(self._active_key)
         self.target_batch = (
             self.config.target_batch
             if self.config.target_batch is not None
@@ -175,6 +210,141 @@ class TahoeServer:
         self._engine_free = [0.0] * self.config.n_engines
         self._next_engine = 0
         self._batch_index = 0
+
+    # ------------------------------------------------------------------
+    # Model store: staging and hot swap
+    # ------------------------------------------------------------------
+    def _version_key(self, version: ModelVersion) -> tuple | None:
+        """The layout-cache key under which ``version``'s layout lives."""
+        if version.cache_key is not None:
+            return version.cache_key
+        if version.forest is not None and version.engine_kind == "tahoe":
+            return LayoutCache.key(
+                version.forest, self.spec, self.engine_config.conversion_key()
+            )
+        return None
+
+    def _build_engines(self, version: ModelVersion) -> list:
+        """A full replica pool for ``version`` — the expensive part of a
+        deployment, run off the hot path by :meth:`stage`."""
+        cls = FILEngine if version.engine_kind == "fil" else TahoeEngine
+        if version.layout is not None:
+            # Packed artifact: zero conversion.  The first replica
+            # publishes the layout under its source cache key; the rest
+            # share the same object directly.
+            return [
+                cls.from_layout(
+                    version.layout,
+                    self.spec,
+                    cache_key=version.cache_key if i == 0 else None,
+                    config=self.engine_config,
+                    hardware=self.hardware,
+                    layout_cache=self.layout_cache,
+                )
+                for i in range(self.config.n_engines)
+            ]
+        return [
+            cls(
+                version.forest,
+                self.spec,
+                config=self.engine_config,
+                hardware=self.hardware,
+                layout_cache=self.layout_cache,
+            )
+            for _ in range(self.config.n_engines)
+        ]
+
+    def stage(
+        self,
+        *,
+        forest: Forest | None = None,
+        packed=None,
+        source: str | None = None,
+        at_time: float = 0.0,
+        metadata: dict | None = None,
+    ) -> ModelVersion:
+        """Register a new model version and build its engine pool now.
+
+        All conversion work (or artifact adoption) happens here, off the
+        request path; :meth:`swap` later is a pointer flip.  The staged
+        layout is pinned in the cache alongside the active one, so
+        neither can evict the other.
+        """
+        version = self.registry.register(
+            name=self.model_name,
+            forest=forest,
+            packed=packed,
+            source=source,
+            at_time=at_time,
+            metadata=metadata,
+        )
+        key = self._version_key(version)
+        if key is not None:
+            self.layout_cache.pin(key)
+        self._staged[version.version] = self._build_engines(version)
+        return version
+
+    def schedule_swap(self, version: int | None = None, *, at_time: float = 0.0) -> None:
+        """Arm a staged version to take over at simulated time ``at_time``.
+
+        The swap applies at the first dispatch at or after ``at_time``
+        during :meth:`run` — between micro-batches, never inside one.
+        """
+        if version is None:
+            if not self._staged:
+                raise ValueError("no staged version to schedule")
+            version = max(self._staged)
+        if version not in self._staged:
+            raise ValueError(f"version {version} is not staged")
+        self._pending_swaps.append((at_time, version))
+        self._pending_swaps.sort()
+
+    def swap(self, version: int | None = None, *, now: float = 0.0) -> dict:
+        """Atomically activate a staged version.
+
+        In-flight work is untouched: batches already dispatched complete
+        on the old pool (their responses are tagged with the old version
+        label); everything still queued dispatches on the new pool.
+        Returns the swap event (also in :attr:`swap_events` and the
+        registry's history).
+        """
+        if version is None:
+            if not self._staged:
+                raise ValueError("no staged version to swap to")
+            version = max(self._staged)
+        engines = self._staged.pop(version, None)
+        if engines is None:
+            raise ValueError(f"version {version} is not staged")
+        previous = self._active_version
+        self.engines = engines  # the swap: queued work now lands here
+        self._active_version = self.registry.get(self.model_name, version)
+        event = self.registry.activate(self.model_name, version, at_time=now)
+        new_key = self._version_key(self._active_version)
+        if self._active_key is not None and self._active_key != new_key:
+            self.layout_cache.unpin(self._active_key)
+        self._active_key = new_key
+        if self._active_key is not None:
+            self.layout_cache.pin(self._active_key)
+        if self.config.target_batch is None:
+            self.target_batch = self.plan_flush_point()
+            self.recorder.metrics.gauge("serving.target_batch").set(self.target_batch)
+        self.recorder.metrics.counter(
+            "serving.model_swaps", help="hot swaps applied"
+        ).inc()
+        event = dict(event, from_label=previous.label)
+        self.swap_events.append(event)
+        return event
+
+    def _apply_due_swaps(self, now: float) -> None:
+        """Apply every scheduled swap whose time has come (dispatch edge)."""
+        while self._pending_swaps and self._pending_swaps[0][0] <= now:
+            at_time, version = self._pending_swaps.pop(0)
+            self.swap(version, now=max(at_time, now))
+
+    @property
+    def active_version(self) -> ModelVersion:
+        """The model version currently taking new dispatches."""
+        return self._active_version
 
     # ------------------------------------------------------------------
     # Flush-point planning (§6 performance models)
@@ -271,6 +441,9 @@ class TahoeServer:
         """Coalesce the queue head into one micro-batch and run it."""
         if not self._queue:
             return
+        # Scheduled hot swaps land here: between batches, so a batch is
+        # never split across model versions.
+        self._apply_due_swaps(now)
         metrics = self.recorder.metrics
         batch: list[InferenceRequest] = []
         total = 0
@@ -323,6 +496,8 @@ class TahoeServer:
         for strategy_result in result.batches:
             self.recorder.record_batch(self._batch_index, strategy_result)
             self._batch_index += 1
+        label = self._active_version.label
+        self._served_by_version[label] += len(live)
         offset = 0
         for req in live:
             preds = result.predictions[offset : offset + req.n_samples]
@@ -347,6 +522,7 @@ class TahoeServer:
                     arrival_time=req.arrival_time,
                     completion_time=completion,
                     missed_deadline=missed,
+                    model_version=label,
                 )
             )
 
@@ -396,6 +572,15 @@ class TahoeServer:
                 "max": max(latency.observations) if latency.observations else 0.0,
             },
             "batch_size_histogram": {str(k): v for k, v in sorted(sizes.items())},
+            "model": {
+                "active": self._active_version.label,
+                "staged": sorted(self._staged),
+                "swaps": int(self.recorder.metrics.counter("serving.model_swaps").value),
+                "swap_events": list(self.swap_events),
+                "served_by_version": {
+                    k: int(v) for k, v in sorted(self._served_by_version.items())
+                },
+            },
             "layout_cache": self.layout_cache.stats(),
             "conversions": [
                 {

@@ -3,10 +3,25 @@
 JSON-compatible dictionaries so forests can be saved, inspected, and moved
 between processes (the paper's engine ships converted forests between CPU
 and GPU; we ship them between the trainer and the simulator).
+
+Two on-disk versions exist:
+
+* **v1** — every array spelled out as a JSON list (``.tolist()``).
+  Human-readable, but a 100K-node forest costs megabytes of ASCII floats
+  and a slow float-repr round trip.
+* **v2** (current writer default) — arrays as raw little-endian bytes,
+  base64-encoded, tagged with their dtype.  Compact (≈4 bytes per float32
+  instead of ≈18 characters) and **exact**: the bytes on disk are the
+  bytes in memory, so dtype and value round-trip bit-for-bit.
+
+:func:`forest_from_dict` / :func:`load_forest` read both versions; the
+fully binary deployment artifact (no JSON at all) lives in
+:mod:`repro.modelstore.artifact`.
 """
 
 from __future__ import annotations
 
+import base64
 import json
 from pathlib import Path
 
@@ -17,10 +32,34 @@ from repro.trees.tree import DecisionTree
 
 __all__ = ["forest_to_dict", "forest_from_dict", "save_forest", "load_forest"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+#: Canonical dtype per tree array (the dtypes ``DecisionTree`` coerces to).
+_TREE_ARRAYS = {
+    "feature": np.int32,
+    "threshold": np.float32,
+    "left": np.int32,
+    "right": np.int32,
+    "value": np.float32,
+    "default_left": np.bool_,
+    "visit_count": np.int64,
+    "flip": np.bool_,
+}
 
 
-def _tree_to_dict(tree: DecisionTree) -> dict:
+def _encode_array(arr: np.ndarray, dtype: type) -> dict:
+    """One 1-D array as ``{"dtype": ..., "b64": ...}`` (little-endian raw)."""
+    a = np.ascontiguousarray(arr, dtype=np.dtype(dtype).newbyteorder("<"))
+    return {"dtype": np.dtype(dtype).name, "b64": base64.b64encode(a.tobytes()).decode("ascii")}
+
+
+def _decode_array(payload: dict) -> np.ndarray:
+    dtype = np.dtype(payload["dtype"]).newbyteorder("<")
+    arr = np.frombuffer(base64.b64decode(payload["b64"]), dtype=dtype)
+    return arr.astype(dtype.newbyteorder("="))  # native-endian, writable copy
+
+
+def _tree_to_dict_v1(tree: DecisionTree) -> dict:
     return {
         "feature": tree.feature.tolist(),
         "threshold": tree.threshold.tolist(),
@@ -33,7 +72,14 @@ def _tree_to_dict(tree: DecisionTree) -> dict:
     }
 
 
-def _tree_from_dict(payload: dict) -> DecisionTree:
+def _tree_to_dict_v2(tree: DecisionTree) -> dict:
+    return {
+        name: _encode_array(getattr(tree, name), dtype)
+        for name, dtype in _TREE_ARRAYS.items()
+    }
+
+
+def _tree_from_dict_v1(payload: dict) -> DecisionTree:
     return DecisionTree(
         feature=np.array(payload["feature"], dtype=np.int32),
         threshold=np.array(payload["threshold"], dtype=np.float32),
@@ -46,10 +92,29 @@ def _tree_from_dict(payload: dict) -> DecisionTree:
     )
 
 
-def forest_to_dict(forest: Forest) -> dict:
-    """Serialise a forest to a JSON-compatible dictionary."""
+def _tree_from_dict_v2(payload: dict) -> DecisionTree:
+    arrays = {
+        name: _decode_array(payload[name]) for name in _TREE_ARRAYS if name in payload
+    }
+    # ``flip`` is optional in both versions: pre-rearrangement forests
+    # may omit it, and the loader defaults it to all-False.
+    arrays.setdefault("flip", None)
+    return DecisionTree(**arrays)
+
+
+def forest_to_dict(forest: Forest, *, format_version: int = _FORMAT_VERSION) -> dict:
+    """Serialise a forest to a JSON-compatible dictionary.
+
+    Args:
+        forest: forest to serialise.
+        format_version: 2 (default; compact base64 arrays) or 1 (legacy
+            JSON lists — still readable by every loader version).
+    """
+    if format_version not in (1, 2):
+        raise ValueError(f"unsupported forest format version: {format_version!r}")
+    to_tree = _tree_to_dict_v1 if format_version == 1 else _tree_to_dict_v2
     return {
-        "format_version": _FORMAT_VERSION,
+        "format_version": format_version,
         "n_attributes": forest.n_attributes,
         "task": forest.task,
         "aggregation": forest.aggregation,
@@ -57,21 +122,22 @@ def forest_to_dict(forest: Forest) -> dict:
         "learning_rate": forest.learning_rate,
         "name": forest.name,
         "metadata": forest.metadata,
-        "trees": [_tree_to_dict(tree) for tree in forest.trees],
+        "trees": [to_tree(tree) for tree in forest.trees],
     }
 
 
 def forest_from_dict(payload: dict) -> Forest:
-    """Rebuild a forest from :func:`forest_to_dict` output.
+    """Rebuild a forest from :func:`forest_to_dict` output (v1 or v2).
 
     Raises:
         ValueError: on an unknown format version.
     """
     version = payload.get("format_version")
-    if version != _FORMAT_VERSION:
+    if version not in (1, 2):
         raise ValueError(f"unsupported forest format version: {version!r}")
+    from_tree = _tree_from_dict_v1 if version == 1 else _tree_from_dict_v2
     return Forest(
-        trees=[_tree_from_dict(t) for t in payload["trees"]],
+        trees=[from_tree(t) for t in payload["trees"]],
         n_attributes=int(payload["n_attributes"]),
         task=payload["task"],
         aggregation=payload["aggregation"],
@@ -82,11 +148,13 @@ def forest_from_dict(payload: dict) -> Forest:
     )
 
 
-def save_forest(forest: Forest, path: str | Path) -> None:
-    """Write a forest to ``path`` as JSON."""
-    Path(path).write_text(json.dumps(forest_to_dict(forest)))
+def save_forest(
+    forest: Forest, path: str | Path, *, format_version: int = _FORMAT_VERSION
+) -> None:
+    """Write a forest to ``path`` as JSON (v2 compact by default)."""
+    Path(path).write_text(json.dumps(forest_to_dict(forest, format_version=format_version)))
 
 
 def load_forest(path: str | Path) -> Forest:
-    """Read a forest previously written by :func:`save_forest`."""
+    """Read a forest previously written by :func:`save_forest` (v1 or v2)."""
     return forest_from_dict(json.loads(Path(path).read_text()))

@@ -3,8 +3,9 @@
 Drives ``TahoeEngine``, ``FILEngine`` and ``MultiGPUTahoeEngine``
 through the shared :class:`repro.core.Engine` protocol — construction
 keywords, uniform ``predict``, result shape, ``update_forest`` return
-type, empty-batch error — plus the one-release deprecation shims for
-the old positional call shapes.
+type, empty-batch error.  The v1.1 positional-argument deprecation
+shims are gone: positional calls past ``(forest, spec)`` now raise
+``TypeError`` like any keyword-only signature.
 """
 
 import numpy as np
@@ -90,36 +91,21 @@ class TestEngineProtocol:
         )
 
 
-class TestDeprecationShims:
-    def test_multi_positional_call_shape(self, small_forest, p100, test_X):
-        with pytest.warns(DeprecationWarning, match="positional"):
-            engine = MultiGPUTahoeEngine(small_forest, p100, 3, TahoeConfig())
-        assert engine.n_gpus == 3
-        result = engine.predict(test_X)
-        np.testing.assert_allclose(
-            result.predictions, small_forest.predict(test_X), rtol=1e-5
-        )
+class TestKeywordOnlySurface:
+    """The deprecation grace period is over: positionals are TypeErrors."""
 
-    def test_tahoe_positional_config(self, small_forest, p100, test_X):
-        with pytest.warns(DeprecationWarning, match="keyword"):
-            engine = TahoeEngine(
-                small_forest, p100, TahoeConfig(strategy_override="direct")
-            )
-        assert engine.predict(test_X).strategies_used == ["direct"]
-
-    def test_positional_predict_batch_size(self, small_forest, p100, test_X):
-        engine = TahoeEngine(small_forest, p100)
-        with pytest.warns(DeprecationWarning, match="predict"):
-            result = engine.predict(test_X, 32)
-        assert len(result.batches) > 1
-
-    def test_positional_and_keyword_collide(self, small_forest, p100):
-        with pytest.warns(DeprecationWarning), pytest.raises(TypeError):
-            TahoeEngine(small_forest, p100, TahoeConfig(), config=TahoeConfig())
-
-    def test_too_many_positionals(self, small_forest, p100):
+    def test_tahoe_rejects_positional_config(self, small_forest, p100):
         with pytest.raises(TypeError):
-            MultiGPUTahoeEngine(small_forest, p100, 2, None, None, None)
+            TahoeEngine(small_forest, p100, TahoeConfig())
+
+    def test_multi_rejects_positional_n_gpus(self, small_forest, p100):
+        with pytest.raises(TypeError):
+            MultiGPUTahoeEngine(small_forest, p100, 3)
+
+    def test_predict_rejects_positional_batch_size(self, small_forest, p100, test_X):
+        engine = TahoeEngine(small_forest, p100)
+        with pytest.raises(TypeError):
+            engine.predict(test_X, 32)
 
 
 class TestMultiGPUUnification:

@@ -1,0 +1,315 @@
+"""Importer semantics: foreign split/leaf/missing conventions must map
+exactly onto our ``x < threshold``/``default_left`` trees."""
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.modelstore import (
+    ModelImportError,
+    from_lightgbm_text,
+    from_sklearn,
+    from_sklearn_export,
+    from_xgboost_dump,
+    from_xgboost_json,
+    import_model,
+    sklearn_to_export_dict,
+    sniff_format,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _sigmoid(m):
+    return 1.0 / (1.0 + math.exp(-m))
+
+
+def _xgb_payload(trees, objective="binary:logistic", base_score="5E-1", num_class="0"):
+    return {
+        "learner": {
+            "gradient_booster": {"name": "gbtree", "model": {"trees": trees}},
+            "learner_model_param": {
+                "base_score": base_score,
+                "num_class": num_class,
+                "num_feature": "2",
+            },
+            "objective": {"name": objective},
+        }
+    }
+
+
+_XGB_TREE = {
+    # x0<0.5 ? (x1<1.5 ? -0.2 : 0.7) : 0.3 ; missing x0 -> left
+    "left_children": [1, 3, -1, -1, -1],
+    "right_children": [2, 4, -1, -1, -1],
+    "split_indices": [0, 1, 0, 0, 0],
+    "split_conditions": [0.5, 1.5, 0.3, -0.2, 0.7],
+    "default_left": [1, 0, 0, 0, 0],
+    "sum_hessian": [100.0, 60.0, 40.0, 35.0, 25.0],
+}
+
+
+class TestXGBoostJSON:
+    def test_split_leaf_and_missing_semantics(self):
+        forest = from_xgboost_json(_xgb_payload([_XGB_TREE]))
+        X = np.array(
+            [[0.0, 0.0], [0.0, 2.0], [1.0, 0.0], [np.nan, 0.0]], dtype=np.float32
+        )
+        expected = [_sigmoid(m) for m in (-0.2, 0.7, 0.3, -0.2)]
+        np.testing.assert_allclose(forest.predict(X), expected, rtol=1e-6)
+
+    def test_logistic_base_score_is_logit_transformed(self):
+        forest = from_xgboost_json(_xgb_payload([_XGB_TREE], base_score="0.75"))
+        assert forest.base_score == pytest.approx(math.log(3.0))
+        assert forest.task == "classification"
+        assert forest.aggregation == "sum"
+
+    def test_sum_hessian_becomes_visit_counts(self):
+        forest = from_xgboost_json(_xgb_payload([_XGB_TREE]))
+        np.testing.assert_array_equal(
+            forest.trees[0].visit_count, [100, 60, 40, 35, 25]
+        )
+
+    def test_multiclass_rejected(self):
+        with pytest.raises(ModelImportError, match="multiclass"):
+            from_xgboost_json(_xgb_payload([_XGB_TREE], num_class="3"))
+
+    def test_regression_objective_keeps_base_score(self):
+        forest = from_xgboost_json(
+            _xgb_payload([_XGB_TREE], objective="reg:squarederror", base_score="2.5")
+        )
+        assert forest.task == "regression"
+        assert forest.base_score == pytest.approx(2.5)
+
+    def test_not_xgboost_json(self):
+        with pytest.raises(ModelImportError, match="save_model"):
+            from_xgboost_json({"nope": 1})
+
+
+class TestXGBoostDump:
+    DUMP = [
+        {
+            "nodeid": 0,
+            "split": "f0",
+            "split_condition": 0.5,
+            "yes": 1,
+            "no": 2,
+            "missing": 2,
+            "children": [{"nodeid": 1, "leaf": -1.0}, {"nodeid": 2, "leaf": 2.0}],
+        }
+    ]
+
+    def test_yes_no_missing(self):
+        forest = from_xgboost_dump(self.DUMP)
+        X = np.array([[0.0], [1.0], [np.nan]], dtype=np.float32)
+        expected = [_sigmoid(m) for m in (-1.0, 2.0, 2.0)]  # missing -> no branch
+        np.testing.assert_allclose(forest.predict(X), expected, rtol=1e-6)
+
+    def test_named_features_rejected_with_hint(self):
+        dump = [dict(self.DUMP[0], split="age")]
+        with pytest.raises(ModelImportError, match="feature name"):
+            from_xgboost_dump(dump)
+
+    def test_accepts_json_strings_per_tree(self):
+        forest = from_xgboost_dump([json.dumps(self.DUMP[0])])
+        assert forest.n_trees == 1
+
+
+class TestLightGBM:
+    TEXT = """tree
+num_class=1
+max_feature_idx=1
+objective=binary sigmoid:1
+
+Tree=0
+num_leaves=3
+split_feature=0 1
+threshold=0.5 1.5
+decision_type=2 0
+left_child=-1 -2
+right_child=1 -3
+leaf_value=-0.2 0.7 0.3
+leaf_count=60 25 15
+internal_count=100 40
+
+end of trees
+"""
+
+    def test_leq_semantics_inclusive_boundary(self):
+        forest = from_lightgbm_text(self.TEXT)
+        # LightGBM routes x <= t left: the boundary value itself must go left.
+        X = np.array(
+            [[0.5, 0.0], [1.0, 1.5], [1.0, 2.0], [np.nan, 0.0], [1.0, np.nan]],
+            dtype=np.float32,
+        )
+        expected = [_sigmoid(m) for m in (-0.2, 0.7, 0.3, -0.2, 0.3)]
+        np.testing.assert_allclose(forest.predict(X), expected, rtol=1e-6)
+
+    def test_counts_and_metadata(self):
+        forest = from_lightgbm_text(self.TEXT)
+        tree = forest.trees[0]
+        # internal nodes first (ids 0..n_internal-1), then leaves.
+        np.testing.assert_array_equal(tree.visit_count, [100, 40, 60, 25, 15])
+        assert forest.metadata["source_format"] == "lightgbm-text"
+        assert forest.task == "classification"
+
+    def test_categorical_split_rejected(self):
+        text = self.TEXT.replace("decision_type=2 0", "decision_type=1 0")
+        with pytest.raises(ModelImportError, match="categorical"):
+            from_lightgbm_text(text)
+
+    def test_multiclass_rejected(self):
+        text = self.TEXT.replace("num_class=1", "num_class=3")
+        with pytest.raises(ModelImportError, match="multiclass"):
+            from_lightgbm_text(text)
+
+    def test_single_leaf_tree(self):
+        text = """tree
+num_class=1
+max_feature_idx=0
+objective=regression
+
+Tree=0
+num_leaves=1
+leaf_value=1.25
+
+end of trees
+"""
+        forest = from_lightgbm_text(text, n_attributes=1)
+        np.testing.assert_allclose(
+            forest.predict(np.zeros((2, 1), np.float32)), [1.25, 1.25]
+        )
+
+    def test_not_lightgbm(self):
+        with pytest.raises(ModelImportError, match="Tree="):
+            from_lightgbm_text("just some text")
+
+
+class _FakeTree:
+    """Duck-typed stand-in for sklearn's ``tree_`` (sklearn not installed)."""
+
+    def __init__(self, value):
+        self.children_left = np.array([1, -1, -1])
+        self.children_right = np.array([2, -1, -1])
+        self.feature = np.array([0, -2, -2])
+        self.threshold = np.array([0.5, -2.0, -2.0])
+        self.value = np.asarray(value)
+        self.n_node_samples = np.array([100, 60, 40])
+
+
+class _FakeEstimator:
+    def __init__(self, value):
+        self.tree_ = _FakeTree(value)
+
+
+class TestSklearn:
+    def test_rf_classifier_boundary_and_mean(self):
+        # Two trees; class counts (value shape (n, 1, 2)) -> P(class 1).
+        rf = type("RF", (), {})()
+        rf.estimators_ = [
+            _FakeEstimator([[[90, 10]], [[55, 5]], [[35, 5]]]),
+            _FakeEstimator([[[50, 50]], [[10, 50]], [[40, 0]]]),
+        ]
+        rf.classes_ = np.array([0, 1])
+        rf.n_features_in_ = 1
+        forest = from_sklearn(rf)
+        assert forest.aggregation == "mean"
+        # sklearn routes x <= 0.5 left: probabilities (5/60, 50/60) then
+        # (5/40, 0/40) averaged.
+        X = np.array([[0.5], [0.6]], dtype=np.float32)
+        np.testing.assert_allclose(
+            forest.predict(X),
+            [(5 / 60 + 50 / 60) / 2, (5 / 40 + 0 / 40) / 2],
+            rtol=1e-6,
+        )
+
+    def test_gb_regressor_sum_with_learning_rate(self):
+        gb = type("GB", (), {})()
+        gb.estimators_ = np.array(
+            [[_FakeEstimator([[[0.0]], [[1.0]], [[-1.0]]])],
+             [_FakeEstimator([[[0.0]], [[0.5]], [[0.25]]])]],
+            dtype=object,
+        )
+        gb.learning_rate = 0.1
+        gb.init_ = type("Init", (), {"constant_": np.array([[3.0]])})()
+        forest = from_sklearn(gb)
+        assert forest.aggregation == "sum"
+        assert forest.task == "regression"
+        X = np.array([[0.0], [1.0]], dtype=np.float32)
+        np.testing.assert_allclose(
+            forest.predict(X), [3.0 + 0.1 * 1.5, 3.0 + 0.1 * (-0.75)], rtol=1e-6
+        )
+
+    def test_multiclass_rejected(self):
+        rf = type("RF", (), {})()
+        rf.estimators_ = [_FakeEstimator([[[1, 1]]])]
+        rf.classes_ = np.array([0, 1, 2])
+        with pytest.raises(ModelImportError, match="multiclass"):
+            sklearn_to_export_dict(rf)
+
+    def test_export_dict_round_trips_through_json(self):
+        rf = type("RF", (), {})()
+        rf.estimators_ = [_FakeEstimator([[[90, 10]], [[55, 5]], [[35, 5]]])]
+        rf.classes_ = np.array([0, 1])
+        rf.n_features_in_ = 1
+        payload = json.loads(json.dumps(sklearn_to_export_dict(rf)))
+        forest = from_sklearn_export(payload)
+        assert forest.n_trees == 1
+
+    def test_wrong_format_tag_rejected(self):
+        with pytest.raises(ModelImportError, match="format"):
+            from_sklearn_export({"format": "other"})
+
+
+class TestImportModelSniffing:
+    @pytest.mark.parametrize(
+        "fixture, fmt",
+        [
+            ("xgboost_model.json", "xgboost"),
+            ("sklearn_model.json", "sklearn"),
+            ("lightgbm_model.txt", "lightgbm"),
+        ],
+    )
+    def test_fixture_sniff_and_import(self, fixture, fmt):
+        path = FIXTURES / fixture
+        assert sniff_format(path) == fmt
+        forest = import_model(path)
+        assert forest.n_attributes == 16
+        X = np.random.default_rng(0).normal(0.45, 0.2, size=(8, 16)).astype(np.float32)
+        preds = forest.predict(X)
+        assert np.isfinite(preds).all()
+
+    def test_native_forest_json_sniffs(self, small_forest, tmp_path):
+        from repro.trees.io import save_forest
+
+        path = tmp_path / "native.json"
+        save_forest(small_forest, path)
+        assert sniff_format(path) == "forest-json"
+        restored = import_model(path)
+        assert restored.n_trees == small_forest.n_trees
+
+    def test_unknown_file_error_lists_formats(self, tmp_path):
+        path = tmp_path / "garbage.bin"
+        path.write_text("certainly not a model")
+        with pytest.raises(ModelImportError) as err:
+            import_model(path)
+        message = str(err.value)
+        for fmt in ("xgboost-json", "lightgbm-text", "sklearn-export"):
+            assert fmt in message
+
+    def test_unknown_json_schema_rejected(self, tmp_path):
+        path = tmp_path / "odd.json"
+        path.write_text(json.dumps({"something": "else"}))
+        with pytest.raises(ModelImportError, match="supported formats"):
+            import_model(path)
+
+    def test_n_attributes_widens(self):
+        forest = import_model(FIXTURES / "lightgbm_model.txt", n_attributes=40)
+        assert forest.n_attributes == 40
+
+    def test_n_attributes_too_narrow_rejected(self):
+        with pytest.raises(ModelImportError, match="narrower"):
+            import_model(FIXTURES / "xgboost_model.json", n_attributes=2)

@@ -1,0 +1,112 @@
+"""ModelRegistry: version numbering, the atomic active pointer, and the
+swap event log."""
+
+import json
+
+import pytest
+
+from repro.modelstore import ModelRegistry, ModelVersion, load_packed, pack_forest
+
+
+class TestRegistration:
+    def test_versions_are_monotonic_per_name(self, small_forest, small_gbdt):
+        reg = ModelRegistry()
+        v1 = reg.register(forest=small_forest)
+        v2 = reg.register(forest=small_gbdt)
+        other = reg.register(name="other", forest=small_forest)
+        assert (v1.version, v2.version) == (1, 2)
+        assert other.version == 1
+        assert reg.names() == ["default", "other"]
+        assert [mv.label for mv in reg.versions()] == ["default@v1", "default@v2"]
+
+    def test_first_version_auto_activates(self, small_forest):
+        reg = ModelRegistry()
+        mv = reg.register(forest=small_forest)
+        assert reg.active().version == mv.version
+        assert reg.get() is mv
+
+    def test_later_versions_do_not_steal_the_pointer(self, small_forest, small_gbdt):
+        reg = ModelRegistry()
+        reg.register(forest=small_forest)
+        reg.register(forest=small_gbdt)
+        assert reg.active().version == 1
+
+    def test_exactly_one_source_required(self, small_forest, p100, tmp_path):
+        reg = ModelRegistry()
+        packed = pack_forest(small_forest, p100, tmp_path / "m.tahoe")
+        with pytest.raises(ValueError, match="exactly one"):
+            reg.register(forest=small_forest, packed=packed)
+        with pytest.raises(ValueError, match="exactly one"):
+            reg.register()
+
+    def test_packed_registration_carries_layout_and_key(
+        self, small_forest, p100, tmp_path
+    ):
+        reg = ModelRegistry()
+        packed = load_packed(pack_forest(small_forest, p100, tmp_path / "m.tahoe").path)
+        mv = reg.register(packed=packed, at_time=1.5)
+        assert mv.source == "artifact"
+        assert mv.layout is packed.layout
+        assert mv.cache_key == packed.cache_key
+        assert mv.forest is None
+        assert mv.registered_at == 1.5
+        assert mv.n_trees == small_forest.n_trees
+
+    def test_version_needs_forest_or_layout(self):
+        with pytest.raises(ValueError, match="forest or a layout"):
+            ModelVersion(name="x", version=1)
+
+
+class TestActivePointer:
+    def test_activate_moves_pointer_and_logs_event(self, small_forest, small_gbdt):
+        reg = ModelRegistry()
+        reg.register(forest=small_forest)
+        reg.register(forest=small_gbdt)
+        event = reg.activate(version=2, at_time=3.25)
+        assert reg.active().version == 2
+        assert event["from_version"] == 1
+        assert event["to_version"] == 2
+        assert event["to_label"] == "default@v2"
+        assert event["time"] == 3.25
+        assert reg.events == [event]
+
+    def test_activate_defaults_to_latest_lookup_by_none(self, small_forest):
+        reg = ModelRegistry()
+        reg.register(forest=small_forest)
+        # version=None resolves to the currently active version (a no-op
+        # re-activation) and still records the event.
+        event = reg.activate()
+        assert event["from_version"] == event["to_version"] == 1
+
+    def test_rollback_is_just_another_activate(self, small_forest, small_gbdt):
+        reg = ModelRegistry()
+        reg.register(forest=small_forest)
+        reg.register(forest=small_gbdt)
+        reg.activate(version=2)
+        reg.activate(version=1, at_time=9.0)
+        assert reg.active().version == 1
+        assert [e["to_version"] for e in reg.events] == [2, 1]
+
+    def test_unknown_name_and_version_raise(self, small_forest):
+        reg = ModelRegistry()
+        reg.register(forest=small_forest)
+        with pytest.raises(KeyError, match="ghost"):
+            reg.get("ghost")
+        with pytest.raises(KeyError, match="version 7"):
+            reg.activate(version=7)
+        assert reg.active("ghost") is None
+
+
+class TestSummary:
+    def test_summary_is_json_ready(self, small_forest, small_gbdt, p100, tmp_path):
+        reg = ModelRegistry()
+        reg.register(forest=small_forest)
+        packed = pack_forest(small_gbdt, p100, tmp_path / "g.tahoe")
+        reg.register(packed=packed, at_time=2.0)
+        reg.activate(version=2, at_time=2.5)
+        summary = json.loads(json.dumps(reg.summary()))
+        model = summary["models"]["default"]
+        assert model["active"] == 2
+        assert [v["label"] for v in model["versions"]] == ["default@v1", "default@v2"]
+        assert model["versions"][1]["preconverted"] is True
+        assert summary["swap_events"][0]["to_label"] == "default@v2"

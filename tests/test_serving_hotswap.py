@@ -1,0 +1,171 @@
+"""Hot model swap in :class:`TahoeServer` and cache pinning under a
+replica pool: staging happens off the hot path, the swap lands between
+micro-batches, nothing is dropped, and the served version can never be
+evicted out from under the pool."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import LayoutCache
+from repro.core.config import TahoeConfig
+from repro.core.engine import TahoeEngine
+from repro.modelstore import load_packed, pack_forest
+from repro.serving.server import ServerConfig, TahoeServer
+from repro.serving.workload import poisson_workload
+
+
+def _server(forest, spec, **kwargs):
+    kwargs.setdefault(
+        "server_config", ServerConfig(n_engines=2, max_wait=1e-3, max_batch=64)
+    )
+    return TahoeServer(forest, spec, **kwargs)
+
+
+class TestHotSwapUnderTraffic:
+    def test_swap_drops_nothing_and_serves_both_versions(
+        self, small_forest, small_gbdt, p100, test_X
+    ):
+        srv = _server(small_forest, p100)
+        requests = poisson_workload(test_X, qps=4000, duration=0.05, seed=5)
+        srv.stage(forest=small_gbdt, at_time=0.02)
+        srv.schedule_swap(at_time=0.025)
+        result = srv.run(requests)
+
+        assert len(result.responses) == len(requests)
+        assert all(r.ok for r in result.responses)  # zero dropped
+        model = result.summary["model"]
+        assert model["swaps"] == 1
+        assert model["active"] == "default@v2"
+        served = model["served_by_version"]
+        assert set(served) == {"default@v1", "default@v2"}
+        assert all(count > 0 for count in served.values())
+        assert sum(served.values()) == len(requests)
+
+    def test_versions_are_monotone_across_the_swap(
+        self, small_forest, small_gbdt, p100, test_X
+    ):
+        srv = _server(small_forest, p100)
+        requests = poisson_workload(test_X, qps=4000, duration=0.05, seed=5)
+        srv.stage(forest=small_gbdt)
+        srv.schedule_swap(at_time=0.025)
+        result = srv.run(requests)
+        # Batches form in arrival order and the swap lands between
+        # batches, so in request order v1 responses strictly precede v2.
+        versions = [r.model_version for r in result.responses]
+        first_v2 = versions.index("default@v2")
+        assert all(v == "default@v1" for v in versions[:first_v2])
+        assert all(v == "default@v2" for v in versions[first_v2:])
+
+    def test_swap_event_recorded_everywhere(self, small_forest, small_gbdt, p100, test_X):
+        srv = _server(small_forest, p100)
+        srv.stage(forest=small_gbdt)
+        srv.schedule_swap(at_time=0.01)
+        result = srv.run(poisson_workload(test_X, qps=3000, duration=0.03, seed=2))
+        events = result.summary["model"]["swap_events"]
+        assert len(events) == 1
+        assert events[0]["from_label"] == "default@v1"
+        assert events[0]["to_label"] == "default@v2"
+        assert events[0]["time"] >= 0.01
+        assert srv.registry.events[-1]["to_version"] == 2
+        assert (
+            srv.recorder.metrics.counter("serving.model_swaps").value == 1
+        )
+
+    def test_immediate_swap_flips_the_pool(self, small_forest, small_gbdt, p100):
+        srv = _server(small_forest, p100)
+        old_engines = srv.engines
+        mv = srv.stage(forest=small_gbdt)
+        assert srv.active_version.version == 1  # staging alone changes nothing
+        event = srv.swap(mv.version)
+        assert srv.active_version.version == 2
+        assert srv.engines is not old_engines
+        assert event["from_label"] == "default@v1"
+        assert srv.target_batch >= 1  # flush point re-planned for the new model
+
+    def test_swap_requires_a_staged_version(self, small_forest, p100):
+        srv = _server(small_forest, p100)
+        with pytest.raises(ValueError, match="no staged version"):
+            srv.schedule_swap()
+        with pytest.raises(ValueError, match="no staged version"):
+            srv.swap()
+        with pytest.raises(ValueError, match="not staged"):
+            srv.swap(7)
+
+
+class TestStagingFromArtifact:
+    def test_staged_pool_adopts_packed_layout_without_conversion(
+        self, small_forest, small_gbdt, p100, tmp_path, test_X
+    ):
+        packed = load_packed(pack_forest(small_gbdt, p100, tmp_path / "v2.tahoe").path)
+        srv = _server(small_forest, p100)
+        mv = srv.stage(packed=packed)
+        staged = srv._staged[mv.version]
+        assert all(e.conversion_stats.source == "artifact" for e in staged)
+        assert all(e.layout is packed.layout for e in staged)
+        srv.swap(mv.version)
+        cold = TahoeEngine(small_gbdt, p100)
+        np.testing.assert_array_equal(
+            srv.engines[0].predict(test_X).predictions,
+            cold.predict(test_X).predictions,
+        )
+
+    def test_server_boots_directly_from_artifact(
+        self, small_forest, p100, tmp_path, test_X
+    ):
+        packed = load_packed(
+            pack_forest(small_forest, p100, tmp_path / "boot.tahoe").path
+        )
+        srv = _server(None, p100, packed=packed)
+        assert srv.active_version.source == "artifact"
+        assert all(e.conversion_stats.source == "artifact" for e in srv.engines)
+        result = srv.run(poisson_workload(test_X, qps=2000, duration=0.01, seed=1))
+        assert all(r.ok for r in result.responses)
+
+
+class TestCacheUnderPool:
+    """Satellite: LayoutCache interaction with live engine pools."""
+
+    def test_eviction_while_replica_holds_layout(
+        self, small_forest, small_gbdt, p100, test_X
+    ):
+        cache = LayoutCache(capacity=1)
+        engine = TahoeEngine(small_forest, p100, layout_cache=cache)
+        key = LayoutCache.key(small_forest, p100, TahoeConfig().conversion_key())
+        assert key in cache
+        baseline = engine.predict(test_X).predictions
+        # A different forest converting through the same capacity-1 cache
+        # evicts the entry — the replica keeps its adopted layout and
+        # must keep serving identical results.
+        TahoeEngine(small_gbdt, p100, layout_cache=cache)
+        assert key not in cache
+        np.testing.assert_array_equal(engine.predict(test_X).predictions, baseline)
+        # A *new* engine for the evicted forest has to reconvert.
+        rebuilt = TahoeEngine(small_forest, p100, layout_cache=cache)
+        assert rebuilt.conversion_stats.source == "pipeline"
+        np.testing.assert_array_equal(rebuilt.predict(test_X).predictions, baseline)
+
+    def test_replicas_share_one_layout_through_the_cache(self, small_forest, p100):
+        srv = _server(small_forest, p100)
+        assert srv.engines[0].layout is srv.engines[1].layout
+        assert srv.engines[1].conversion_stats.cache_hit
+
+    def test_staging_never_evicts_the_served_version(
+        self, small_forest, small_gbdt, p100
+    ):
+        cache = LayoutCache(capacity=1)
+        srv = _server(small_forest, p100, layout_cache=cache)
+        active_key = srv._active_key
+        assert cache.pinned(active_key)
+        # Staging a second version through a capacity-1 cache would evict
+        # the served layout if pinning didn't hold it: both must stay
+        # resident (temporary overflow is the accepted cost).
+        srv.stage(forest=small_gbdt)
+        assert active_key in cache
+        stats = cache.stats()
+        assert stats["pinned"] == 2
+        assert stats["entries"] == 2
+        # The swap hands the pin over to the new version.
+        srv.swap()
+        assert not cache.pinned(active_key)
+        assert cache.pinned(srv._active_key)
+        assert srv._active_key in cache

@@ -1,9 +1,15 @@
 """Tests for forest (de)serialisation."""
 
+import json
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.trees.forest import Forest
 from repro.trees.io import forest_from_dict, forest_to_dict, load_forest, save_forest
+from repro.trees.tree import LEAF, DecisionTree
 
 
 class TestRoundTrip:
@@ -56,6 +62,92 @@ class TestRoundTrip:
             forest_from_dict(payload)
 
     def test_payload_is_json_compatible(self, small_forest):
-        import json
-
         json.dumps(forest_to_dict(small_forest))  # must not raise
+
+
+class TestFormatVersions:
+    def test_writer_default_is_v2(self, small_forest):
+        payload = forest_to_dict(small_forest)
+        assert payload["format_version"] == 2
+        assert "b64" in payload["trees"][0]["threshold"]
+
+    def test_v1_still_written_on_request(self, small_forest, test_X):
+        payload = forest_to_dict(small_forest, format_version=1)
+        assert payload["format_version"] == 1
+        assert isinstance(payload["trees"][0]["threshold"], list)
+        restored = forest_from_dict(payload)
+        np.testing.assert_array_equal(
+            restored.predict(test_X), small_forest.predict(test_X)
+        )
+
+    def test_v2_is_smaller_on_disk(self, small_forest):
+        v1 = json.dumps(forest_to_dict(small_forest, format_version=1))
+        v2 = json.dumps(forest_to_dict(small_forest, format_version=2))
+        assert len(v2) < len(v1)
+
+    def test_v1_file_loads_with_v2_loader(self, small_forest, test_X, tmp_path):
+        path = tmp_path / "legacy.json"
+        save_forest(small_forest, path, format_version=1)
+        restored = load_forest(path)
+        np.testing.assert_array_equal(
+            restored.predict(test_X), small_forest.predict(test_X)
+        )
+
+    def test_unknown_writer_version_rejected(self, small_forest):
+        with pytest.raises(ValueError, match="version"):
+            forest_to_dict(small_forest, format_version=3)
+
+
+def _property_forest(thresholds, values, visits, defaults, flips) -> Forest:
+    """Graft hypothesis-generated payloads onto a fixed 7-node shape."""
+    tree = DecisionTree(
+        feature=np.array([0, LEAF, 1, LEAF, 0, LEAF, LEAF], dtype=np.int32),
+        threshold=np.array(thresholds, dtype=np.float32),
+        left=np.array([1, LEAF, 3, LEAF, 5, LEAF, LEAF], dtype=np.int32),
+        right=np.array([2, LEAF, 4, LEAF, 6, LEAF, LEAF], dtype=np.int32),
+        value=np.array(values, dtype=np.float32),
+        default_left=np.array(defaults, dtype=bool),
+        visit_count=np.array(visits, dtype=np.int64),
+        flip=np.array(flips, dtype=bool),
+    )
+    return Forest(trees=[tree], n_attributes=2)
+
+
+_f32 = st.floats(width=32, allow_nan=False)
+_seven = lambda elems: st.lists(elems, min_size=7, max_size=7)  # noqa: E731
+
+
+class TestExactRoundTripProperty:
+    """Both on-disk versions must round-trip dtype and value exactly."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        thresholds=_seven(_f32),
+        values=_seven(_f32),
+        visits=_seven(st.integers(min_value=1, max_value=2**62)),
+        defaults=_seven(st.booleans()),
+        flips=_seven(st.booleans()),
+        version=st.sampled_from([1, 2]),
+    )
+    def test_bit_exact_round_trip(
+        self, thresholds, values, visits, defaults, flips, version
+    ):
+        forest = _property_forest(thresholds, values, visits, defaults, flips)
+        # Through a real JSON string, exactly as save_forest/load_forest do.
+        payload = json.loads(
+            json.dumps(forest_to_dict(forest, format_version=version))
+        )
+        restored = forest_from_dict(payload)
+        a, b = forest.trees[0], restored.trees[0]
+        for name in (
+            "feature", "threshold", "left", "right", "value",
+            "default_left", "visit_count", "flip",
+        ):
+            got, want = getattr(b, name), getattr(a, name)
+            assert got.dtype == want.dtype, f"{name} dtype drifted (v{version})"
+            np.testing.assert_array_equal(got, want, err_msg=f"{name} (v{version})")
+        # Bit-exactness of the float payloads, not just value equality.
+        np.testing.assert_array_equal(
+            b.threshold.view(np.int32), a.threshold.view(np.int32)
+        )
+        np.testing.assert_array_equal(b.value.view(np.int32), a.value.view(np.int32))
