@@ -105,6 +105,11 @@ def test_ablation_similarity_parameters(benchmark):
     )
     report += "paper: T_nodes in [4,6], L_hash >= 128, M >= 64 suffice (section 7.1)\n"
     common.write_result("ablation_similarity_parameters", report)
+    common.write_bench_report(
+        "ablation_similarity_parameters",
+        {f"{k[0]}_{k[1]}": v for k, v in data.items()},
+        scenario="ablation/similarity_parameters",
+    )
     # The paper-default configuration must beat a random order.
     assert data[("t_nodes", 4)] < data[("random", 0)]
 
@@ -120,6 +125,9 @@ def test_ablation_variable_width(benchmark):
         ],
     )
     common.write_result("ablation_variable_width", report)
+    common.write_bench_report(
+        "ablation_variable_width", dict(data), scenario="ablation/variable_width"
+    )
     assert data["narrow_bytes"] < data["wide_bytes"]
     assert data["narrow_time"] <= data["wide_time"] * 1.02
 
@@ -133,4 +141,9 @@ def test_ablation_selection_vs_oracle(benchmark):
     )
     report += "paper: mispredictions still land within ~5% of hand-picked optimum\n"
     common.write_result("ablation_selection_vs_oracle", report)
+    common.write_bench_report(
+        "ablation_selection_vs_oracle",
+        {r["dataset"]: {"penalty": r["penalty"]} for r in rows},
+        scenario="ablation/selection_vs_oracle",
+    )
     assert all(r["penalty"] <= 1.6 for r in rows)

@@ -105,6 +105,16 @@ def test_fig2a_address_distance(benchmark):
         f"measured: deep-level efficiency {deep:.1%}\n"
     )
     common.write_result("fig2a_address_distance", report)
+    common.write_bench_report(
+        "fig2a_address_distance",
+        {
+            "levels": [int(v) for v in data["levels"]],
+            "mean_distance_bytes": [float(v) for v in data["distances"]],
+            "load_efficiency": [float(v) for v in data["efficiency"]],
+            "deep_level_efficiency": float(deep),
+        },
+        scenario="fig2a/Higgs/P100",
+    )
     # Shape assertions: distance grows, efficiency shrinks.
     assert data["distances"][-1] > data["distances"][0]
     assert data["efficiency"][-1] < data["efficiency"][0]
@@ -120,6 +130,11 @@ def test_fig2b_reduction_overhead(benchmark):
     )
     report += "paper: 35%-72%, growing with the tree count\n"
     common.write_result("fig2b_reduction_overhead", report)
+    common.write_bench_report(
+        "fig2b_reduction_overhead",
+        {"tree_counts": data["tree_counts"], "reduction_shares": data["shares"]},
+        scenario="fig2b/Higgs/P100",
+    )
     assert data["shares"][-1] > data["shares"][0]
     assert max(data["shares"]) > 0.3
 
@@ -135,4 +150,7 @@ def test_fig2c_load_imbalance(benchmark):
         ],
     )
     common.write_result("fig2c_load_imbalance", report)
+    common.write_bench_report(
+        "fig2c_load_imbalance", dict(data), scenario="fig2c/Higgs/P100"
+    )
     assert data["cv"] > 0.2

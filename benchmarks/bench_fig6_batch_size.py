@@ -64,6 +64,11 @@ def _report(dataset: str, sweep) -> str:
 def test_fig6_higgs(benchmark):
     sweep = benchmark.pedantic(run_fig6, args=("Higgs",), rounds=1, iterations=1)
     common.write_result("fig6_higgs_batch_size", _report("Higgs", sweep))
+    common.write_bench_report(
+        "fig6_higgs_batch_size",
+        {"throughput": {str(b): tps for b, tps in sweep.items()}},
+        scenario="fig6/Higgs/P100",
+    )
     batches = sorted(sweep)
     # The paper's headline: no strategy wins at every batch size on Higgs,
     # and relative ranks shift between the smallest and largest batch.
@@ -79,6 +84,11 @@ def test_fig6_higgs(benchmark):
 def test_fig6_svhn(benchmark):
     sweep = benchmark.pedantic(run_fig6, args=("SVHN",), rounds=1, iterations=1)
     common.write_result("fig6_svhn_batch_size", _report("SVHN", sweep))
+    common.write_bench_report(
+        "fig6_svhn_batch_size",
+        {"throughput": {str(b): tps for b, tps in sweep.items()}},
+        scenario="fig6/SVHN/P100",
+    )
     batches = sorted(sweep)
     large = {k: v for k, v in sweep[batches[-1]].items() if v is not None}
     # SVHN at scale: the direct method wins (paper figure 6 right panel).

@@ -88,6 +88,27 @@ def test_fig7_overall_speedup(benchmark):
         summary_rows,
     )
     common.write_result("fig7_overall", report)
+    common.write_bench_report(
+        "fig7_overall",
+        {
+            "speedup": {
+                gpu: {
+                    name: {
+                        "high": results[(gpu, name)]["high"],
+                        "low": results[(gpu, name)]["low"],
+                    }
+                    for name in common.DATASET_ORDER
+                }
+                for gpu in GPUS
+            },
+            "geomean_speedup": {
+                f"{gpu}_{regime}": means[(gpu, regime)]
+                for gpu in GPUS
+                for regime in ("high", "low")
+            },
+        },
+        scenario="fig7/all_datasets/3gpus",
+    )
     # Shape assertions.
     for gpu in GPUS:
         assert means[(gpu, "high")] > 1.0, f"no high-parallelism win on {gpu}"

@@ -86,6 +86,17 @@ def test_fig8_technique_breakdown(benchmark):
         f"vs others {tree_share_rest:.0%} (paper: larger for many-tree)\n"
     )
     common.write_result("fig8_breakdown", report)
+    common.write_bench_report(
+        "fig8_breakdown",
+        {
+            name: {
+                "speedup_cumulative": list(data[name]["speedups"]),
+                "technique_shares": list(data[name]["shares"]),
+            }
+            for name in common.DATASET_ORDER
+        },
+        scenario="fig8/all_datasets/P100",
+    )
     # Full pipeline must beat FIL everywhere on average.
     final = [data[n]["speedups"][2] for n in common.DATASET_ORDER]
     assert np.exp(np.mean(np.log(final))) > 1.0

@@ -84,6 +84,14 @@ def test_fig9_strong_scaling(benchmark):
         "saturate because small per-GPU shards lack parallelism.\n"
     )
     common.write_result("fig9_strong_scaling", report)
+    common.write_bench_report(
+        "fig9_strong_scaling",
+        {
+            "gpu_counts": GPU_COUNTS,
+            "speedup": {name: list(data[name].speedups) for name in DATASETS},
+        },
+        scenario="fig9/strong/V100",
+    )
     for name in DATASETS:
         speedups = data[name].speedups
         assert speedups[-1] >= speedups[0]  # never slower with more GPUs
@@ -106,5 +114,13 @@ def test_weak_scaling_flat(benchmark):
     )
     report += "paper: <5% variance (no inter-GPU communication)\n"
     common.write_result("weak_scaling", report)
+    common.write_bench_report(
+        "weak_scaling",
+        {
+            "gpu_counts": GPU_COUNTS,
+            "per_gpu_time_s": {name: list(times) for name, times in data.items()},
+        },
+        scenario="fig9/weak/V100",
+    )
     for name, times in data.items():
         assert (max(times) - min(times)) / min(times) < 0.05

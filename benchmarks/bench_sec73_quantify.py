@@ -150,6 +150,11 @@ def test_sec73_memory_coalescence(benchmark):
         "62->175 GB/s (K80), 99->314 (P100), 112->379 (V100)\n"
     )
     common.write_result("sec73_coalescing", report)
+    common.write_bench_report(
+        "sec73_coalescing",
+        {gpu: dict(data[gpu]) for gpu in GPUS},
+        scenario="sec73/coalescing/3gpus",
+    )
     for gpu in GPUS:
         assert data[gpu]["tahoe_eff"] > data[gpu]["fil_eff"]
         assert data[gpu]["tahoe_bw"] > data[gpu]["fil_bw"]
@@ -169,6 +174,11 @@ def test_sec73_reduction_removal(benchmark):
         f"{data['total']['low']} (paper 13/45)\n"
     )
     common.write_result("sec73_reduction_removal", report)
+    common.write_bench_report(
+        "sec73_reduction_removal",
+        {"removed": dict(data["removed"]), "total": dict(data["total"])},
+        scenario="sec73/reduction_removal/3gpus",
+    )
     # Paper shape: reduction removed more often at high parallelism, and
     # neither never nor always.
     assert data["removed"]["high"] >= data["removed"]["low"]
@@ -195,5 +205,16 @@ def test_sec73_model_accuracy(benchmark):
         f"within 25% of optimal: {near}/{len(cases)}\n"
     )
     common.write_result("sec73_model_accuracy", report)
+    common.write_bench_report(
+        "sec73_model_accuracy",
+        {
+            "exact_matches": exact,
+            "near_matches": near,
+            "cases": len(cases),
+            "exact_fraction": exact / len(cases),
+            "near_fraction": near / len(cases),
+        },
+        scenario="sec73/model_accuracy/3gpus",
+    )
     assert exact / len(cases) >= 0.6
     assert near / len(cases) >= 0.85

@@ -90,5 +90,13 @@ def test_table3_load_imbalance(benchmark):
     )
     report += "paper: rearrangement reduces A.C.V. by ~68-72%\n"
     common.write_result("table3_load_imbalance", report)
+    common.write_bench_report(
+        "table3_load_imbalance",
+        {
+            f"{gpu}_{regime}": {"fil_acv": fil_cv, "tahoe_acv": tahoe_cv}
+            for (gpu, regime), (fil_cv, tahoe_cv) in data.items()
+        },
+        scenario="table3/acv/3gpus",
+    )
     for key, (fil_cv, tahoe_cv) in data.items():
         assert tahoe_cv < fil_cv, f"no A.C.V. reduction for {key}"

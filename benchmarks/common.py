@@ -177,27 +177,29 @@ def write_result(name: str, text: str) -> Path:
     return path
 
 
-def write_bench_report(name: str, payload) -> Path:
+def write_bench_report(name: str, payload, *, scenario: str | None = None) -> Path:
     """Persist a machine-readable ``BENCH_<name>.json`` artifact.
 
     The schema-stable counterpart of :func:`write_result`: ``payload``
     is either a :class:`repro.obs.RunReport` (serialised via its
-    versioned ``to_dict``) or a plain dict, wrapped in an envelope with
-    its own schema version so the cross-PR perf trajectory stays
-    machine-comparable.
+    versioned ``to_dict``) or a plain dict, wrapped in the shared
+    :func:`repro.obs.benchdiff.bench_envelope` (run id, git sha,
+    timestamp, scenario key) so any two runs of the same scenario are
+    comparable with ``repro bench diff``.
     """
+    from repro.obs.benchdiff import bench_envelope
     from repro.obs.exporters import jsonable
-    from repro.obs.report import SCHEMA_VERSION, RunReport
+    from repro.obs.report import RunReport
 
     _RESULTS_DIR.mkdir(exist_ok=True)
     path = _RESULTS_DIR / f"BENCH_{name}.json"
-    body = payload.to_dict() if isinstance(payload, RunReport) else payload
-    envelope = {
-        "schema_version": SCHEMA_VERSION,
-        "benchmark": name,
-        "kind": "run_report" if isinstance(payload, RunReport) else "summary",
-        "payload": body,
-    }
+    is_report = isinstance(payload, RunReport)
+    envelope = bench_envelope(
+        name,
+        payload.to_dict() if is_report else payload,
+        kind="run_report" if is_report else "summary",
+        scenario=scenario,
+    )
     path.write_text(json.dumps(jsonable(envelope), indent=2) + "\n")
     return path
 

@@ -218,8 +218,15 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.core import LayoutCache
-    from repro.obs.exporters import jsonable
-    from repro.serving import ServerConfig, TahoeServer, poisson_workload
+    from repro.obs.benchdiff import bench_envelope
+    from repro.obs.exporters import jsonable, write_serving_trace
+    from repro.serving import (
+        ServerConfig,
+        SLOConfig,
+        TahoeServer,
+        burst_workload,
+        poisson_workload,
+    )
     from repro.trees import train_forest_for_spec
 
     if not args.bench:
@@ -243,6 +250,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_wait=args.max_wait_ms / 1e3,
         max_queue=args.max_queue,
     )
+    slo = SLOConfig(
+        latency_p95=args.slo_p95_ms / 1e3 if args.slo_p95_ms else None,
+        error_rate=args.slo_error_rate if args.slo_error_rate else None,
+        window=args.slo_window_ms / 1e3,
+    )
     if args.forest is not None:
         forest, packed = _load_any_model(
             args.forest, n_attributes=workload.split.test.X.shape[1]
@@ -253,47 +265,80 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 packed=packed,
                 server_config=server_config,
                 layout_cache=cache,
+                slo=slo,
             )
             print(f"serving packed layout {args.forest} (conversion skipped)")
         else:
             server = TahoeServer(
-                forest, spec, server_config=server_config, layout_cache=cache
+                forest, spec, server_config=server_config, layout_cache=cache, slo=slo
             )
     else:
         server = TahoeServer(
-            workload.forest, spec, server_config=server_config, layout_cache=cache
+            workload.forest,
+            spec,
+            server_config=server_config,
+            layout_cache=cache,
+            slo=slo,
         )
-    requests = poisson_workload(
-        workload.split.test.X,
-        qps=args.qps,
-        duration=args.duration,
-        seed=args.seed,
-        deadline=args.deadline_ms / 1e3 if args.deadline_ms else None,
-    )
+    deadline = args.deadline_ms / 1e3 if args.deadline_ms else None
+    if args.burst_factor > 1.0:
+        requests = burst_workload(
+            workload.split.test.X,
+            qps=args.qps,
+            duration=args.duration,
+            burst_factor=args.burst_factor,
+            seed=args.seed,
+            deadline=deadline,
+        )
+    else:
+        requests = poisson_workload(
+            workload.split.test.X,
+            qps=args.qps,
+            duration=args.duration,
+            seed=args.seed,
+            deadline=deadline,
+        )
     result = server.run(requests, report=True)
     s = result.summary
-    payload = {
-        "schema_version": 1,
-        "kind": "serving_bench",
-        "gpu": spec.name,
-        "dataset": args.dataset,
-        "config": {
-            "qps": args.qps,
-            "duration_s": args.duration,
-            "n_engines": args.n_engines,
-            "max_batch": args.max_batch,
-            "max_wait_ms": args.max_wait_ms,
-            "max_queue": args.max_queue,
-            "deadline_ms": args.deadline_ms,
-            "quick": bool(args.quick),
+    scenario = (
+        f"serving/{args.dataset}/{args.gpu}/qps{args.qps:g}x{args.burst_factor:g}"
+        f"/d{args.duration:g}/e{args.n_engines}"
+    )
+    payload = bench_envelope(
+        "serving",
+        {
+            "gpu": spec.name,
+            "dataset": args.dataset,
+            "config": {
+                "qps": args.qps,
+                "duration_s": args.duration,
+                "burst_factor": args.burst_factor,
+                "n_engines": args.n_engines,
+                "max_batch": args.max_batch,
+                "max_wait_ms": args.max_wait_ms,
+                "max_queue": args.max_queue,
+                "deadline_ms": args.deadline_ms,
+                "slo_p95_ms": args.slo_p95_ms,
+                "slo_error_rate": args.slo_error_rate,
+                "quick": bool(args.quick),
+            },
+            "summary": s,
+            "report": result.report.to_dict(),
         },
-        "summary": s,
-        "report": result.report.to_dict(),
-    }
+        kind="serving_bench",
+        scenario=scenario,
+    )
     out = Path(args.out)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(jsonable(payload), indent=2))
+    if args.trace_out:
+        write_serving_trace(result.responses, args.trace_out)
+        print(
+            f"wrote {args.trace_out} (per-request stage traces — open in "
+            "chrome://tracing or https://ui.perfetto.dev)"
+        )
     lat = s["latency_s"]
+    wait = s["queue_wait_s"]
     print(
         f"served {s['completed']}/{s['requests']} requests "
         f"({s['rejected_queue_full']} backpressure, "
@@ -305,9 +350,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"on {s['n_engines']} engine(s), flush point {s['target_batch']}"
     )
     print(
-        f"latency p50 {lat['p50'] * 1e3:.3f} ms  p99 {lat['p99'] * 1e3:.3f} ms  "
-        f"max {lat['max'] * 1e3:.3f} ms over {s['batches']} micro-batches"
+        f"latency p50 {lat['p50'] * 1e3:.3f} ms  p95 {lat['p95'] * 1e3:.3f} ms  "
+        f"p99 {lat['p99'] * 1e3:.3f} ms  max {lat['max'] * 1e3:.3f} ms "
+        f"over {s['batches']} micro-batches"
     )
+    print(
+        f"queue wait p50 {wait['p50'] * 1e3:.3f} ms  p95 {wait['p95'] * 1e3:.3f} ms  "
+        f"p99 {wait['p99'] * 1e3:.3f} ms"
+    )
+    if s.get("slo"):
+        slo_s = s["slo"]
+        breaches = slo_s["breaches"]
+        state = f"in breach: {', '.join(slo_s['in_breach'])}" if slo_s["in_breach"] else "met"
+        print(
+            f"SLO: {breaches} breach event(s) over "
+            f"{len(slo_s['objectives'])} objective(s) — {state}"
+        )
+        for event in slo_s["events"]:
+            print(
+                f"  [{event['time'] * 1e3:9.3f} ms] {event['event']}: "
+                f"{event['objective']} observed {event['observed']:.4g} "
+                f"vs {event['threshold']:.4g}"
+            )
+    calib = result.report.calibration
+    if calib and calib.get("n_decisions"):
+        print(
+            f"perf-model calibration: {calib['n_decisions']} decisions, "
+            f"{calib['ranking_at_risk_fraction']:.1%} ranking-at-risk "
+            f"(threshold {calib['ranking_risk_threshold']:.0%}) — "
+            + ("DRIFTED" if calib["drifted"] else "healthy")
+        )
     hits = s["layout_cache"]["hits"]
     print(
         f"layout cache: {hits} hit(s), {s['layout_cache']['misses']} miss(es) — "
@@ -319,8 +391,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     print(f"wrote {out}")
     sustained = s["achieved_qps"] >= 0.9 * min(args.qps, s["offered_qps"])
-    if not sustained:
+    if not sustained and args.burst_factor <= 1.0:
         print("WARNING: configured QPS not sustained", file=sys.stderr)
+    return 0
+
+
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    from repro.obs.benchdiff import diff_envelopes, format_diff, load_envelope
+
+    try:
+        old = load_envelope(args.old)
+        new = load_envelope(args.new)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_envelopes(
+        old, new, rel_threshold=args.threshold, abs_floor=args.abs_floor
+    )
+    if args.json:
+        print(json.dumps(diff.to_dict(), indent=2))
+    else:
+        print(format_diff(diff, verbose=args.verbose))
+    if not diff.ok and not args.warn_only:
+        return 1
     return 0
 
 
@@ -581,9 +674,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request latency budget (0 disables deadlines)",
     )
     p.add_argument(
+        "--burst-factor",
+        type=float,
+        default=1.0,
+        dest="burst_factor",
+        help="overload burst: middle 20%% of the window runs at "
+        "qps * FACTOR (1 disables; try 20 to exercise the SLO monitor)",
+    )
+    p.add_argument(
+        "--slo-p95-ms",
+        type=float,
+        default=10.0,
+        dest="slo_p95_ms",
+        help="p95 end-to-end latency objective (0 disables)",
+    )
+    p.add_argument(
+        "--slo-error-rate",
+        type=float,
+        default=0.05,
+        dest="slo_error_rate",
+        help="max failed-request fraction objective (0 disables)",
+    )
+    p.add_argument(
+        "--slo-window-ms",
+        type=float,
+        default=100.0,
+        dest="slo_window_ms",
+        help="rolling SLO evaluation window, simulated milliseconds",
+    )
+    p.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        dest="trace_out",
+        help="also write per-request stage traces as a Chrome/Perfetto file",
+    )
+    p.add_argument(
         "--out", type=Path, default=Path("benchmarks/results/BENCH_serving.json")
     )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("bench", help="benchmark artifact tools")
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+    p = bench_sub.add_parser(
+        "diff",
+        help="compare two BENCH_*.json artifacts with noise-aware thresholds",
+    )
+    p.add_argument("old", type=Path, help="baseline artifact")
+    p.add_argument("new", type=Path, help="candidate artifact")
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative change below this is noise (default 10%%)",
+    )
+    p.add_argument(
+        "--abs-floor",
+        type=float,
+        default=1e-9,
+        dest="abs_floor",
+        help="absolute change below this is float jitter",
+    )
+    p.add_argument(
+        "--warn-only",
+        action="store_true",
+        dest="warn_only",
+        help="report regressions but exit 0 (CI soft gate)",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument("--verbose", action="store_true", help="list informational changes")
+    p.set_defaults(func=_cmd_bench_diff)
 
     p = sub.add_parser(
         "trace", help="run inference with tracing on and write a Chrome trace"

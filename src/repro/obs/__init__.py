@@ -24,13 +24,16 @@ layer — strategies, the simulator kernel loop, the selector — can emit
 spans without import cycles.
 """
 
+from repro.obs.drift import CalibrationDriftWarning, CalibrationTracker
 from repro.obs.exporters import (
     chrome_trace_events,
     load_report_json,
     metrics_to_prometheus,
     report_to_json,
+    serving_trace_events,
     write_chrome_trace,
     write_report_json,
+    write_serving_trace,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.recorder import RunRecorder
@@ -42,11 +45,14 @@ from repro.obs.report import (
     RunReport,
     SelectorDecision,
 )
+from repro.obs.streaming import StreamingHistogram
 from repro.obs.trace import Span, Tracer, current_tracer, span, use_tracer
 
 __all__ = [
     "SCHEMA_VERSION",
     "BatchRecord",
+    "CalibrationDriftWarning",
+    "CalibrationTracker",
     "CandidateRecord",
     "ConversionRecord",
     "Counter",
@@ -57,14 +63,17 @@ __all__ = [
     "RunReport",
     "SelectorDecision",
     "Span",
+    "StreamingHistogram",
     "Tracer",
     "chrome_trace_events",
     "current_tracer",
     "load_report_json",
     "metrics_to_prometheus",
     "report_to_json",
+    "serving_trace_events",
     "span",
     "use_tracer",
     "write_chrome_trace",
     "write_report_json",
+    "write_serving_trace",
 ]

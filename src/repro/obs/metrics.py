@@ -1,22 +1,29 @@
 """Metrics: counters, gauges, histograms, and a registry.
 
 A deliberately small instrument set (the Prometheus trinity) shared by
-the engines and benchmarks.  The registry adopts the simulator's
-existing accounting — :class:`~repro.gpusim.counters.TrafficCounters`
+the engines, the serving tier and benchmarks.  The registry adopts the
+simulator's existing accounting — :class:`~repro.gpusim.counters.TrafficCounters`
 (the NVProf stand-in) folds in via :meth:`MetricsRegistry.record_traffic`
 — so the paper's section 7.3 quantities become ordinary metrics instead
 of ad-hoc dataclass fields.
 
 Metric names are dotted (``traffic.forest_global.fetched_bytes``); the
-Prometheus exporter sanitises them.  Histograms keep raw observations
-(runs here are thousands of batches at most), so exact quantiles are
-available for the model-accuracy accounting.
+Prometheus exporter sanitises them.  Histograms are **streaming** by
+default — bounded log-bucketed sketches
+(:class:`~repro.obs.streaming.StreamingHistogram`) with fixed memory and
+a few-percent quantile error, which is what lets the serving tier keep
+them on the request hot path indefinitely.  Pass ``raw=True`` for the
+old keep-every-observation behaviour (exact quantiles; benchmarks and
+tests that assert exact values).
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from bisect import insort
+from dataclasses import dataclass
+
+from repro.obs.streaming import StreamingHistogram
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
@@ -57,49 +64,123 @@ class Gauge:
         self.value = float(value)
 
 
-@dataclass
 class Histogram:
-    """A distribution; keeps raw observations for exact quantiles."""
+    """A distribution: streaming log-bucketed by default, raw on request.
 
-    name: str
-    help: str = ""
-    observations: list = field(default_factory=list)
+    Streaming mode (the default) delegates to a
+    :class:`StreamingHistogram` — fixed memory, mergeable, p50/p95/p99/
+    p999 without storing samples.  ``raw=True`` keeps every observation
+    in a sorted list instead, giving exact nearest-rank quantiles in
+    O(log n) per insert (no re-sorting on read) at the cost of unbounded
+    memory — the escape hatch for tests and small offline runs.
+    """
 
-    def observe(self, value: float) -> None:
-        self.observations.append(float(value))
+    __slots__ = ("name", "help", "raw", "_stream", "_sorted")
+
+    def __init__(self, name: str, help: str = "", raw: bool = False) -> None:
+        self.name = name
+        self.help = help
+        self.raw = bool(raw)
+        self._stream: StreamingHistogram | None = None if self.raw else StreamingHistogram()
+        self._sorted: list[float] = []
+
+    def observe(self, value: float, count: int = 1) -> None:
+        if self._stream is not None:
+            self._stream.observe(value, count)
+        else:
+            value = float(value)
+            for _ in range(count):
+                insort(self._sorted, value)
+
+    @property
+    def observations(self) -> list[float]:
+        """The raw samples (ascending).  Raw mode only."""
+        if self._stream is not None:
+            raise TypeError(
+                f"histogram {self.name!r} is streaming and keeps no raw "
+                "observations; construct it with raw=True"
+            )
+        return self._sorted
 
     @property
     def count(self) -> int:
-        return len(self.observations)
+        if self._stream is not None:
+            return self._stream.count
+        return len(self._sorted)
 
     @property
     def total(self) -> float:
-        return math.fsum(self.observations)
+        if self._stream is not None:
+            return self._stream.total
+        return math.fsum(self._sorted)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    @property
+    def min(self) -> float:
+        if self._stream is not None:
+            return self._stream.min if self._stream.count else 0.0
+        return self._sorted[0] if self._sorted else 0.0
+
+    @property
+    def max(self) -> float:
+        if self._stream is not None:
+            return self._stream.max if self._stream.count else 0.0
+        return self._sorted[-1] if self._sorted else 0.0
+
     def quantile(self, q: float) -> float:
-        """Exact q-quantile (nearest-rank); 0 when empty."""
-        if not self.observations:
+        """Nearest-rank q-quantile (exact in raw mode); 0 when empty."""
+        if self._stream is not None:
+            return self._stream.quantile(q)
+        if not self._sorted:
             return 0.0
-        ordered = sorted(self.observations)
-        rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
-        return ordered[rank]
+        rank = min(len(self._sorted) - 1, max(0, math.ceil(q * len(self._sorted)) - 1))
+        return self._sorted[rank]
 
     def summary(self) -> dict:
-        if not self.observations:
+        if self._stream is not None:
+            return self._stream.summary()
+        if not self._sorted:
             return {"count": 0, "sum": 0.0}
         return {
             "count": self.count,
             "sum": self.total,
             "mean": self.mean,
-            "min": min(self.observations),
-            "max": max(self.observations),
+            "min": self._sorted[0],
+            "max": self._sorted[-1],
             "p50": self.quantile(0.5),
             "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "p999": self.quantile(0.999),
         }
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """Prometheus-style non-empty ``(le_bound, cumulative_count)``.
+
+        Raw mode replays its samples through a scratch streaming
+        histogram so both modes export identical bucket geometry.
+        """
+        stream = self._stream
+        if stream is None:
+            stream = StreamingHistogram()
+            for v in self._sorted:
+                stream.observe(v)
+        return stream.cumulative_buckets()
+
+    def merge(self, other: Histogram) -> Histogram:
+        """Fold ``other`` into this histogram (replica aggregation)."""
+        if self._stream is not None and other._stream is not None:
+            self._stream.merge(other._stream)
+        elif self._stream is None and other._stream is None:
+            for v in other._sorted:
+                insort(self._sorted, v)
+        else:
+            raise TypeError(
+                f"cannot merge raw and streaming histograms ({self.name!r})"
+            )
+        return self
 
 
 class MetricsRegistry:
@@ -129,8 +210,16 @@ class MetricsRegistry:
     def gauge(self, name: str, help: str = "") -> Gauge:
         return self._get(name, Gauge, help)
 
-    def histogram(self, name: str, help: str = "") -> Histogram:
-        return self._get(name, Histogram, help)
+    def histogram(self, name: str, help: str = "", raw: bool = False) -> Histogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Histogram(name, help=help, raw=raw)
+            self._metrics[name] = metric
+        elif not isinstance(metric, Histogram):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(metric).__name__}"
+            )
+        return metric
 
     def __iter__(self):
         return iter(self._metrics.values())
@@ -161,6 +250,19 @@ class MetricsRegistry:
                 f"{prefix}.forest_global.load_efficiency",
                 help="requested / fetched bytes per kernel (coalescing quality)",
             ).observe(forest.load_efficiency)
+
+    def merge(self, other: MetricsRegistry) -> MetricsRegistry:
+        """Fold another registry in: counters add, gauges keep the other's
+        latest value, histograms merge bucket-wise (replica fan-in)."""
+        for metric in other:
+            if isinstance(metric, Counter):
+                self.counter(metric.name, metric.help).inc(metric.value)
+            elif isinstance(metric, Gauge):
+                self.gauge(metric.name, metric.help).set(metric.value)
+            else:
+                mine = self.histogram(metric.name, metric.help, raw=metric.raw)
+                mine.merge(metric)
+        return self
 
     def snapshot(self) -> dict:
         """A plain-dict view of every metric (JSON-ready)."""

@@ -10,6 +10,7 @@ unconditionally.
 
 from __future__ import annotations
 
+from repro.obs.drift import CalibrationTracker
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.report import (
     BatchRecord,
@@ -42,6 +43,7 @@ class RunRecorder:
         self.tracer = Tracer(enabled=tracing, max_spans=max_spans)
         self.metrics = MetricsRegistry()
         self.metrics_enabled = metrics
+        self.calibration = CalibrationTracker()
         self.conversions: list[ConversionRecord] = []
         self.decisions: list[SelectorDecision] = []
         self.batches: list[BatchRecord] = []
@@ -103,6 +105,17 @@ class RunRecorder:
                     "selector.prediction_ratio",
                     help="predicted / simulated batch time (1.0 = perfect model)",
                 ).observe(ratio)
+            self.calibration.record(decision)
+            margin = self.calibration.decision_margin(decision)
+            if (
+                margin is not None
+                and decision.predicted_time is not None
+                and abs(decision.predicted_time - record.simulated_time) > margin
+            ):
+                self.metrics.counter(
+                    "selector.ranking_at_risk_total",
+                    help="decisions whose residual exceeded the selection margin",
+                ).inc()
         self.metrics.counter("batches_total").inc()
         self.metrics.counter("samples_total").inc(record.batch_size)
         self.metrics.histogram("batch_time_seconds").observe(record.simulated_time)
@@ -138,6 +151,7 @@ class RunRecorder:
             batches=list(self.batches),
             decisions=list(self.decisions),
             metrics=self.metrics.snapshot(),
+            calibration=self.calibration.summary(),
             meta=meta,
         )
 
@@ -145,6 +159,7 @@ class RunRecorder:
         """Forget everything recorded so far (tracer epoch restarts)."""
         self.tracer.reset()
         self.metrics.reset()
+        self.calibration = CalibrationTracker()
         self.conversions.clear()
         self.decisions.clear()
         self.batches.clear()

@@ -195,6 +195,7 @@ class RunReport:
     batches: list[BatchRecord] = field(default_factory=list)
     decisions: list[SelectorDecision] = field(default_factory=list)
     metrics: dict = field(default_factory=dict)
+    calibration: dict = field(default_factory=dict)
     meta: dict = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
@@ -242,6 +243,7 @@ class RunReport:
             "batches": [b.to_dict() for b in self.batches],
             "decisions": [d.to_dict() for d in self.decisions],
             "metrics": self.metrics,
+            "calibration": self.calibration,
             "meta": self.meta,
         }
 
@@ -263,6 +265,7 @@ class RunReport:
             batches=[BatchRecord.from_dict(b) for b in d.get("batches", [])],
             decisions=[SelectorDecision.from_dict(s) for s in d.get("decisions", [])],
             metrics=d.get("metrics", {}),
+            calibration=d.get("calibration", {}),
             meta=d.get("meta", {}),
             schema_version=version,
         )

@@ -10,6 +10,9 @@
   lines 8–15 do once per batch.
 """
 
+# Calibration drift lives in repro.obs (to keep obs dependency-free) but
+# is conceptually the §6 models' health check, so re-export it here.
+from repro.obs.drift import CalibrationDriftWarning, CalibrationTracker
 from repro.perfmodel.microbench import measure_hardware_parameters
 from repro.perfmodel.models import (
     predict_direct,
@@ -22,6 +25,8 @@ from repro.perfmodel.selector import StrategyChoice, rank_strategies, select_str
 from repro.perfmodel.validation import ValidationReport, validate_selection
 
 __all__ = [
+    "CalibrationDriftWarning",
+    "CalibrationTracker",
     "ForestParams",
     "HardwareParams",
     "SampleParams",

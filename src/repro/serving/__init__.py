@@ -37,16 +37,23 @@ from repro.serving.request import (
     ServingError,
 )
 from repro.serving.server import ServerConfig, ServingResult, TahoeServer
-from repro.serving.workload import poisson_workload
+from repro.serving.slo import SLOConfig, SLOMonitor
+from repro.serving.tracing import RequestTrace, StageSpan
+from repro.serving.workload import burst_workload, poisson_workload
 
 __all__ = [
     "REJECTED_DEADLINE",
     "REJECTED_QUEUE_FULL",
     "InferenceRequest",
     "InferenceResponse",
+    "RequestTrace",
+    "SLOConfig",
+    "SLOMonitor",
     "ServerConfig",
     "ServingError",
     "ServingResult",
+    "StageSpan",
     "TahoeServer",
+    "burst_workload",
     "poisson_workload",
 ]

@@ -50,12 +50,16 @@ class InferenceRequest:
         arrival_time: simulated arrival timestamp (seconds).
         deadline: absolute simulated time after which the result is
             useless; ``None`` means no deadline.
+        trace_id: identifier every stage span of this request is tagged
+            with; derived from ``request_id`` when not supplied, so
+            traces are stable across reruns of a deterministic workload.
     """
 
     request_id: int
     X: np.ndarray
     arrival_time: float
     deadline: float | None = None
+    trace_id: str | None = None
 
     def __post_init__(self) -> None:
         self.X = np.asarray(self.X, dtype=np.float32)
@@ -63,6 +67,8 @@ class InferenceRequest:
             self.X = self.X[None, :]
         if self.X.shape[0] == 0:
             raise ValueError("empty inference request")
+        if self.trace_id is None:
+            self.trace_id = f"req-{self.request_id:08d}"
 
     @property
     def n_samples(self) -> int:
@@ -85,6 +91,9 @@ class InferenceResponse:
         model_version: label of the model version that served the
             request (e.g. ``default@v2``) — requests in flight across a
             hot swap show which side of the swap they landed on.
+        trace: per-stage decomposition of the request's lifetime
+            (:class:`~repro.serving.tracing.RequestTrace`); ``None``
+            when request tracing is disabled.
     """
 
     request_id: int
@@ -94,6 +103,7 @@ class InferenceResponse:
     error: ServingError | None = None
     missed_deadline: bool = False
     model_version: str | None = None
+    trace: object | None = None
 
     @property
     def ok(self) -> bool:

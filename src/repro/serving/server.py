@@ -51,6 +51,7 @@ from repro.core.engine import TahoeEngine
 from repro.core.fil import FILEngine
 from repro.gpusim.specs import GPUSpec
 from repro.modelstore.registry import ModelRegistry, ModelVersion
+from repro.obs.drift import CalibrationTracker
 from repro.obs.recorder import RunRecorder
 from repro.obs.report import RunReport
 from repro.perfmodel.microbench import measure_hardware_parameters
@@ -63,9 +64,15 @@ from repro.serving.request import (
     InferenceResponse,
     ServingError,
 )
+from repro.serving.slo import SLOConfig, SLOMonitor
+from repro.serving.tracing import RequestTrace, StageSpan
 from repro.trees.forest import Forest
 
 __all__ = ["ServerConfig", "ServingResult", "TahoeServer"]
+
+#: Cap on per-request traces carried into a RunReport (the responses
+#: themselves always carry their own trace regardless).
+MAX_REPORT_TRACES = 2000
 
 
 @dataclass(frozen=True)
@@ -85,6 +92,10 @@ class ServerConfig:
             per-sample time).
         knee_tolerance: how close to the best predicted per-sample time
             the chosen flush point must be (0.05 = within 5 %).
+        request_tracing: record a per-stage :class:`RequestTrace` on
+            every response (cheap — a handful of tuples per request on
+            the simulated clock; disable only to shave the last few
+            percent off the serving hot path).
     """
 
     n_engines: int = 1
@@ -93,6 +104,7 @@ class ServerConfig:
     max_queue: int = 4096
     target_batch: int | None = None
     knee_tolerance: float = 0.05
+    request_tracing: bool = True
 
     def __post_init__(self) -> None:
         if self.n_engines < 1:
@@ -151,6 +163,9 @@ class TahoeServer:
             :class:`~repro.modelstore.artifact.PackedModel` instead of a
             ``forest`` — the pool adopts the packed layout with zero
             conversion work.  Exactly one of ``forest``/``packed``.
+        slo: service-level objectives — an :class:`SLOConfig` (a private
+            :class:`SLOMonitor` is built) or a ready monitor; ``None``
+            disables SLO evaluation.
     """
 
     def __init__(
@@ -166,6 +181,7 @@ class TahoeServer:
         registry: ModelRegistry | None = None,
         model_name: str = "default",
         packed=None,
+        slo: SLOConfig | SLOMonitor | None = None,
     ) -> None:
         if spec is None:
             raise TypeError("TahoeServer requires a GPU spec")
@@ -204,12 +220,23 @@ class TahoeServer:
         self.recorder.metrics.gauge(
             "serving.target_batch", help="model-chosen micro-batch flush point"
         ).set(self.target_batch)
+        if isinstance(slo, SLOMonitor):
+            self.slo = slo
+            if self.slo.metrics is None:
+                self.slo.metrics = self.recorder.metrics
+        elif isinstance(slo, SLOConfig):
+            self.slo = SLOMonitor(slo, metrics=self.recorder.metrics)
+        elif slo is None:
+            self.slo = None
+        else:
+            raise TypeError("slo must be an SLOConfig, an SLOMonitor, or None")
         # Scheduler state (persists across run() calls).
         self._queue: deque[InferenceRequest] = deque()
         self._queued_samples = 0
         self._engine_free = [0.0] * self.config.n_engines
         self._next_engine = 0
         self._batch_index = 0
+        self._batch_sizes: TallyCounter = TallyCounter()
 
     # ------------------------------------------------------------------
     # Model store: staging and hot swap
@@ -410,8 +437,11 @@ class TahoeServer:
                             REJECTED_QUEUE_FULL,
                             f"queue at capacity ({self.config.max_queue} requests)",
                         ),
+                        trace=self._reject_trace(req, clock, REJECTED_QUEUE_FULL),
                     )
                 )
+                if self.slo is not None:
+                    self.slo.observe(now=clock, ok=False)
                 continue
             self._queue.append(req)
             self._queued_samples += req.n_samples
@@ -425,7 +455,9 @@ class TahoeServer:
         run_report = None
         if report:
             n_ok = int(sum(r.predictions.shape[0] for r in responses if r.ok))
-            run_report = self.build_report(n_samples=n_ok, serving_summary=summary)
+            run_report = self.build_report(
+                n_samples=n_ok, serving_summary=summary, responses=responses
+            )
         responses.sort(key=lambda r: r.request_id)
         return ServingResult(responses=responses, summary=summary, report=run_report)
 
@@ -474,8 +506,11 @@ class TahoeServer:
                             f"deadline {req.deadline:.6f}s passed before dispatch "
                             f"at {now:.6f}s",
                         ),
+                        trace=self._reject_trace(req, now, REJECTED_DEADLINE),
                     )
                 )
+                if self.slo is not None:
+                    self.slo.observe(now=now, ok=False)
             else:
                 live.append(req)
         if not live:
@@ -484,13 +519,24 @@ class TahoeServer:
         self._next_engine = (self._next_engine + 1) % len(self.engines)
         start = max(now, self._engine_free[g])
         X = np.concatenate([req.X for req in live], axis=0)
+        cache_hit = bool(self.engines[g].conversion_stats.cache_hit)
         result = self.engines[g].predict(X)
         service = result.total_time
         completion = start + service
         self._engine_free[g] = completion
+        # Kernel/reduction split for the stage spans: the engine's
+        # breakdown attributes the reduction tail of each simulated batch.
+        t_reduce = 0.0
+        for strategy_result in result.batches:
+            bd = strategy_result.breakdown
+            t_reduce += getattr(bd, "t_block_reduce", 0.0) + getattr(
+                bd, "t_global_reduce", 0.0
+            )
+        kernel_end = start + max(0.0, service - min(t_reduce, service))
         metrics.histogram(
             "serving.batch_size", help="coalesced samples per dispatched micro-batch"
         ).observe(X.shape[0])
+        self._batch_sizes[int(X.shape[0])] += 1
         metrics.counter("serving.batches_total").inc()
         metrics.counter("serving.samples_total").inc(X.shape[0])
         for strategy_result in result.batches:
@@ -498,23 +544,92 @@ class TahoeServer:
             self._batch_index += 1
         label = self._active_version.label
         self._served_by_version[label] += len(live)
+        tracing = self.config.request_tracing
+        # Hoisted metric handles: registry lookups and the batch-constant
+        # stage durations (assembly/kernel/reduction are identical for
+        # every request in the micro-batch) cost one call per dispatch,
+        # not one per request — the per-request loop below is the serving
+        # tier's hot path.
+        n_live = len(live)
+        miss_counter = metrics.counter("serving.deadline_misses")
+        completed_counter = metrics.counter("serving.completed")
+        latency_hist = metrics.histogram(
+            "serving.request_latency_seconds",
+            help="arrival-to-completion latency per request",
+        )
+        wait_hist = metrics.histogram(
+            "serving.queue_wait_seconds",
+            help="arrival-to-dispatch wait per request",
+        )
+        stage_queue_hist = metrics.histogram(
+            "serving.stage.queue_wait_seconds",
+            help="per-request queue_wait stage duration",
+        )
+        for stage, value in (
+            ("batch_assembly", start - now),
+            ("kernel", kernel_end - start),
+            ("reduction", completion - kernel_end),
+        ):
+            metrics.histogram(
+                f"serving.stage.{stage}_seconds",
+                help=f"per-request {stage} stage duration",
+            ).observe(value, n_live)
+        completed_counter.inc(n_live)
+        if tracing:
+            # Spans are immutable once recorded, and four of the six
+            # stages are identical for every request in the micro-batch
+            # (only queue_wait's start and response_fanout's outcome are
+            # per-request) — share those span objects across the batch.
+            assembly_span = StageSpan(
+                "batch_assembly",
+                now,
+                start,
+                {"batch_size": int(X.shape[0]), "engine": g},
+            )
+            cache_span = StageSpan(
+                "cache_lookup", start, start, {"cache_hit": cache_hit}
+            )
+            kernel_span = StageSpan("kernel", start, kernel_end)
+            reduce_span = StageSpan("reduction", kernel_end, completion)
+            fanout_ok = StageSpan(
+                "response_fanout", completion, completion, {"missed_deadline": False}
+            )
+            fanout_missed = StageSpan(
+                "response_fanout", completion, completion, {"missed_deadline": True}
+            )
         offset = 0
         for req in live:
             preds = result.predictions[offset : offset + req.n_samples]
             offset += req.n_samples
             missed = req.deadline is not None and completion > req.deadline
             if missed:
-                metrics.counter("serving.deadline_misses").inc()
-            metrics.counter("serving.completed").inc()
+                miss_counter.inc()
             latency = completion - req.arrival_time
-            metrics.histogram(
-                "serving.request_latency_seconds",
-                help="arrival-to-completion latency per request",
-            ).observe(latency)
-            metrics.histogram(
-                "serving.queue_wait_seconds",
-                help="arrival-to-dispatch wait per request",
-            ).observe(start - req.arrival_time)
+            queue_wait = start - req.arrival_time
+            latency_hist.observe(latency)
+            wait_hist.observe(queue_wait)
+            stage_queue_hist.observe(now - req.arrival_time)
+            trace = None
+            if tracing:
+                trace = RequestTrace(
+                    trace_id=req.trace_id,
+                    request_id=req.request_id,
+                    spans=[
+                        StageSpan("queue_wait", req.arrival_time, now),
+                        assembly_span,
+                        cache_span,
+                        kernel_span,
+                        reduce_span,
+                        fanout_missed if missed else fanout_ok,
+                    ],
+                )
+            if self.slo is not None:
+                self.slo.observe(
+                    now=completion,
+                    latency=latency,
+                    queue_wait=queue_wait,
+                    ok=not missed,
+                )
             responses.append(
                 InferenceResponse(
                     request_id=req.request_id,
@@ -523,8 +638,24 @@ class TahoeServer:
                     completion_time=completion,
                     missed_deadline=missed,
                     model_version=label,
+                    trace=trace,
                 )
             )
+
+    def _reject_trace(self, req: InferenceRequest, now: float, code: str):
+        """Degenerate trace for a rejected request: the time it spent
+        queued (zero for queue-full rejections) plus a zero-length
+        fan-out span carrying the rejection code."""
+        if not self.config.request_tracing:
+            return None
+        return RequestTrace(
+            trace_id=req.trace_id,
+            request_id=req.request_id,
+            spans=[
+                StageSpan("queue_wait", req.arrival_time, now),
+                StageSpan("response_fanout", now, now, {"rejected": code}),
+            ],
+        )
 
     # ------------------------------------------------------------------
     # Reporting
@@ -533,9 +664,9 @@ class TahoeServer:
         """JSON-ready aggregate of one serving run."""
         metrics = self.recorder.metrics
         latency = metrics.histogram("serving.request_latency_seconds")
+        queue_wait = metrics.histogram("serving.queue_wait_seconds")
         batch_hist = metrics.histogram("serving.batch_size")
         completed = [r for r in responses if r.ok]
-        sizes = TallyCounter(int(b) for b in batch_hist.observations)
         makespan = offered_span = 0.0
         if completed:
             first = min(r.arrival_time for r in completed)
@@ -569,9 +700,19 @@ class TahoeServer:
                 "p95": latency.quantile(0.95),
                 "p99": latency.quantile(0.99),
                 "mean": latency.mean,
-                "max": max(latency.observations) if latency.observations else 0.0,
+                "max": latency.max,
             },
-            "batch_size_histogram": {str(k): v for k, v in sorted(sizes.items())},
+            "queue_wait_s": {
+                "p50": queue_wait.quantile(0.5),
+                "p95": queue_wait.quantile(0.95),
+                "p99": queue_wait.quantile(0.99),
+                "mean": queue_wait.mean,
+                "max": queue_wait.max,
+            },
+            "slo": self.slo.summary() if self.slo is not None else None,
+            "batch_size_histogram": {
+                str(k): int(v) for k, v in sorted(self._batch_sizes.items())
+            },
             "model": {
                 "active": self._active_version.label,
                 "staged": sorted(self._staged),
@@ -591,8 +732,37 @@ class TahoeServer:
             ],
         }
 
-    def build_report(self, **meta) -> RunReport:
-        """Assemble serving telemetry into a :class:`RunReport`."""
-        return self.recorder.build_report(
+    def build_report(
+        self, responses: list[InferenceResponse] | None = None, **meta
+    ) -> RunReport:
+        """Assemble serving telemetry into a :class:`RunReport`.
+
+        When ``responses`` are given (and tracing is on) the first
+        :data:`MAX_REPORT_TRACES` request traces ride along in
+        ``meta["request_traces"]``; the SLO summary and the engine
+        pool's merged calibration drift are folded in regardless.
+        """
+        meta = dict(meta)
+        if responses is not None and self.config.request_tracing:
+            traces = [
+                r.trace.to_dict()
+                for r in responses[:MAX_REPORT_TRACES]
+                if r.trace is not None
+            ]
+            meta["request_traces"] = traces
+            dropped = len(responses) - MAX_REPORT_TRACES
+            if dropped > 0:
+                meta["request_traces_dropped"] = dropped
+        if self.slo is not None:
+            meta["slo"] = self.slo.summary()
+        report = self.recorder.build_report(
             engine="tahoe-serving", gpu=self.spec.name, **meta
         )
+        # The selector decisions happen inside each replica's own
+        # recorder; fold their calibration residuals into one pool view.
+        merged = CalibrationTracker(warn=False)
+        merged.merge(self.recorder.calibration)
+        for engine in self.engines:
+            merged.merge(engine.recorder.calibration)
+        report.calibration = merged.summary()
+        return report

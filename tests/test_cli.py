@@ -106,9 +106,14 @@ class TestServeCommand:
         assert code == 0
         stdout = capsys.readouterr().out
         assert "qps" in stdout and "p99" in stdout
-        payload = json.loads(out_path.read_text())
-        assert payload["kind"] == "serving_bench"
-        assert payload["schema_version"] == 1
+        envelope = json.loads(out_path.read_text())
+        assert envelope["kind"] == "serving_bench"
+        assert envelope["schema_version"] == 2
+        # Shared provenance block: what `repro bench diff` keys off.
+        run = envelope["run"]
+        assert run["run_id"] and run["git_sha"] and run["timestamp"]
+        assert run["scenario"].startswith("serving/")
+        payload = envelope["payload"]
         s = payload["summary"]
         # The acceptance surface: latency quantiles, batch-size
         # histogram, deadline/rejection counters, cache behaviour.

@@ -128,12 +128,39 @@ def test_prometheus_text_format():
     assert "# HELP repro_batches_total batches executed" in text
     assert "# TYPE repro_batches_total counter" in text
     assert "repro_batches_total 3" in text
+    assert "# TYPE repro_conversion_last_seconds gauge" in text
     assert "repro_conversion_last_seconds 0.25" in text
-    # dotted names are sanitised; histograms render as summaries
-    assert "# TYPE repro_selector_prediction_ratio summary" in text
-    assert 'repro_selector_prediction_ratio{quantile="0.5"} 1' in text
+    # dotted names are sanitised; histograms render as histogram series
+    assert "# TYPE repro_selector_prediction_ratio histogram" in text
+    assert 'repro_selector_prediction_ratio_bucket{le="+Inf"} 3' in text
+    assert "repro_selector_prediction_ratio_sum 3" in text
     assert "repro_selector_prediction_ratio_count 3" in text
     assert text.endswith("\n")
+
+
+def test_prometheus_histogram_buckets_are_cumulative_and_ordered():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", help="latency")
+    for v in (0.001, 0.002, 0.002, 0.1):
+        h.observe(v)
+    text = metrics_to_prometheus(reg, prefix="repro")
+    bucket_lines = [ln for ln in text.splitlines() if "_bucket{" in ln]
+    counts = [int(ln.rsplit(" ", 1)[1]) for ln in bucket_lines]
+    assert counts == sorted(counts)  # cumulative
+    assert counts[-1] == 4  # +Inf bucket equals count
+    bounds = [
+        float(ln.split('le="')[1].split('"')[0])
+        for ln in bucket_lines
+        if '+Inf' not in ln
+    ]
+    assert bounds == sorted(bounds)
+
+
+def test_prometheus_help_escaping():
+    reg = MetricsRegistry()
+    reg.counter("x", help="line one\nback\\slash").inc()
+    text = metrics_to_prometheus(reg, prefix="repro")
+    assert "# HELP repro_x line one\\nback\\\\slash" in text
 
 
 def test_chrome_trace_events_structure():
