@@ -168,6 +168,8 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     split = train_test_split(data, seed=args.seed)
     X = split.test.X[: args.limit] if args.limit else split.test.X
+    if args.backend == "native":
+        return _predict_native(args, spec, forest, packed, X)
     if packed is not None and packed.engine_kind == "tahoe":
         tahoe = packed.make_engine(spec)
         print(f"loaded packed layout {args.forest} (conversion skipped)")
@@ -216,6 +218,52 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _predict_native(args, spec, forest, packed, X) -> int:
+    """``predict --backend native``: wall-clock execution, with the
+    simulator engine run alongside as the bit-identity reference."""
+    import time as _time
+
+    from repro.core.native import HAVE_NUMBA, NativeEngine
+
+    if packed is not None:
+        native = packed.make_engine(spec, backend="native")
+        reference = packed.make_engine(spec)
+        print(f"loaded packed layout {args.forest} (conversion skipped)")
+    else:
+        native = NativeEngine(forest, spec)
+        reference = TahoeEngine(forest, spec)
+    t0 = _time.perf_counter()
+    rn = native.predict(X, batch_size=args.batch, report=bool(args.report_json))
+    wall = _time.perf_counter() - t0
+    rr = reference.predict(X, batch_size=args.batch)
+    if not np.array_equal(rn.predictions, rr.predictions):
+        print(
+            "WARNING: native predictions are not bit-identical to the "
+            "simulator's",
+            file=sys.stderr,
+        )
+        return 1
+    if args.report_json:
+        from repro.obs import write_report_json
+
+        rn.report.dataset = args.dataset
+        write_report_json(rn.report, args.report_json)
+        print(f"wrote {args.report_json}")
+    print(f"samples: {X.shape[0]}, batch: {args.batch or X.shape[0]}")
+    print(
+        f"native ({native.kernel} kernel, numba {'on' if HAVE_NUMBA else 'off'}): "
+        f"{rn.total_time * 1e3:9.3f} ms wall "
+        f"({rn.throughput:,.0f} samples/s, predict() end-to-end "
+        f"{wall * 1e3:.3f} ms)"
+    )
+    print(
+        f"simulated ({type(reference).__name__}): {rr.total_time * 1e3:9.3f} ms "
+        "on the simulated clock (not comparable to wall time)"
+    )
+    print("predictions bit-identical to the simulator: yes")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.core import LayoutCache
     from repro.obs.benchdiff import bench_envelope
@@ -249,6 +297,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         max_wait=args.max_wait_ms / 1e3,
         max_queue=args.max_queue,
+        backend=args.backend,
     )
     slo = SLOConfig(
         latency_p95=args.slo_p95_ms / 1e3 if args.slo_p95_ms else None,
@@ -302,29 +351,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     s = result.summary
     scenario = (
         f"serving/{args.dataset}/{args.gpu}/qps{args.qps:g}x{args.burst_factor:g}"
-        f"/d{args.duration:g}/e{args.n_engines}"
+        f"/d{args.duration:g}/e{args.n_engines}/{args.backend}"
     )
+    payload_body = {
+        "gpu": spec.name,
+        "dataset": args.dataset,
+        "time_domain": s["time_domain"],
+        "config": {
+            "backend": args.backend,
+            "qps": args.qps,
+            "duration_s": args.duration,
+            "burst_factor": args.burst_factor,
+            "n_engines": args.n_engines,
+            "max_batch": args.max_batch,
+            "max_wait_ms": args.max_wait_ms,
+            "max_queue": args.max_queue,
+            "deadline_ms": args.deadline_ms,
+            "slo_p95_ms": args.slo_p95_ms,
+            "slo_error_rate": args.slo_error_rate,
+            "quick": bool(args.quick),
+            "baseline": bool(args.baseline),
+        },
+        "summary": s,
+    }
+    if not args.baseline:
+        # --baseline keeps the envelope a committable size: the summary
+        # is the regression surface; the full report (per-batch records,
+        # request traces) stays out.
+        payload_body["report"] = result.report.to_dict()
     payload = bench_envelope(
         "serving",
-        {
-            "gpu": spec.name,
-            "dataset": args.dataset,
-            "config": {
-                "qps": args.qps,
-                "duration_s": args.duration,
-                "burst_factor": args.burst_factor,
-                "n_engines": args.n_engines,
-                "max_batch": args.max_batch,
-                "max_wait_ms": args.max_wait_ms,
-                "max_queue": args.max_queue,
-                "deadline_ms": args.deadline_ms,
-                "slo_p95_ms": args.slo_p95_ms,
-                "slo_error_rate": args.slo_error_rate,
-                "quick": bool(args.quick),
-            },
-            "summary": s,
-            "report": result.report.to_dict(),
-        },
+        payload_body,
         kind="serving_bench",
         scenario=scenario,
     )
@@ -348,6 +405,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"offered {s['offered_qps']:.0f} qps (target {args.qps:.0f}) -> "
         f"achieved {s['achieved_qps']:.0f} qps "
         f"on {s['n_engines']} engine(s), flush point {s['target_batch']}"
+    )
+    print(
+        f"backend: {s['backend']} ({s['time_domain']} clock) — "
+        f"{s['achieved_samples_per_s']:,.0f} samples/s"
     )
     print(
         f"latency p50 {lat['p50'] * 1e3:.3f} ms  p95 {lat['p95'] * 1e3:.3f} ms  "
@@ -405,9 +466,15 @@ def _cmd_bench_diff(args: argparse.Namespace) -> int:
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    diff = diff_envelopes(
-        old, new, rel_threshold=args.threshold, abs_floor=args.abs_floor
-    )
+    try:
+        diff = diff_envelopes(
+            old, new, rel_threshold=args.threshold, abs_floor=args.abs_floor
+        )
+    except ValueError as exc:
+        # Cross-domain comparison (wall vs simulated clock): not a
+        # regression verdict either way, so fail loudly as a usage error.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.json:
         print(json.dumps(diff.to_dict(), indent=2))
     else:
@@ -620,6 +687,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--forest", type=Path, required=True)
     p.add_argument("--dataset", required=True, choices=DATASET_ORDER)
     p.add_argument("--gpu", choices=sorted(GPU_SPECS), default="P100")
+    p.add_argument(
+        "--backend",
+        choices=["tahoe", "native"],
+        default="tahoe",
+        help="native = vectorised host execution at wall-clock speed "
+        "(bit-identity-checked against the simulator)",
+    )
     p.add_argument("--scale", type=float, default=0.01)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--batch", type=int, default=None)
@@ -648,6 +722,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="drive a Poisson open-loop workload and write BENCH_serving.json",
     )
     p.add_argument("--quick", action="store_true", help="CI-sized run (caps qps/duration)")
+    p.add_argument(
+        "--baseline",
+        action="store_true",
+        help="trim the envelope for committing as a baseline: summary "
+        "only, no embedded report/traces",
+    )
+    p.add_argument(
+        "--backend",
+        choices=["tahoe", "native"],
+        default="tahoe",
+        help="native = NativeEngine replica pool (wall-clock service "
+        "times, measured flush point)",
+    )
     p.add_argument(
         "--forest",
         type=Path,

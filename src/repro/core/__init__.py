@@ -11,6 +11,9 @@
   learning reconversion.
 * :class:`~repro.core.fil.FILEngine` — the RAPIDS FIL baseline: reorg
   format + shared-data strategy, no rearrangement, fixed-width records.
+* :class:`~repro.core.native.NativeEngine` — real vectorised execution
+  of converted layouts on the host (wall-clock ``time_domain``), with an
+  optional numba fast path.
 * :class:`~repro.core.multi.MultiGPUTahoeEngine` — data-parallel pool of
   Tahoe replicas sharing one converted layout.
 * :class:`~repro.core.cache.LayoutCache` — converted-forest reuse, so
@@ -20,13 +23,20 @@
   every benchmark.
 """
 
-from repro.core.base import ConversionStats, Engine, EngineResult
+from repro.core.base import (
+    TIME_DOMAIN_SIMULATED,
+    TIME_DOMAIN_WALL,
+    ConversionStats,
+    Engine,
+    EngineResult,
+)
 from repro.core.cache import LayoutCache
 from repro.core.config import ObsConfig, TahoeConfig
 from repro.core.engine import TahoeEngine
 from repro.core.fil import FILEngine
 from repro.core.metrics import geometric_mean, speedup, throughput
 from repro.core.multi import MultiGPUResult, MultiGPUTahoeEngine
+from repro.core.native import NativeEngine
 
 __all__ = [
     "ConversionStats",
@@ -34,6 +44,9 @@ __all__ = [
     "EngineResult",
     "FILEngine",
     "LayoutCache",
+    "NativeEngine",
+    "TIME_DOMAIN_SIMULATED",
+    "TIME_DOMAIN_WALL",
     "MultiGPUResult",
     "MultiGPUTahoeEngine",
     "ObsConfig",

@@ -37,6 +37,8 @@ __all__ = [
     "ConversionStats",
     "Engine",
     "EngineResult",
+    "TIME_DOMAIN_SIMULATED",
+    "TIME_DOMAIN_WALL",
     "check_batch",
 ]
 
@@ -75,17 +77,27 @@ class ConversionStats:
         )
 
 
+#: The two clocks an engine's ``total_time`` can be denominated in.
+TIME_DOMAIN_SIMULATED = "simulated"
+TIME_DOMAIN_WALL = "wall"
+
+
 @dataclass
 class EngineResult:
     """Outcome of one ``Engine.predict`` call.
 
     Attributes:
         predictions: final per-sample predictions.
-        total_time: simulated GPU seconds over all batches.
+        total_time: seconds over all batches, in ``time_domain`` units.
         batches: per-batch strategy results.
         strategies_used: strategy name per batch.
         report: the run's :class:`~repro.obs.report.RunReport` (only when
             ``predict(..., report=True)``).
+        time_domain: which clock ``total_time`` (and therefore
+            ``throughput``) is measured on — ``"simulated"`` for the
+            GPU-simulator engines, ``"wall"`` for the native backend.
+            Throughput numbers from different domains must never be
+            compared (``repro bench diff`` refuses to).
     """
 
     predictions: np.ndarray
@@ -93,9 +105,16 @@ class EngineResult:
     batches: "list[StrategyResult]" = field(default_factory=list)
     strategies_used: list[str] = field(default_factory=list)
     report: "RunReport | None" = None
+    time_domain: str = TIME_DOMAIN_SIMULATED
 
     @property
     def throughput(self) -> float:
+        """Samples per second on this result's clock.
+
+        For ``time_domain == "wall"`` (the native backend) this is real
+        wall-clock samples/sec; for ``"simulated"`` it is samples per
+        simulated GPU second.
+        """
         n = self.predictions.shape[0]
         return n / self.total_time if self.total_time > 0 else float("inf")
 

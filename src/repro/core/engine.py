@@ -37,7 +37,63 @@ from repro.strategies import StrategyNotApplicable, StrategyResult
 from repro.trees.forest import Forest
 from repro.trees.probabilities import update_visit_counts
 
-__all__ = ["ConversionStats", "EngineResult", "TahoeEngine"]
+__all__ = ["ConversionStats", "EngineResult", "TahoeEngine", "convert_forest"]
+
+
+def convert_forest(forest: Forest, config: TahoeConfig) -> tuple[ForestLayout, ConversionStats]:
+    """Run conversion stages 1–4 (Algorithm 1 lines 5–7) on ``forest``.
+
+    The shared online pipeline behind every adaptive-layout consumer:
+    :class:`TahoeEngine` and :class:`~repro.core.native.NativeEngine`
+    both call this, so the two backends produce byte-identical layouts
+    for the same ``(forest, config)`` — which is what lets them share
+    :class:`~repro.core.cache.LayoutCache` entries under the same key.
+    Stage 5 (shipping the layout to the execution target: the simulated
+    GPU image, or the native flat arrays) stays engine-specific; its
+    time goes into the returned stats' ``t_copy_to_gpu`` by the caller.
+    """
+    stats = ConversionStats()
+    t0 = time.perf_counter()
+    # Stage 1: fetch the tree ensemble and edge probabilities
+    # "from GPU" — materialise the per-tree probability arrays.
+    with span("fetch_probabilities", category="conversion"):
+        edge_probs = [tree.edge_probabilities() for tree in forest.trees]
+        del edge_probs
+    t1 = time.perf_counter()
+    stats.t_fetch_probabilities = t1 - t0
+    # Stage 2: probability-based node rearrangement.
+    with span("node_rearrangement", category="conversion"):
+        structured = (
+            rearrange_forest_nodes(forest) if config.node_rearrangement else forest
+        )
+    t2 = time.perf_counter()
+    stats.t_node_rearrangement = t2 - t1
+    # Stage 3: similarity detection (SimHash + LSH).
+    with span(
+        "similarity_detection", category="conversion", method=config.similarity_method
+    ):
+        if config.tree_rearrangement and forest.n_trees > 1:
+            order = similarity_tree_order(
+                structured,
+                t_nodes=config.t_nodes,
+                l_hash=config.l_hash,
+                m_chunks=config.m_chunks,
+                method=config.similarity_method,
+            )
+        else:
+            order = None
+    t3 = time.perf_counter()
+    stats.t_similarity_detection = t3 - t2
+    # Stage 4: convert to the adaptive format.
+    with span("format_conversion", category="conversion"):
+        record = (
+            NodeRecordLayout.variable(structured)
+            if config.variable_width
+            else NodeRecordLayout.fixed()
+        )
+        layout = build_interleaved_layout(structured, record, order, "adaptive")
+    stats.t_format_conversion = time.perf_counter() - t3
+    return layout, stats
 
 
 class TahoeEngine:
@@ -157,52 +213,8 @@ class TahoeEngine:
             trees=forest.n_trees,
             nodes=forest.n_nodes,
         ):
-            stats = ConversionStats()
-            t0 = time.perf_counter()
-            # Stage 1: fetch the tree ensemble and edge probabilities
-            # "from GPU" — materialise the per-tree probability arrays.
-            with span("fetch_probabilities", category="conversion"):
-                edge_probs = [tree.edge_probabilities() for tree in forest.trees]
-                del edge_probs
-            t1 = time.perf_counter()
-            stats.t_fetch_probabilities = t1 - t0
-            # Stage 2: probability-based node rearrangement.
-            with span("node_rearrangement", category="conversion"):
-                structured = (
-                    rearrange_forest_nodes(forest)
-                    if self.config.node_rearrangement
-                    else forest
-                )
-            t2 = time.perf_counter()
-            stats.t_node_rearrangement = t2 - t1
-            # Stage 3: similarity detection (SimHash + LSH).
-            with span(
-                "similarity_detection",
-                category="conversion",
-                method=self.config.similarity_method,
-            ):
-                if self.config.tree_rearrangement and forest.n_trees > 1:
-                    order = similarity_tree_order(
-                        structured,
-                        t_nodes=self.config.t_nodes,
-                        l_hash=self.config.l_hash,
-                        m_chunks=self.config.m_chunks,
-                        method=self.config.similarity_method,
-                    )
-                else:
-                    order = None
-            t3 = time.perf_counter()
-            stats.t_similarity_detection = t3 - t2
-            # Stage 4: convert to the adaptive format.
-            with span("format_conversion", category="conversion"):
-                record = (
-                    NodeRecordLayout.variable(structured)
-                    if self.config.variable_width
-                    else NodeRecordLayout.fixed()
-                )
-                layout = build_interleaved_layout(structured, record, order, "adaptive")
+            layout, stats = convert_forest(forest, self.config)
             t4 = time.perf_counter()
-            stats.t_format_conversion = t4 - t3
             # Stage 5: copy the converted forest "to GPU" — materialise
             # the flat device image (address/record arrays).
             with span("copy_to_gpu", category="conversion", bytes=layout.total_bytes):

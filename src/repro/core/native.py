@@ -1,0 +1,751 @@
+"""The native backend: real vectorised execution of converted layouts.
+
+Every other engine in this repo *simulates* a GPU — their throughput
+numbers measure how fast the simulator runs, not how fast a forest can
+be evaluated.  :class:`NativeEngine` closes that gap: it takes an
+already-converted :class:`~repro.formats.layout.ForestLayout` (tahoe
+adaptive or fil reorg — the flattening is format-agnostic) and executes
+it with batched, vectorised traversal on the host, reporting genuine
+wall-clock time (``EngineResult.time_domain == "wall"``).
+
+Execution scheme (Py-Boost's ``EnsembleInference`` trick, adapted):
+
+* **Flattening** — at layout-adoption time the forest's trees are
+  concatenated into contiguous ``feature`` / ``threshold`` / child /
+  ``value`` arrays (:class:`NativeForest`).  The per-node ``flip`` bit
+  is *resolved away* by swapping the children (and xor-ing the default
+  direction), so the hot loop's predicate is a plain ``x < threshold``.
+  Leaves become self-loops (both children point at the leaf itself), so
+  finished lanes need no masking — they just gather themselves until
+  the loop ends.
+* **Traversal** — all ``(sample, tree)`` cursors advance one level per
+  step with fancy-indexed gathers over the flat arrays
+  (level-synchronous), or sample-by-sample in the scalar kernel that
+  numba JIT-compiles when available.
+* **Reduction** — per-tree leaf values accumulate into a float64
+  per-sample sum and run through the exact same
+  :func:`~repro.strategies.base.finalize_predictions` the simulated
+  strategies use, which is what makes native predictions bit-identical
+  to :class:`~repro.core.engine.TahoeEngine`'s.
+
+numba is detected at import (:data:`HAVE_NUMBA`); without it the
+vectorised numpy kernel serves, and the scalar kernel remains callable
+in pure Python (``kernel="scalar"``) so its logic is testable on
+numba-less machines.
+
+The engine conforms to the shared :class:`~repro.core.base.Engine`
+surface and shares the :class:`~repro.core.cache.LayoutCache` with
+:class:`TahoeEngine` under the *same* key — converting a forest for one
+backend makes it free for the other, and packed ``.tahoe`` artifacts
+adopt with zero conversion via :meth:`NativeEngine.from_layout`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.base import (
+    TIME_DOMAIN_WALL,
+    ConversionStats,
+    EngineResult,
+    check_batch,
+)
+from repro.core.cache import LayoutCache
+from repro.core.config import TahoeConfig
+from repro.formats.layout import ForestLayout
+from repro.gpusim.counters import TrafficCounters
+from repro.gpusim.specs import GPUSpec
+from repro.obs.recorder import RunRecorder
+from repro.obs.trace import span
+from repro.perfmodel.microbench import measure_hardware_parameters
+from repro.perfmodel.native import (
+    HardwareTarget,
+    NativeCostModel,
+    calibrate_native_model,
+    rank_hardware_targets,
+)
+from repro.perfmodel.notation import HardwareParams
+from repro.strategies import StrategyResult
+from repro.strategies.base import finalize_predictions
+from repro.trees.forest import Forest
+from repro.trees.tree import LEAF
+
+__all__ = [
+    "HAVE_NUMBA",
+    "NativeEngine",
+    "NativeForest",
+    "available_kernels",
+    "flatten_native",
+]
+
+try:  # pragma: no cover - exercised on numba-equipped machines/CI only
+    import numba as _numba
+
+    HAVE_NUMBA = True
+except ImportError:  # the container default: clean numpy fallback
+    _numba = None
+    HAVE_NUMBA = False
+
+#: Target (sample, tree) lanes per vectorised traversal chunk — bounds
+#: the working set of the gather matrices (~4 MB of int32 per array at
+#: this size) so huge batches stay cache-friendly instead of allocating
+#: gigabyte cursor matrices.
+_TARGET_LANES = 1 << 20
+
+
+def available_kernels() -> tuple[str, ...]:
+    """Kernels this process can run (``numba`` only when importable)."""
+    return ("numpy", "numba", "scalar") if HAVE_NUMBA else ("numpy", "scalar")
+
+
+@dataclass
+class NativeForest:
+    """A forest flattened for native traversal (all trees concatenated).
+
+    Node ids are *global* across trees (tree ``t``'s nodes occupy
+    ``[offsets[t], offsets[t+1])``).  The conversion-time ``flip`` bit
+    is already resolved: ``child_true`` is the node taken when
+    ``x[feature] < threshold`` holds, ``child_false`` otherwise, and
+    ``default_true`` says whether a missing (NaN) attribute takes the
+    ``child_true`` branch (original ``default_left ^ flip``).  Leaves
+    keep ``feature == -1`` (the scalar kernel's termination test) but
+    carry a safe ``feature_ix == 0`` for masked-free vectorised gathers,
+    and self-loop through both child pointers.
+    """
+
+    feature: np.ndarray  # int32, -1 at leaves
+    feature_ix: np.ndarray  # int32, gather-safe (0 at leaves)
+    threshold: np.ndarray  # float32
+    child_true: np.ndarray  # int32, global ids; leaf self-loops
+    child_false: np.ndarray  # int32, global ids; leaf self-loops
+    child_pair: np.ndarray  # int32, interleaved [false, true] per node
+    default_true: np.ndarray  # bool
+    value: np.ndarray  # float32 leaf values (0 at decision nodes)
+    is_leaf: np.ndarray  # bool
+    roots: np.ndarray  # int32, per-tree root global id
+    offsets: np.ndarray  # int64, per-tree start (n_trees + 1)
+    max_depth: int
+    mean_depth: float
+    n_attributes: int
+
+    @property
+    def n_trees(self) -> int:
+        return int(self.roots.shape[0])
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.feature.shape[0])
+
+
+def flatten_native(layout: ForestLayout) -> NativeForest:
+    """Build (and cache on the layout) the native traversal arrays.
+
+    Cached under ``layout.metadata["_native"]`` so every replica
+    adopting the same layout object (the serving pool, the cache) shares
+    one flattening — mirroring how the simulator caches its device image
+    under ``"_flat"``.  Underscore keys are stripped from packed
+    artifacts, so the cache never leaks to disk.
+    """
+    cached = layout.metadata.get("_native")
+    if cached is not None:
+        return cached
+    trees = layout.forest.trees
+    sizes = np.array([t.n_nodes for t in trees], dtype=np.int64)
+    offsets = np.zeros(len(trees) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    total = int(offsets[-1])
+    feature = np.empty(total, dtype=np.int32)
+    threshold = np.empty(total, dtype=np.float32)
+    child_true = np.empty(total, dtype=np.int32)
+    child_false = np.empty(total, dtype=np.int32)
+    default_true = np.empty(total, dtype=bool)
+    value = np.empty(total, dtype=np.float32)
+    for t, tree in enumerate(trees):
+        base = int(offsets[t])
+        sl = slice(base, base + tree.n_nodes)
+        feature[sl] = tree.feature
+        threshold[sl] = tree.threshold
+        flip = tree.flip
+        # Resolve the flip bit: the predicate becomes a plain `<`, the
+        # flipped node's children swap, and the default path follows.
+        left = np.where(flip, tree.right, tree.left).astype(np.int64)
+        right = np.where(flip, tree.left, tree.right).astype(np.int64)
+        leaf = tree.feature == LEAF
+        self_id = np.arange(tree.n_nodes, dtype=np.int64)
+        child_true[sl] = np.where(leaf, self_id, left) + base
+        child_false[sl] = np.where(leaf, self_id, right) + base
+        default_true[sl] = np.where(leaf, False, tree.default_left ^ flip)
+        value[sl] = np.where(leaf, tree.value, np.float32(0.0))
+    is_leaf = feature == LEAF
+    feature_ix = np.where(is_leaf, np.int32(0), feature).astype(np.int32)
+    # Interleave the children so the vectorised kernel resolves a step
+    # with ONE gather: next = child_pair[2*cur + go] (go ∈ {0, 1})
+    # instead of two gathers plus a where.
+    child_pair = np.empty(2 * total, dtype=np.int32)
+    child_pair[0::2] = child_false
+    child_pair[1::2] = child_true
+    flat = NativeForest(
+        feature=feature,
+        feature_ix=feature_ix,
+        threshold=threshold,
+        child_true=child_true,
+        child_false=child_false,
+        child_pair=child_pair,
+        default_true=default_true,
+        value=value,
+        is_leaf=is_leaf,
+        roots=offsets[:-1].astype(np.int32),
+        offsets=offsets,
+        max_depth=int(layout.forest.max_depth()),
+        mean_depth=float(layout.forest.mean_depth()),
+        n_attributes=int(layout.forest.n_attributes),
+    )
+    layout.metadata["_native"] = flat
+    return flat
+
+
+# ----------------------------------------------------------------------
+# Kernels
+# ----------------------------------------------------------------------
+def _traverse_scalar(
+    X, feature, threshold, child_true, child_false, default_true, value, roots, out
+):
+    """Reference scalar kernel — the exact code numba JIT-compiles.
+
+    Plain nested loops, one (sample, tree) walk at a time, float64 leaf
+    accumulation.  Kept free of Python-only constructs so the same
+    function object works under ``@njit`` and as the pure-Python
+    ``kernel="scalar"`` fallback.
+    """
+    n_samples = X.shape[0]
+    n_trees = roots.shape[0]
+    for i in range(n_samples):
+        acc = 0.0
+        for t in range(n_trees):
+            node = roots[t]
+            f = feature[node]
+            while f >= 0:
+                v = X[i, f]
+                if v != v:  # NaN: follow the (flip-resolved) default path
+                    go = default_true[node]
+                else:
+                    go = v < threshold[node]
+                if go:
+                    node = child_true[node]
+                else:
+                    node = child_false[node]
+                f = feature[node]
+            # Explicit float64 cast: numba promotes f64 += f32 itself,
+            # but NEP 50 numpy-scalar arithmetic would demote the pure-
+            # Python accumulator to float32 without it.
+            acc += float(value[node])
+        out[i] = acc
+    return out
+
+
+if HAVE_NUMBA:  # pragma: no cover - numba-equipped environments only
+    _traverse_scalar_jit = _numba.njit(cache=True, nogil=True)(_traverse_scalar)
+else:
+    _traverse_scalar_jit = None
+
+
+def _traverse_numpy(X: np.ndarray, flat: NativeForest, out: np.ndarray) -> np.ndarray:
+    """Level-synchronous vectorised traversal over flattened (sample, tree)
+    lanes.
+
+    All cursors advance one level per step; leaf self-loops make
+    finished lanes harmless, so no masking is needed.  Each step costs
+    four gathers — feature ids, sample values, thresholds, and the
+    interleaved child pair ``child_pair[2*cur + go]`` (one gather where
+    the naive form needs two plus a ``where``) — all issued through
+    ``ndarray.take``, which is roughly twice as fast as fancy ``[]``
+    indexing, with the sample gather done against the flattened feature
+    matrix (``X.ravel().take(row*n_attr + feature)`` beats a 2-D fancy
+    gather by ~5x).  The self-loop property doubles as a free
+    termination test: a lane is finished exactly when its child equals
+    its cursor, so ``(nxt == cur).all()`` ends ragged forests early
+    without an ``is_leaf`` gather.  The NaN default-path handling is
+    hoisted out of the level loop — clean batches (the common case)
+    never pay for it.  Large batches are chunked to keep the cursor
+    vectors in cache.  Leaf values reduce in float64 (exact for
+    realistic leaf magnitudes, hence order-independent — see
+    docs/performance.md).
+    """
+    n, n_attr = X.shape
+    n_trees = flat.n_trees
+    chunk = max(1, _TARGET_LANES // max(1, n_trees))
+    has_nan = bool(np.isnan(X).any())
+    Xf = np.ascontiguousarray(X).reshape(-1)
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        c = stop - start
+        lanes = c * n_trees
+        # Rebased chunk view keeps sample-gather indices small enough
+        # for int32 (half the index-arithmetic memory traffic of intp).
+        Xc = Xf[start * n_attr : stop * n_attr]
+        idx_dtype = np.int32 if c * n_attr < 2**31 else np.intp
+        cur = np.tile(flat.roots, c)
+        base = np.repeat(np.arange(c, dtype=idx_dtype) * n_attr, n_trees)
+        step = np.empty(lanes, dtype=np.int32)
+        xidx = np.empty(lanes, dtype=idx_dtype)
+        # Lane compaction: ragged tree depths strand an increasing
+        # share of lanes on self-looping leaves; once enough die, stop
+        # gathering for them.  ``origin`` maps the compacted lanes back
+        # to their grid slot (None while no compaction has happened);
+        # ``final`` holds every lane's resting node.
+        origin = None
+        final = cur
+        for depth in range(flat.max_depth):
+            m = cur.shape[0]
+            np.add(
+                base, flat.feature_ix.take(cur), out=xidx[:m], casting="unsafe"
+            )
+            vals = Xc.take(xidx[:m])
+            go = vals < flat.threshold.take(cur)
+            if has_nan:
+                missing = np.isnan(vals)
+                if missing.any():
+                    go = np.where(missing, flat.default_true.take(cur), go)
+            # step = 2*cur + go, elementwise in int32 without temporaries
+            np.add(cur, cur, out=step[:m])
+            np.add(step[:m], go, out=step[:m], casting="unsafe")
+            nxt = flat.child_pair.take(step[:m])
+            if depth >= 2 and depth + 1 < flat.max_depth:
+                alive = nxt != cur
+                n_alive = int(np.count_nonzero(alive))
+                if n_alive == 0:
+                    cur = nxt
+                    break
+                if n_alive < 0.7 * m:
+                    keep = np.flatnonzero(alive)
+                    if origin is None:
+                        final = nxt
+                        origin = keep
+                    else:
+                        final[origin] = nxt
+                        origin = origin.take(keep)
+                    cur = nxt.take(keep)
+                    base = base.take(keep)
+                    continue
+            cur = nxt
+        if origin is None:
+            final = cur
+        else:
+            final[origin] = cur
+        leaf = flat.value.take(final).reshape(c, n_trees)
+        out[start:stop] = leaf.sum(axis=1, dtype=np.float64)
+    return out
+
+
+@dataclass
+class NativeBreakdown:
+    """Wall-clock decomposition of one native batch.
+
+    Mirrors the simulator's ``ExecutionBreakdown`` duck type: ``total``
+    and ``to_dict`` for :class:`~repro.obs.report.BatchRecord`, and a
+    ``t_global_reduce`` tail the serving layer splits into its
+    kernel/reduction stage spans.
+    """
+
+    t_traversal: float = 0.0
+    t_global_reduce: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.t_traversal + self.t_global_reduce
+
+    def to_dict(self) -> dict:
+        return {
+            "t_traversal": self.t_traversal,
+            "t_global_reduce": self.t_global_reduce,
+            "total": self.total,
+            "time_domain": TIME_DOMAIN_WALL,
+        }
+
+
+class NativeEngine:
+    """Vectorised wall-clock execution of converted forest layouts.
+
+    Satisfies the shared :class:`~repro.core.base.Engine` surface.
+    Construction from a forest runs the *same* conversion stages as
+    :class:`TahoeEngine` (via :func:`~repro.core.engine.convert_forest`)
+    under the *same* layout-cache key, so the two backends trade
+    finished layouts freely; stage 5 ("copy to device") builds the flat
+    native arrays instead of the simulated GPU image.
+
+    Args:
+        forest: trained forest to convert and flatten.
+        spec: GPU model used for the simulated-GPU half of the hardware
+            ranking (the §6 candidate the native target is compared to)
+            and for the layout-cache key.
+        config: conversion knobs shared with the Tahoe pipeline.
+        hardware: pre-measured §6 hardware parameters (for the ranking).
+        recorder: telemetry sink (built from ``config.obs`` otherwise).
+        layout_cache: converted-layout cache shared across engines and
+            backends.
+        kernel: ``"numba"`` / ``"numpy"`` / ``"scalar"``; auto-detected
+            (numba when importable, numpy otherwise) when omitted.
+    """
+
+    time_domain = TIME_DOMAIN_WALL
+
+    def __init__(
+        self,
+        forest: Forest,
+        spec: GPUSpec,
+        *,
+        config: TahoeConfig | None = None,
+        hardware: HardwareParams | None = None,
+        recorder: RunRecorder | None = None,
+        layout_cache: LayoutCache | None = None,
+        kernel: str | None = None,
+    ) -> None:
+        self._init_common(spec, config, hardware, recorder, layout_cache, kernel)
+        self._convert(forest)
+
+    def _init_common(
+        self,
+        spec: GPUSpec,
+        config: TahoeConfig | None,
+        hardware: HardwareParams | None,
+        recorder: RunRecorder | None,
+        layout_cache: LayoutCache | None,
+        kernel: str | None = None,
+    ) -> None:
+        self.spec = spec
+        self.config = config if config is not None else TahoeConfig()
+        obs = self.config.obs
+        self.recorder = recorder if recorder is not None else RunRecorder(
+            tracing=obs.tracing, metrics=obs.metrics, max_spans=obs.max_spans
+        )
+        self.hardware = hardware or measure_hardware_parameters(spec)
+        self.layout_cache = layout_cache
+        self.layout: ForestLayout | None = None
+        self.flat: NativeForest | None = None
+        self.conversion_stats = ConversionStats()
+        self.kernel = self._resolve_kernel(kernel)
+        self._cost_model: NativeCostModel | None = None
+        self._ranked_cache: dict[int, list] = {}
+
+    @staticmethod
+    def _resolve_kernel(kernel: str | None) -> str:
+        if kernel is None:
+            return "numba" if HAVE_NUMBA else "numpy"
+        if kernel not in ("numpy", "numba", "scalar"):
+            raise ValueError(
+                f"unknown native kernel {kernel!r} (need numpy, numba, or scalar)"
+            )
+        if kernel == "numba" and not HAVE_NUMBA:
+            raise ValueError(
+                "kernel='numba' requested but numba is not installed; "
+                "install numba or use kernel='numpy'"
+            )
+        return kernel
+
+    @classmethod
+    def from_layout(
+        cls,
+        layout: ForestLayout,
+        spec: GPUSpec,
+        *,
+        cache_key: tuple | None = None,
+        config: TahoeConfig | None = None,
+        hardware: HardwareParams | None = None,
+        recorder: RunRecorder | None = None,
+        layout_cache: LayoutCache | None = None,
+        kernel: str | None = None,
+    ) -> "NativeEngine":
+        """Adopt an already-converted layout (tahoe *or* fil format).
+
+        The packed-artifact fast path: no conversion work, only the
+        flattening (and even that is shared through the layout's own
+        cache slot when replicas adopt the same object).  With
+        ``cache_key`` and ``layout_cache`` the layout is published so
+        engines of *any* backend built from the source forest hit it.
+        """
+        engine = cls.__new__(cls)
+        engine._init_common(spec, config, hardware, recorder, layout_cache, kernel)
+        engine._adopt_layout(layout, ConversionStats(source="artifact"), cache_key)
+        return engine
+
+    def _adopt_layout(
+        self,
+        layout: ForestLayout,
+        stats: ConversionStats,
+        cache_key: tuple | None = None,
+    ) -> None:
+        """Install a finished layout: flatten it and record the stats."""
+        self.layout = layout
+        self.forest = layout.forest
+        self.flat = flatten_native(layout)
+        self._cost_model = None  # re-calibrate for the new forest shape
+        self._ranked_cache = {}
+        self.conversion_stats = stats
+        self.recorder.record_conversion(stats)
+        if self.layout_cache is not None and cache_key is not None:
+            self.layout_cache.put(cache_key, layout)
+
+    def _convert(self, forest: Forest) -> None:
+        from repro.core.engine import convert_forest
+
+        cache_key = None
+        if self.layout_cache is not None:
+            t0 = time.perf_counter()
+            cache_key = LayoutCache.key(forest, self.spec, self.config.conversion_key())
+            cached = self.layout_cache.get(cache_key)
+            lookup = time.perf_counter() - t0
+            if cached is not None:
+                with self.recorder.activate(), span(
+                    "engine.convert", category="conversion", cache_hit=True
+                ):
+                    stats = ConversionStats(
+                        t_cache_lookup=lookup, cache_hit=True, source="cache"
+                    )
+                self._adopt_layout(cached, stats)
+                return
+        with self.recorder.activate(), span(
+            "engine.convert",
+            category="conversion",
+            trees=forest.n_trees,
+            nodes=forest.n_nodes,
+        ):
+            layout, stats = convert_forest(forest, self.config)
+            t4 = time.perf_counter()
+            # Stage 5 for this backend: "copy to device" is building the
+            # flat native arrays the kernels traverse.
+            with span("copy_to_native", category="conversion"):
+                flatten_native(layout)
+            stats.t_copy_to_gpu = time.perf_counter() - t4
+        self._adopt_layout(layout, stats, cache_key)
+
+    def update_forest(self, forest: Forest) -> ConversionStats:
+        """Incremental learning hook: reconvert and reflatten."""
+        self._convert(forest)
+        return self.conversion_stats
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _leaf_sums(self, X: np.ndarray) -> np.ndarray:
+        """Per-sample float64 leaf-value sums via the selected kernel."""
+        out = np.empty(X.shape[0], dtype=np.float64)
+        flat = self.flat
+        if self.kernel == "numpy":
+            return _traverse_numpy(X, flat, out)
+        fn = _traverse_scalar_jit if self.kernel == "numba" else _traverse_scalar
+        return fn(
+            X,
+            flat.feature,
+            flat.threshold,
+            flat.child_true,
+            flat.child_false,
+            flat.default_true,
+            flat.value,
+            flat.roots,
+            out,
+        )
+
+    def _run_flat(self, X: np.ndarray) -> tuple[np.ndarray, NativeBreakdown]:
+        """Traverse + reduce one batch, wall-clock timed per phase."""
+        t0 = time.perf_counter()
+        leaf_sum = self._leaf_sums(X)
+        t1 = time.perf_counter()
+        predictions = finalize_predictions(self.forest, leaf_sum)
+        t2 = time.perf_counter()
+        return predictions, NativeBreakdown(
+            t_traversal=t1 - t0, t_global_reduce=t2 - t1
+        )
+
+    @property
+    def cost_model(self) -> NativeCostModel:
+        """The calibrated wall-clock cost model (probed lazily, once)."""
+        if self._cost_model is None or self._cost_model.kernel != self.kernel:
+            # The vectorised kernels amortise dispatch over large
+            # batches, so probe well into that regime; the pure-Python
+            # scalar kernel is too slow for a 1024-row probe.
+            probes = (16, 256) if self.kernel == "scalar" else (64, 1024)
+            self._cost_model = calibrate_native_model(
+                self._leaf_sums,
+                n_trees=self.forest.n_trees,
+                depth=self.flat.mean_depth,
+                n_attributes=self.forest.n_attributes,
+                kernel=self.kernel,
+                probe_sizes=probes,
+            )
+            self._ranked_cache.clear()
+        return self._cost_model
+
+    def _ranked_targets(self, nb: int) -> list:
+        """The two-target hardware ranking for a batch size, memoized.
+
+        The §6 GPU-side prediction walks the per-tree imbalance model
+        (milliseconds per call), so it is evaluated once per
+        power-of-two batch-size bucket and linearly rescaled — serving
+        loops coalesce ragged micro-batches, and a per-exact-size memo
+        would miss on nearly every dispatch.  The native prediction is
+        a two-coefficient evaluation, so it is always computed exactly
+        for the actual batch size: the chosen target's predicted time
+        is what feeds the calibration residuals.
+        """
+        bucket = max(1, 1 << (int(nb) - 1).bit_length())
+        ranked = self._ranked_cache.get(bucket)
+        if ranked is None:
+            ranked = rank_hardware_targets(
+                self.cost_model,
+                self.layout,
+                bucket,
+                self.spec,
+                self.hardware,
+                depth=self.flat.mean_depth,
+            )
+            self._ranked_cache[bucket] = ranked
+        if nb == bucket:
+            return ranked
+        scale = nb / bucket
+        targets = []
+        for target in ranked:
+            if target.name == "native_cpu":
+                predicted = self.cost_model.predict_time(
+                    nb, self.flat.n_trees, self.flat.mean_depth
+                )
+                note = target.note
+            else:
+                predicted = target.predicted_time * scale
+                note = f"{target.note}; rescaled from batch {bucket}"
+            targets.append(
+                HardwareTarget(
+                    name=target.name, predicted_time=predicted, note=note
+                )
+            )
+        targets.sort(key=lambda t: t.predicted_time)
+        return targets
+
+    def predict(
+        self,
+        X: np.ndarray,
+        *,
+        batch_size: int | None = None,
+        collect_level_stats: bool = False,
+        report: bool = False,
+    ) -> EngineResult:
+        """Run native inference over ``X`` batch by batch.
+
+        ``total_time`` (and therefore ``throughput``) is **wall-clock**
+        seconds — ``time_domain="wall"`` on the result keeps it from
+        ever being compared against simulated numbers.
+        ``collect_level_stats`` is accepted for engine-surface
+        uniformity and ignored (there is no simulated memory system to
+        collect from).
+        """
+        del collect_level_stats
+        X = check_batch(X)
+        n = X.shape[0]
+        if batch_size is None or batch_size >= n:
+            batch_size = n
+        predictions = np.zeros(n, dtype=np.float64)
+        batches: list[StrategyResult] = []
+        used: list[str] = []
+        total_time = 0.0
+        with self.recorder.activate(), span(
+            "engine.predict", category="engine", samples=n, batch_size=batch_size
+        ):
+            for index, start in enumerate(range(0, n, batch_size)):
+                stop = min(start + batch_size, n)
+                nb = stop - start
+                # Hardware-target ranking (native CPU vs best simulated-
+                # GPU strategy) happens outside the timed region, like
+                # strategy selection does for the simulated engines.
+                ranked = self._ranked_targets(nb)
+                chosen = next(t for t in ranked if t.name == "native_cpu")
+                preds, breakdown = self._run_flat(X[start:stop])
+                predictions[start:stop] = preds
+                result = StrategyResult(
+                    strategy="native",
+                    predictions=preds,
+                    breakdown=breakdown,
+                    counters=TrafficCounters(),
+                    per_thread_steps=np.zeros(0, dtype=np.int64),
+                    n_blocks=0,
+                    threads_per_block=0,
+                    batch_size=nb,
+                )
+                decision = self.recorder.record_decision(index, nb, ranked, chosen)
+                self.recorder.record_batch(index, result, decision)
+                batches.append(result)
+                used.append("native")
+                total_time += breakdown.total
+        return EngineResult(
+            predictions=predictions,
+            total_time=total_time,
+            batches=batches,
+            strategies_used=used,
+            report=self.build_report(
+                n_samples=n, batch_size=batch_size, total_time=total_time
+            )
+            if report
+            else None,
+            time_domain=TIME_DOMAIN_WALL,
+        )
+
+    def measure_flush_curve(
+        self, batch_sizes: list[int], *, repeats: int = 2, seed: int = 11
+    ) -> dict[int, float]:
+        """Measured per-sample wall seconds at each candidate batch size.
+
+        The serving layer's native flush-point planner: where the
+        simulated backends scan the §6 *predicted* per-sample time
+        curve, the native backend times its own dispatch path on
+        synthetic probe batches (best of ``repeats``) — the knee of a
+        measured curve, not a modelled one.  Probes run the full
+        ``predict`` path, not just the kernel: per-dispatch costs
+        (target ranking, decision/batch recording, result assembly) are
+        exactly what makes small flush points a bad deal, so a curve
+        without them would understate the knee.  Probes record into a
+        throwaway recorder so they never pollute batch/decision
+        telemetry.
+        """
+        if not batch_sizes:
+            raise ValueError("need at least one candidate batch size")
+        rng = np.random.default_rng(seed)
+        biggest = max(batch_sizes)
+        X = rng.standard_normal(
+            (biggest, max(1, self.flat.n_attributes))
+        ).astype(np.float32)
+        curve: dict[int, float] = {}
+        real_recorder = self.recorder
+        try:
+            self.recorder = type(real_recorder)()
+            for b in sorted(set(batch_sizes)):
+                probe = X[:b]
+                best = float("inf")
+                for _ in range(repeats):
+                    t0 = time.perf_counter()
+                    self.predict(probe)
+                    best = min(best, time.perf_counter() - t0)
+                curve[b] = best / b
+        finally:
+            self.recorder = real_recorder
+        return curve
+
+    def build_report(
+        self,
+        n_samples: int = 0,
+        batch_size: int | None = None,
+        total_time: float = 0.0,
+        **meta,
+    ):
+        """Assemble the engine's telemetry into a :class:`RunReport`."""
+        meta.setdefault("time_domain", TIME_DOMAIN_WALL)
+        meta.setdefault("kernel", self.kernel)
+        meta.setdefault("numba", HAVE_NUMBA)
+        return self.recorder.build_report(
+            engine="native",
+            gpu=self.spec.name,
+            n_samples=n_samples,
+            batch_size=batch_size,
+            total_time=total_time,
+            **meta,
+        )

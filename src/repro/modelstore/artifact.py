@@ -383,17 +383,23 @@ class PackedModel:
         hardware=None,
         recorder=None,
         layout_cache=None,
+        backend=None,
     ):
         """Build a servable engine from the packed layout — no conversion.
 
-        The engine class matches the packed format (``tahoe`` → adaptive
-        layout + full strategy selection, ``fil`` → reorg + shared-data).
-        When ``layout_cache`` is given the layout is published under
-        :attr:`cache_key`, so engines later built from the source forest
-        hit the cache instead of reconverting.
+        By default the engine class matches the packed format (``tahoe``
+        → adaptive layout + full strategy selection, ``fil`` → reorg +
+        shared-data).  ``backend="native"`` instead returns a
+        :class:`~repro.core.native.NativeEngine` executing the packed
+        layout (either format) on the host at wall-clock speed;
+        ``backend=None`` or ``"simulated"`` keeps the format-matched
+        simulator engine.  When ``layout_cache`` is given the layout is
+        published under :attr:`cache_key`, so engines later built from
+        the source forest hit the cache instead of reconverting.
         """
         from repro.core.engine import TahoeEngine
         from repro.core.fil import FILEngine
+        from repro.core.native import NativeEngine
 
         spec = spec if spec is not None else self.resolve_spec()
         if spec.name != self.spec_name:
@@ -401,7 +407,14 @@ class PackedModel:
                 f"artifact was packed for {self.spec_name!r} but spec is "
                 f"{spec.name!r}; repack with `repro pack --gpu ...`"
             )
-        cls = TahoeEngine if self.engine_kind == "tahoe" else FILEngine
+        if backend not in (None, "simulated", "native"):
+            raise ArtifactError(
+                f"unknown backend {backend!r} (expected 'simulated' or 'native')"
+            )
+        if backend == "native":
+            cls = NativeEngine
+        else:
+            cls = TahoeEngine if self.engine_kind == "tahoe" else FILEngine
         return cls.from_layout(
             self.layout,
             spec,

@@ -299,10 +299,30 @@ def diff_envelopes(
     rel_threshold: float = 0.10,
     abs_floor: float = 1e-9,
 ) -> BenchDiff:
-    """Diff two loaded envelopes (payloads plus a scenario-key check)."""
+    """Diff two loaded envelopes (payloads plus a scenario-key check).
+
+    Raises:
+        ValueError: when the two payloads declare different
+            ``time_domain`` values (wall-clock vs simulated seconds) —
+            throughput and latency numbers on different clocks are not
+            comparable, so the diff refuses rather than report
+            nonsensical regressions.  Envelopes predating the field
+            (no ``time_domain``) are diffed as before.
+    """
+    old_payload = old.get("payload", old)
+    new_payload = new.get("payload", new)
+    old_domain = old_payload.get("time_domain")
+    new_domain = new_payload.get("time_domain")
+    if old_domain and new_domain and old_domain != new_domain:
+        raise ValueError(
+            f"refusing to diff across time domains: baseline is "
+            f"{old_domain!r}, candidate is {new_domain!r} — wall-clock and "
+            "simulated throughput are not comparable; re-run both "
+            "benchmarks on the same backend"
+        )
     diff = diff_payloads(
-        old.get("payload", old),
-        new.get("payload", new),
+        old_payload,
+        new_payload,
         rel_threshold=rel_threshold,
         abs_floor=abs_floor,
     )

@@ -112,23 +112,30 @@ class CalibrationTracker:
     # ------------------------------------------------------------------
     @staticmethod
     def decision_margin(decision) -> float | None:
-        """Predicted-time gap from the chosen strategy to the runner-up.
+        """Predicted-time gap from the chosen strategy to its nearest rival.
 
         ``None`` when no second applicable candidate exists (margin is
-        effectively infinite — the ranking cannot flip).
+        effectively infinite — the ranking cannot flip).  The gap is
+        absolute: when the chosen candidate was *not* the predicted
+        fastest (a ``strategy_override``, or a hardware-target ranking
+        where the executing backend runs regardless of rank), the
+        distance to the nearest rival is still the residual size at
+        which the predicted ordering becomes unreliable.
         """
-        runner_up = None
+        nearest = None
+        predicted_time = decision.predicted_time
+        if predicted_time is None:
+            return None
         for candidate in getattr(decision, "candidates", []):
             predicted = getattr(candidate, "predicted_time", None)
             if predicted is None:
                 continue
             if getattr(candidate, "strategy", None) == decision.chosen:
                 continue
-            if runner_up is None or predicted < runner_up:
-                runner_up = predicted
-        if runner_up is None or decision.predicted_time is None:
-            return None
-        return max(0.0, runner_up - decision.predicted_time)
+            gap = abs(predicted - predicted_time)
+            if nearest is None or gap < nearest:
+                nearest = gap
+        return nearest
 
     def record(self, decision) -> None:
         """Adopt one closed decision (both times present; no-op otherwise)."""

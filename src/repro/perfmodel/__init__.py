@@ -8,12 +8,21 @@
 * :mod:`repro.perfmodel.selector` — ranks the applicable strategies for a
   (layout, batch, GPU) triple and picks the winner, exactly as Algorithm 1
   lines 8–15 do once per batch.
+* :mod:`repro.perfmodel.native` — the wall-clock cost model for the
+  native CPU backend, and the two-target hardware ranking
+  (simulated-GPU vs native-CPU) it enables.
 """
 
 # Calibration drift lives in repro.obs (to keep obs dependency-free) but
 # is conceptually the §6 models' health check, so re-export it here.
 from repro.obs.drift import CalibrationDriftWarning, CalibrationTracker
 from repro.perfmodel.microbench import measure_hardware_parameters
+from repro.perfmodel.native import (
+    HardwareTarget,
+    NativeCostModel,
+    calibrate_native_model,
+    rank_hardware_targets,
+)
 from repro.perfmodel.models import (
     predict_direct,
     predict_shared_data,
@@ -29,13 +38,17 @@ __all__ = [
     "CalibrationTracker",
     "ForestParams",
     "HardwareParams",
+    "HardwareTarget",
+    "NativeCostModel",
     "SampleParams",
     "StrategyChoice",
+    "calibrate_native_model",
     "measure_hardware_parameters",
     "predict_direct",
     "predict_shared_data",
     "predict_shared_forest",
     "predict_splitting_shared_forest",
+    "rank_hardware_targets",
     "rank_strategies",
     "select_strategy",
     "ValidationReport",

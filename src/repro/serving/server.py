@@ -33,7 +33,13 @@ the model currently serving traffic.
 
 Everything runs on the simulated clock: arrivals are simulated seconds,
 service times are the engines' simulated GPU seconds, so the whole
-serving pipeline is deterministic and unit-testable.
+serving pipeline is deterministic and unit-testable.  The exception is
+``backend="native"``: the pool is then
+:class:`~repro.core.native.NativeEngine` replicas whose service times
+are *measured wall seconds* (arrivals stay scripted), and the flush
+point comes from the engine's own timed per-sample curve
+(:meth:`~repro.core.native.NativeEngine.measure_flush_curve`) instead of
+the §6 predicted one — real throughput, same scheduler.
 """
 
 from __future__ import annotations
@@ -45,10 +51,12 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.core.base import TIME_DOMAIN_SIMULATED
 from repro.core.cache import LayoutCache
 from repro.core.config import TahoeConfig
 from repro.core.engine import TahoeEngine
 from repro.core.fil import FILEngine
+from repro.core.native import NativeEngine
 from repro.gpusim.specs import GPUSpec
 from repro.modelstore.registry import ModelRegistry, ModelVersion
 from repro.obs.drift import CalibrationTracker
@@ -96,6 +104,11 @@ class ServerConfig:
             every response (cheap — a handful of tuples per request on
             the simulated clock; disable only to shave the last few
             percent off the serving hot path).
+        backend: ``"tahoe"`` pools simulator engines matched to the
+            model's format (the default); ``"native"`` pools
+            :class:`~repro.core.native.NativeEngine` replicas executing
+            on the host, with wall-clock service times and a *measured*
+            flush point.
     """
 
     n_engines: int = 1
@@ -105,6 +118,7 @@ class ServerConfig:
     target_batch: int | None = None
     knee_tolerance: float = 0.05
     request_tracing: bool = True
+    backend: str = "tahoe"
 
     def __post_init__(self) -> None:
         if self.n_engines < 1:
@@ -115,6 +129,8 @@ class ServerConfig:
             raise ValueError("max_queue must be >= 1")
         if self.max_wait < 0:
             raise ValueError("max_wait must be >= 0")
+        if self.backend not in ("tahoe", "native"):
+            raise ValueError("backend must be 'tahoe' or 'native'")
 
 
 @dataclass
@@ -254,7 +270,13 @@ class TahoeServer:
     def _build_engines(self, version: ModelVersion) -> list:
         """A full replica pool for ``version`` — the expensive part of a
         deployment, run off the hot path by :meth:`stage`."""
-        cls = FILEngine if version.engine_kind == "fil" else TahoeEngine
+        if self.config.backend == "native":
+            # Native executes either packed format; the conversion (when
+            # starting from a forest) still honours the model's kind via
+            # the shared cache key, so simulator engines can reuse it.
+            cls = NativeEngine
+        else:
+            cls = FILEngine if version.engine_kind == "fil" else TahoeEngine
         if version.layout is not None:
             # Packed artifact: zero conversion.  The first replica
             # publishes the layout under its source cache key; the rest
@@ -377,12 +399,17 @@ class TahoeServer:
     # Flush-point planning (§6 performance models)
     # ------------------------------------------------------------------
     def plan_flush_point(self) -> int:
-        """Smallest batch within ``knee_tolerance`` of the best predicted
+        """Smallest batch within ``knee_tolerance`` of the best
         per-sample time.
 
-        Scans power-of-two candidates up to ``max_batch`` through
-        :func:`rank_strategies` — the same models Algorithm 1 uses per
-        batch — and returns the knee of the per-sample cost curve.
+        Scans power-of-two candidates up to ``max_batch`` and returns
+        the knee of the per-sample cost curve.  On the simulated
+        backends the curve is *predicted* by :func:`rank_strategies` —
+        the same models Algorithm 1 uses per batch; on the native
+        backend the curve is *measured*: the pool's first replica times
+        its own kernel at each candidate size
+        (:meth:`~repro.core.native.NativeEngine.measure_flush_curve`),
+        so the flush point tracks the machine actually serving.
         """
         layout = self.engines[0].layout
         candidates = []
@@ -391,10 +418,13 @@ class TahoeServer:
             candidates.append(b)
             b *= 2
         candidates.append(self.config.max_batch)
-        per_sample = {}
-        for b in candidates:
-            best = rank_strategies(layout, b, self.spec, self.hardware)[0]
-            per_sample[b] = best.predicted_time / b
+        if self.config.backend == "native":
+            per_sample = self.engines[0].measure_flush_curve(candidates)
+        else:
+            per_sample = {}
+            for b in candidates:
+                best = rank_strategies(layout, b, self.spec, self.hardware)[0]
+                per_sample[b] = best.predicted_time / b
         floor = min(per_sample.values())
         for b in candidates:
             if per_sample[b] <= (1.0 + self.config.knee_tolerance) * floor:
@@ -688,6 +718,10 @@ class TahoeServer:
             "batches": batch_hist.count,
             "target_batch": self.target_batch,
             "n_engines": len(self.engines),
+            "backend": self.config.backend,
+            "time_domain": getattr(
+                self.engines[0], "time_domain", TIME_DOMAIN_SIMULATED
+            ),
             "offered_qps": (len(responses) / offered_span)
             if offered_span > 0
             else float("inf"),

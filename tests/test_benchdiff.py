@@ -123,6 +123,27 @@ class TestDiff:
         assert diff.scenario_mismatch == ("serving/a", "serving/b")
         assert "WARNING" in format_diff(diff)
 
+    def test_cross_time_domain_refused(self):
+        old = bench_envelope(
+            "serving", {"time_domain": "simulated", "qps": 100.0}, scenario="s"
+        )
+        new = bench_envelope(
+            "serving", {"time_domain": "wall", "qps": 900.0}, scenario="s"
+        )
+        with pytest.raises(ValueError, match="refusing to diff across time domains"):
+            diff_envelopes(old, new)
+
+    def test_same_time_domain_diffs_normally(self):
+        old = bench_envelope("b", {"time_domain": "wall", "qps": 100.0}, scenario="s")
+        new = bench_envelope("b", {"time_domain": "wall", "qps": 101.0}, scenario="s")
+        assert diff_envelopes(old, new).ok
+
+    def test_missing_time_domain_tolerated(self):
+        # Pre-native artifacts carry no domain marker; they diff as before.
+        old = bench_envelope("b", {"qps": 100.0}, scenario="s")
+        new = bench_envelope("b", {"time_domain": "wall", "qps": 100.0}, scenario="s")
+        assert diff_envelopes(old, new).ok
+
     def test_format_diff_verdict_line(self):
         clean = diff_payloads({"a": 1.0}, {"a": 1.0})
         assert format_diff(clean).endswith("RESULT: clean")
@@ -167,3 +188,14 @@ class TestCli:
         good = self._write(tmp_path / "old.json", {"qps": 1.0})
         missing = tmp_path / "nope.json"
         assert main(["bench", "diff", str(good), str(missing)]) == 2
+
+    def test_cross_domain_diff_exits_two_with_message(self, tmp_path, capsys):
+        old = self._write(
+            tmp_path / "old.json", {"time_domain": "simulated", "qps": 100.0}
+        )
+        new = self._write(
+            tmp_path / "new.json", {"time_domain": "wall", "qps": 100.0}
+        )
+        assert main(["bench", "diff", str(old), str(new)]) == 2
+        err = capsys.readouterr().err
+        assert "refusing to diff across time domains" in err

@@ -129,3 +129,46 @@ class TestServeCommand:
         assert conv[0]["cache_hit"] is False and conv[1]["cache_hit"] is True
         assert conv[1]["total_s"] < conv[0]["total_s"] / 10
         assert payload["report"]["engine"] == "tahoe-serving"
+
+    def test_serve_baseline_trims_artifact(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_serving.json"
+        code = main(
+            ["serve", "--bench", "--quick", "--baseline", "--scale", "0.05",
+             "--tree-scale", "0.04", "--out", str(out_path)]
+        )
+        assert code == 0
+        envelope = json.loads(out_path.read_text())
+        payload = envelope["payload"]
+        # Baseline mode keeps the summary metrics the regression differ
+        # gates on but drops the embedded report (the 20k-line bulk:
+        # traces, decision logs, per-batch telemetry).
+        assert "report" not in payload
+        assert payload["config"]["baseline"] is True
+        assert payload["summary"]["completed"] > 0
+        assert payload["time_domain"] == "simulated"
+        assert len(out_path.read_text().splitlines()) < 500
+
+    def test_serve_native_backend_runs_on_wall_clock(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_serving.json"
+        code = main(
+            ["serve", "--bench", "--quick", "--baseline", "--backend", "native",
+             "--scale", "0.05", "--tree-scale", "0.04", "--out", str(out_path)]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "backend: native (wall clock)" in stdout
+        envelope = json.loads(out_path.read_text())
+        payload = envelope["payload"]
+        assert payload["time_domain"] == "wall"
+        assert payload["config"]["backend"] == "native"
+        assert envelope["run"]["scenario"].endswith("/native")
+
+    def test_predict_native_backend_bit_identical(self, forest_file, capsys):
+        code = main(
+            ["predict", "--forest", str(forest_file), "--dataset", "letter",
+             "--scale", "0.05", "--limit", "80", "--backend", "native"]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "bit-identical to the simulator: yes" in stdout
+        assert "wall" in stdout

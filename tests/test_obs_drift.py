@@ -35,10 +35,13 @@ class TestDecisionMargin:
     def test_no_runner_up_means_unbounded_margin(self):
         assert CalibrationTracker.decision_margin(decision()) is None
 
-    def test_margin_never_negative(self):
-        # Runner-up predicted *faster* than the choice (tie-break paths).
+    def test_margin_is_absolute_gap_when_chosen_ranked_second(self):
+        # Rival predicted *faster* than the choice (strategy overrides,
+        # hardware-target rankings where the executing backend runs
+        # regardless of rank).  The flip threshold is still the distance
+        # to the nearest rival, not zero.
         d = decision(predicted=1.0, runner_up=0.8)
-        assert CalibrationTracker.decision_margin(d) == 0.0
+        assert CalibrationTracker.decision_margin(d) == pytest.approx(0.2)
 
 
 class TestTracker:
