@@ -1,0 +1,297 @@
+"""Fleet-tier serving: shard-count scaling, grouped reduction, autoscaling.
+
+Everything here runs on the simulated clock through
+:class:`~repro.serving.fleet.TahoeRouter`, so the artifact is fully
+deterministic and ``repro bench diff`` of two runs at the same tree is
+exactly clean.  Scenarios:
+
+* ``scaling`` — one saturating open-loop workload against 1..N replica
+  shards.  The offered load is sized ~3x a single shard's capacity, so
+  the 1-shard run is drain-bound and extra shards shorten the makespan:
+  the achieved-qps speedup curve is the fleet counterpart of the paper's
+  strong-scaling figure (fig. 9), one tier up.
+* ``grouped_reduction`` — the same requests through a single server and
+  a forest-sharded router (splitting-shared-forest generalised across
+  servers); the gate is ``array_equal`` predictions, recorded as
+  ``agreement``.
+* ``autoscale`` — a flash-crowd burst against an autoscaling router
+  (hysteresis on rolling p95 + queue depth): records scale-ups during
+  the burst, scale-downs after, whether every scale-up was
+  conversion-free (pinned LayoutCache), and a steady-load control run
+  that must produce zero actions (no flapping).
+* ``user_population`` — realized arrival statistics of the
+  user-population workload model vs its analytic intensity integral,
+  plus the Zipf heavy-hitter share.
+
+Usage::
+
+    python benchmarks/bench_fleet.py            # full mode
+    python benchmarks/bench_fleet.py --quick    # CI mode (2 shards)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np
+
+import common
+from repro.core import LayoutCache
+from repro.serving import (
+    AdmissionConfig,
+    AutoscaleConfig,
+    BurstWorkload,
+    PoissonWorkload,
+    PolicyConfig,
+    SchedulerConfig,
+    TahoeServer,
+    UserPopulationWorkload,
+)
+from repro.serving.fleet import TahoeRouter
+
+DATASET = "letter"
+GPU = "P100"
+
+
+def _serve_scheduler() -> SchedulerConfig:
+    # One engine per shard so the scaling axis is the shard count, and a
+    # small flush point so the queue never hides behind coalescing waits.
+    return SchedulerConfig(max_wait=5e-4, max_batch=64, max_queue=200_000)
+
+
+def bench_scaling(forest, spec, X, counts, *, qps, duration) -> dict:
+    cache = LayoutCache()
+    wl = PoissonWorkload(X, qps=qps, duration=duration, seed=7, max_request_samples=8)
+    rows = []
+    for count in counts:
+        router = TahoeRouter(
+            forest,
+            spec,
+            n_shards=count,
+            scheduler=_serve_scheduler(),
+            layout_cache=cache,
+        )
+        result = router.run(wl)
+        s = result.summary
+        ok = [r for r in result.responses if r.ok]
+        makespan = max(r.completion_time for r in ok) - min(r.arrival_time for r in ok)
+        rows.append(
+            {
+                "shards": count,
+                "completed": s["completed"],
+                "makespan_s": makespan,
+                "achieved_qps": s["achieved_qps"],
+                "latency_p95_ms": s["latency_s"]["p95"] * 1e3,
+            }
+        )
+    base = rows[0]["achieved_qps"]
+    for row in rows:
+        row["speedup"] = row["achieved_qps"] / base
+        row["efficiency"] = row["speedup"] / row["shards"]
+    return {
+        "offered": {"qps": qps, "duration_s": duration, "max_request_samples": 8},
+        "curve": rows,
+        "layout_cache": cache.stats(),
+    }
+
+
+def bench_grouped_reduction(forest, spec, X, *, n_shards, n_requests) -> dict:
+    wl = PoissonWorkload(X, qps=2000.0, duration=n_requests / 2000.0, seed=11)
+    single = TahoeServer(forest, spec, scheduler=_serve_scheduler()).run(wl)
+    router = TahoeRouter(
+        forest, spec, n_shards=n_shards, mode="forest", scheduler=_serve_scheduler()
+    ).run(wl)
+    ref = {r.request_id: r for r in single.responses}
+    matches = sum(
+        1
+        for r in router.responses
+        if r.ok and np.array_equal(r.predictions, ref[r.request_id].predictions)
+    )
+    total = len(router.responses)
+    return {
+        "n_shards": n_shards,
+        "requests": total,
+        "grouped_reductions": router.summary["grouped_reductions"],
+        "matches": matches,
+        "agreement": matches / total if total else 0.0,
+    }
+
+
+def bench_autoscale(forest, spec, X, *, max_shards) -> dict:
+    policy = PolicyConfig(
+        admission=AdmissionConfig(max_outstanding_samples=50_000),
+        autoscale=AutoscaleConfig(
+            min_shards=1,
+            max_shards=max_shards,
+            scale_up_latency_p95=2e-3,
+            scale_down_latency_p95=9e-4,
+            scale_up_queue_depth=200,
+            scale_down_queue_depth=40,
+            window=5e-3,
+            cooldown=6e-3,
+            min_requests=10,
+        ),
+    )
+
+    def run(wl) -> dict:
+        cache = LayoutCache()
+        router = TahoeRouter(
+            forest,
+            spec,
+            n_shards=1,
+            scheduler=_serve_scheduler(),
+            policy=policy,
+            layout_cache=cache,
+        )
+        s = router.run(wl).summary
+        events = s["autoscale"]["events"]
+        ups = [e for e in events if e["event"] == "autoscale.scale_up"]
+        return {
+            "requests": s["requests"],
+            "completed": s["completed"],
+            "rejected_shard_overloaded": s["rejected_shard_overloaded"],
+            "scale_ups": len(ups),
+            "scale_downs": sum(
+                1 for e in events if e["event"] == "autoscale.scale_down"
+            ),
+            "peak_shards": s["n_shards_ever"],
+            "final_active_shards": s["n_shards"],
+            "conversion_free_scale_ups": sum(
+                1 for e in ups if e.get("conversion_cache_hit")
+            ),
+        }
+
+    burst = run(
+        BurstWorkload(
+            X, qps=4000.0, duration=0.12, burst_factor=80.0, burst_fraction=0.25, seed=7
+        )
+    )
+    steady = run(PoissonWorkload(X, qps=4000.0, duration=0.12, seed=7))
+    return {"burst": burst, "steady_control": steady}
+
+
+def bench_user_population(X, *, qps, duration, n_users) -> dict:
+    wl = UserPopulationWorkload(
+        X,
+        qps=qps,
+        duration=duration,
+        n_users=n_users,
+        diurnal_amplitude=0.6,
+        flash_factor=6.0,
+        seed=13,
+    )
+    requests = wl.arrivals(np.random.default_rng(13), duration)
+    users = np.array([r.user for r in requests])
+    counts = np.bincount(users, minlength=n_users)
+    top = max(1, n_users // 100)
+    heavy_share = np.sort(counts)[::-1][:top].sum() / max(1, len(requests))
+    expected = wl.expected_arrivals(duration)
+    return {
+        "qps": qps,
+        "duration_s": duration,
+        "n_users": n_users,
+        "expected_arrivals": expected,
+        "realized_arrivals": len(requests),
+        "realized_over_expected": len(requests) / expected,
+        "distinct_users": int((counts > 0).sum()),
+        "top1pct_user_share": float(heavy_share),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI-sized run (2 shards)")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent / "results" / "BENCH_fleet.json",
+    )
+    args = parser.parse_args()
+
+    from repro.obs.benchdiff import bench_envelope
+    from repro.obs.exporters import jsonable
+
+    trained = common.workload(DATASET)
+    spec = common.bench_spec(GPU)
+    X = common.inference_X(DATASET)
+
+    counts = [1, 2] if args.quick else [1, 2, 4]
+    duration = 0.02 if args.quick else 0.04
+    print(f"fleet bench: {DATASET}/{GPU}, shard counts {counts}")
+
+    scaling = bench_scaling(
+        trained.forest, spec, X, counts, qps=120_000.0, duration=duration
+    )
+    for row in scaling["curve"]:
+        print(
+            f"  scaling {row['shards']} shard(s): {row['completed']} ok, "
+            f"{row['achieved_qps']:,.0f} qps, speedup {row['speedup']:.2f}x "
+            f"(efficiency {row['efficiency']:.2f}), "
+            f"p95 {row['latency_p95_ms']:.3f} ms"
+        )
+
+    reduction = bench_grouped_reduction(
+        trained.forest,
+        spec,
+        X,
+        n_shards=counts[-1],
+        n_requests=40 if args.quick else 120,
+    )
+    print(
+        f"  grouped reduction ({reduction['n_shards']} forest shards): "
+        f"{reduction['matches']}/{reduction['requests']} array_equal "
+        f"(agreement {reduction['agreement']:.3f})"
+    )
+    assert reduction["agreement"] == 1.0, "forest sharding must be bit-identical"
+
+    autoscale = bench_autoscale(trained.forest, spec, X, max_shards=counts[-1] + 1)
+    b, c = autoscale["burst"], autoscale["steady_control"]
+    print(
+        f"  autoscale burst: {b['scale_ups']} up ({b['conversion_free_scale_ups']} "
+        f"conversion-free) / {b['scale_downs']} down, peak {b['peak_shards']}; "
+        f"steady control: {c['scale_ups'] + c['scale_downs']} action(s)"
+    )
+    assert b["scale_ups"] >= 1, "burst must trigger at least one scale-up"
+    assert c["scale_ups"] + c["scale_downs"] == 0, "steady load must not flap"
+
+    population = bench_user_population(
+        X,
+        qps=2000.0,
+        duration=0.25 if args.quick else 1.0,
+        n_users=200 if args.quick else 1000,
+    )
+    print(
+        f"  user-population: {population['realized_arrivals']} arrivals "
+        f"(expected {population['expected_arrivals']:.0f}, ratio "
+        f"{population['realized_over_expected']:.3f}), top-1% users carry "
+        f"{population['top1pct_user_share']:.1%}"
+    )
+
+    payload = {
+        "dataset": DATASET,
+        "gpu": GPU,
+        "time_domain": "simulated",
+        "quick": bool(args.quick),
+        "scaling": scaling,
+        "grouped_reduction": reduction,
+        "autoscale": autoscale,
+        "user_population": population,
+    }
+    scenario = f"fleet/{DATASET}/{GPU}/s{counts[-1]}" + ("/quick" if args.quick else "")
+    envelope = bench_envelope("fleet", payload, kind="fleet_bench", scenario=scenario)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(jsonable(envelope), indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -46,7 +46,7 @@ import common
 from repro.core import LayoutCache, TahoeEngine
 from repro.core.native import HAVE_NUMBA, NativeEngine, available_kernels
 from repro.modelstore import load_packed, pack_layout
-from repro.serving import ServerConfig, TahoeServer, poisson_workload
+from repro.serving import SchedulerConfig, TahoeServer, poisson_workload
 
 DATASET = "letter"
 GPU = "P100"
@@ -176,7 +176,7 @@ def bench_serving(forest, spec, X, quick) -> dict:
         server = TahoeServer(
             forest,
             spec,
-            server_config=ServerConfig(
+            scheduler=SchedulerConfig(
                 n_engines=1, max_batch=1024, backend=backend, request_tracing=False
             ),
             layout_cache=LayoutCache(),

@@ -18,7 +18,7 @@ from pathlib import Path
 
 from repro import GPU_SPECS, LayoutCache
 from repro.modelstore import load_packed, pack_forest
-from repro.serving import ServerConfig, TahoeServer, poisson_workload
+from repro.serving import SchedulerConfig, TahoeServer, poisson_workload
 from repro.trees import train_forest_for_spec
 
 
@@ -42,7 +42,7 @@ def main() -> None:
     server = TahoeServer(
         forest_v1,
         spec,
-        server_config=ServerConfig(n_engines=2, max_wait=2e-3),
+        scheduler=SchedulerConfig(n_engines=2, max_wait=2e-3),
         layout_cache=cache,
     )
     print(f"serving {server.active_version.label}")

@@ -23,7 +23,7 @@ import numpy as np
 from repro import GPU_SPECS, LayoutCache
 from repro.serving import (
     InferenceRequest,
-    ServerConfig,
+    SchedulerConfig,
     TahoeServer,
     poisson_workload,
 )
@@ -40,7 +40,7 @@ def main() -> None:
     server = TahoeServer(
         forest,
         spec,
-        server_config=ServerConfig(n_engines=2, max_wait=2e-3, max_queue=256),
+        scheduler=SchedulerConfig(n_engines=2, max_wait=2e-3, max_queue=256),
         layout_cache=cache,
     )
     print(f"model-chosen flush point: {server.target_batch} samples")
@@ -73,7 +73,7 @@ def main() -> None:
     crowded = TahoeServer(
         forest,
         spec,
-        server_config=ServerConfig(
+        scheduler=SchedulerConfig(
             n_engines=1, max_queue=8, target_batch=10_000, max_wait=10.0
         ),
         layout_cache=cache,  # warm: this construction converts nothing

@@ -269,11 +269,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.obs.benchdiff import bench_envelope
     from repro.obs.exporters import jsonable, write_serving_trace
     from repro.serving import (
-        ServerConfig,
+        PolicyConfig,
+        SchedulerConfig,
         SLOConfig,
         TahoeServer,
-        burst_workload,
-        poisson_workload,
+        make_workload,
     )
     from repro.trees import train_forest_for_spec
 
@@ -292,7 +292,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         args.dataset, scale=args.scale, tree_scale=args.tree_scale, seed=args.seed
     )
     cache = LayoutCache()
-    server_config = ServerConfig(
+    scheduler = SchedulerConfig(
         n_engines=args.n_engines,
         max_batch=args.max_batch,
         max_wait=args.max_wait_ms / 1e3,
@@ -304,6 +304,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         error_rate=args.slo_error_rate if args.slo_error_rate else None,
         window=args.slo_window_ms / 1e3,
     )
+    deadline = args.deadline_ms / 1e3 if args.deadline_ms else None
+    traffic = args.traffic
+    if traffic == "poisson" and args.burst_factor > 1.0:
+        traffic = "burst"  # back-compat: --burst-factor implied burst traffic
+    traffic_kwargs = dict(
+        qps=args.qps, duration=args.duration, seed=args.seed, deadline=deadline
+    )
+    if args.burst_factor > 1.0:
+        traffic_kwargs["burst_factor"] = args.burst_factor
+    requests = make_workload(traffic, workload.split.test.X, **traffic_kwargs)
+    if args.shards > 1 or args.autoscale:
+        return _serve_fleet(
+            args,
+            spec=spec,
+            trained=workload,
+            scheduler=scheduler,
+            slo=slo,
+            traffic=traffic,
+            traffic_workload=requests,
+            cache=cache,
+        )
+    policy = PolicyConfig(slo=slo)
     if args.forest is not None:
         forest, packed = _load_any_model(
             args.forest, n_attributes=workload.split.test.X.shape[1]
@@ -312,40 +334,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             server = TahoeServer(
                 spec=spec,
                 packed=packed,
-                server_config=server_config,
+                scheduler=scheduler,
+                policy=policy,
                 layout_cache=cache,
-                slo=slo,
             )
             print(f"serving packed layout {args.forest} (conversion skipped)")
         else:
             server = TahoeServer(
-                forest, spec, server_config=server_config, layout_cache=cache, slo=slo
+                forest, spec, scheduler=scheduler, policy=policy, layout_cache=cache
             )
     else:
         server = TahoeServer(
             workload.forest,
             spec,
-            server_config=server_config,
+            scheduler=scheduler,
+            policy=policy,
             layout_cache=cache,
-            slo=slo,
-        )
-    deadline = args.deadline_ms / 1e3 if args.deadline_ms else None
-    if args.burst_factor > 1.0:
-        requests = burst_workload(
-            workload.split.test.X,
-            qps=args.qps,
-            duration=args.duration,
-            burst_factor=args.burst_factor,
-            seed=args.seed,
-            deadline=deadline,
-        )
-    else:
-        requests = poisson_workload(
-            workload.split.test.X,
-            qps=args.qps,
-            duration=args.duration,
-            seed=args.seed,
-            deadline=deadline,
         )
     result = server.run(requests, report=True)
     s = result.summary
@@ -353,12 +357,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"serving/{args.dataset}/{args.gpu}/qps{args.qps:g}x{args.burst_factor:g}"
         f"/d{args.duration:g}/e{args.n_engines}/{args.backend}"
     )
+    if args.traffic != "poisson":
+        scenario += f"/{args.traffic}"
     payload_body = {
         "gpu": spec.name,
         "dataset": args.dataset,
         "time_domain": s["time_domain"],
         "config": {
             "backend": args.backend,
+            "traffic": args.traffic,
             "qps": args.qps,
             "duration_s": args.duration,
             "burst_factor": args.burst_factor,
@@ -454,6 +461,175 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     sustained = s["achieved_qps"] >= 0.9 * min(args.qps, s["offered_qps"])
     if not sustained and args.burst_factor <= 1.0:
         print("WARNING: configured QPS not sustained", file=sys.stderr)
+    return 0
+
+
+def _serve_fleet(
+    args: argparse.Namespace,
+    *,
+    spec,
+    trained,
+    scheduler,
+    slo,
+    traffic: str,
+    traffic_workload,
+    cache,
+) -> int:
+    """The fleet branch of ``repro serve --bench``: sweep shard counts
+    for a scaling curve, optionally demo the autoscaler, write
+    ``BENCH_fleet.json``."""
+    from repro.obs.benchdiff import bench_envelope
+    from repro.obs.exporters import jsonable, write_serving_trace
+    from repro.serving import AutoscaleConfig, PolicyConfig
+    from repro.serving.fleet import TahoeRouter
+
+    forest = trained.forest
+    if args.forest is not None:
+        forest, packed = _load_any_model(
+            args.forest, n_attributes=trained.split.test.X.shape[1]
+        )
+        if packed is not None:
+            print(
+                "fleet mode shards Forest models; pass an unpacked model file",
+                file=sys.stderr,
+            )
+            return 2
+    counts = sorted(
+        {1, max(1, args.shards)} | {1 << i for i in range(10) if 1 << i < args.shards}
+    )
+    policy = PolicyConfig(slo=slo)
+    rows = []
+    last_result = None
+    for count in counts:
+        router = TahoeRouter(
+            forest,
+            spec,
+            n_shards=count,
+            mode=args.shard_mode,
+            scheduler=scheduler,
+            policy=policy,
+            layout_cache=cache,
+        )
+        result = router.run(traffic_workload)
+        s = result.summary
+        lat = s["latency_s"]
+        rows.append(
+            {
+                "shards": count,
+                "requests": s["requests"],
+                "completed": s["completed"],
+                "rejected_shard_overloaded": s["rejected_shard_overloaded"],
+                "grouped_reductions": s["grouped_reductions"],
+                "achieved_qps": s["achieved_qps"],
+                "latency_ms": {
+                    "p50": lat["p50"] * 1e3,
+                    "p95": lat["p95"] * 1e3,
+                    "p99": lat["p99"] * 1e3,
+                },
+            }
+        )
+        last_result = result
+    base_qps = rows[0]["achieved_qps"]
+    for row in rows:
+        row["speedup_vs_1shard"] = (
+            row["achieved_qps"] / base_qps if base_qps > 0 else 1.0
+        )
+    autoscale_section = None
+    if args.autoscale:
+        auto = AutoscaleConfig(
+            min_shards=1,
+            max_shards=max(2, args.shards),
+            scale_up_latency_p95=slo.latency_p95 or 2e-3,
+            scale_up_queue_depth=200,
+            scale_down_queue_depth=40,
+            window=5e-3,
+            cooldown=6e-3,
+            min_requests=10,
+        )
+        router = TahoeRouter(
+            forest,
+            spec,
+            n_shards=1,
+            mode="replicate",
+            scheduler=scheduler,
+            policy=PolicyConfig(slo=slo, autoscale=auto),
+            layout_cache=cache,
+        )
+        result = router.run(traffic_workload)
+        s = result.summary
+        autoscale_section = {
+            "completed": s["completed"],
+            "final_active_shards": s["n_shards"],
+            "peak_shards": s["n_shards_ever"],
+            "scale_ups": sum(
+                1 for e in s["autoscale"]["events"] if e["event"] == "autoscale.scale_up"
+            ),
+            "scale_downs": sum(
+                1
+                for e in s["autoscale"]["events"]
+                if e["event"] == "autoscale.scale_down"
+            ),
+            "events": s["autoscale"]["events"],
+        }
+    scenario = (
+        f"fleet/{args.dataset}/{args.gpu}/{traffic}/qps{args.qps:g}"
+        f"/d{args.duration:g}/{args.shard_mode}/s{args.shards}"
+        + ("/auto" if args.autoscale else "")
+    )
+    payload_body = {
+        "gpu": spec.name,
+        "dataset": args.dataset,
+        "config": {
+            "traffic": args.traffic,
+            "shard_mode": args.shard_mode,
+            "shards": args.shards,
+            "autoscale": bool(args.autoscale),
+            "backend": args.backend,
+            "qps": args.qps,
+            "duration_s": args.duration,
+            "n_engines": args.n_engines,
+            "max_batch": args.max_batch,
+            "max_wait_ms": args.max_wait_ms,
+            "max_queue": args.max_queue,
+            "quick": bool(args.quick),
+        },
+        "scaling": rows,
+        "autoscale": autoscale_section,
+        "layout_cache": cache.stats(),
+    }
+    payload = bench_envelope(
+        "fleet", payload_body, kind="fleet_bench", scenario=scenario
+    )
+    out = Path(args.out)
+    if out == Path("benchmarks/results/BENCH_serving.json"):
+        out = Path("benchmarks/results/BENCH_fleet.json")
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(jsonable(payload), indent=2))
+    print(
+        f"fleet scaling ({args.shard_mode}, {traffic} traffic, "
+        f"{args.dataset}/{args.gpu}):"
+    )
+    for row in rows:
+        lat = row["latency_ms"]
+        print(
+            f"  {row['shards']} shard(s): {row['completed']}/{row['requests']} ok, "
+            f"{row['achieved_qps']:.0f} qps ({row['speedup_vs_1shard']:.2f}x), "
+            f"p95 {lat['p95']:.3f} ms, "
+            f"{row['rejected_shard_overloaded']} shard_overloaded"
+        )
+    if autoscale_section is not None:
+        print(
+            f"autoscale: {autoscale_section['scale_ups']} up / "
+            f"{autoscale_section['scale_downs']} down, peak "
+            f"{autoscale_section['peak_shards']} shard(s), final "
+            f"{autoscale_section['final_active_shards']} active"
+        )
+    hits = cache.stats()["hits"]
+    print(f"layout cache: {hits} hit(s) across the sweep (conversion-free shards)")
+    if args.trace_out and last_result is not None:
+        write_serving_trace(last_result.responses, args.trace_out)
+        print(f"wrote {args.trace_out}")
+    print(f"wrote {out}")
     return 0
 
 
@@ -747,6 +923,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=0.05)
     p.add_argument("--tree-scale", type=float, default=0.05, dest="tree_scale")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--traffic",
+        choices=["poisson", "burst", "user-population"],
+        default="poisson",
+        help="arrival process (registry lookup; user-population = Zipf "
+        "users with diurnal + flash-crowd session intensities)",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="fleet mode: sweep 1..N router shards for a scaling curve "
+        "and write BENCH_fleet.json instead of BENCH_serving.json",
+    )
+    p.add_argument(
+        "--shard-mode",
+        choices=["replicate", "forest"],
+        default="replicate",
+        dest="shard_mode",
+        help="replicate = full model per shard; forest = split the "
+        "forest across shards with router-side grouped reduction",
+    )
+    p.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="also run the replica autoscaler demo (hysteresis on "
+        "rolling p95/queue depth) and record its events",
+    )
     p.add_argument("--qps", type=float, default=2000.0, help="offered request rate")
     p.add_argument("--duration", type=float, default=2.0, help="arrival window, seconds")
     p.add_argument("--n-engines", type=int, default=2, dest="n_engines")

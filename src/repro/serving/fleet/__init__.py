@@ -1,0 +1,24 @@
+"""Fleet-scale serving: a router over N TahoeServer shards.
+
+The paper's multi-GPU story (splitting-shared-forest, §5/§7 strong
+scaling) stops at one process; this package is the next tier.
+:class:`~repro.serving.fleet.router.TahoeRouter` fronts N
+:class:`~repro.serving.server.TahoeServer` shards with load-aware
+dispatch, per-shard admission control, per-model routing, router-side
+grouped reduction over forest shards, and replica autoscaling
+(:class:`~repro.serving.fleet.autoscaler.ReplicaAutoscaler`).  Both the
+router and the servers beneath it implement the
+:class:`~repro.serving.api.Server` protocol, so everything that drives
+one server drives a fleet.
+"""
+
+from repro.serving.fleet.autoscaler import ReplicaAutoscaler
+from repro.serving.fleet.router import TahoeRouter
+from repro.serving.fleet.sharding import neutral_sub_forest, plan_forest_shards
+
+__all__ = [
+    "ReplicaAutoscaler",
+    "TahoeRouter",
+    "neutral_sub_forest",
+    "plan_forest_shards",
+]

@@ -1,0 +1,162 @@
+"""Replica autoscaling from rolling-window signals, with hysteresis.
+
+The autoscaler watches the same signals the SLO monitor watches —
+rolling-window p95 latency and per-shard queue depth — and turns them
+into replica-count decisions.  Two properties make it safe to leave on:
+
+* **Hysteresis**: scale-up and scale-down thresholds are separate (the
+  band between them is the do-nothing region), so a fleet hovering
+  around one operating point never flaps.
+* **Cooldown**: after any action, decisions pause for
+  ``AutoscaleConfig.cooldown`` simulated seconds so the action's effect
+  is actually observed before the next one.
+
+Like the SLO monitor, events are **transition-only**: an entry appears
+in :attr:`ReplicaAutoscaler.events` when the replica count changes,
+never per evaluation.  The autoscaler only decides; the router owns the
+mechanics (building the conversion-free replica, draining the doomed
+one), so the same decision logic is testable without a fleet behind it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.serving.api import AutoscaleConfig
+from repro.serving.slo import window_quantile
+
+__all__ = ["ReplicaAutoscaler"]
+
+#: Decision constants returned by :meth:`ReplicaAutoscaler.evaluate`.
+SCALE_UP = "scale_up"
+SCALE_DOWN = "scale_down"
+
+
+class ReplicaAutoscaler:
+    """Window-based scale decisions for a replica fleet.
+
+    Args:
+        config: thresholds, bounds and hysteresis knobs.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
+            to count ``fleet.autoscale.*`` actions into.
+
+    Attributes:
+        events: structured transition-only action events, in order.
+    """
+
+    def __init__(self, config: AutoscaleConfig, metrics=None) -> None:
+        self.config = config
+        self.metrics = metrics
+        self.events: list[dict] = []
+        self._window: deque = deque()  # (completion_time, latency)
+        self._eval_interval = (
+            config.eval_interval
+            if config.eval_interval is not None
+            else config.window / 4.0
+        )
+        self._next_eval = 0.0
+        self._last_action_time = float("-inf")
+
+    def observe(self, now: float, latency: float) -> None:
+        """Feed one completed response into the rolling window."""
+        self._window.append((now, latency))
+        self._trim(now)
+
+    def _trim(self, now: float) -> None:
+        horizon = now - self.config.window
+        while self._window and self._window[0][0] < horizon:
+            self._window.popleft()
+
+    def window_stats(self, now: float) -> dict:
+        """Current rolling-window view (JSON-ready)."""
+        self._trim(now)
+        latencies = [latency for _, latency in self._window]
+        return {
+            "n": len(latencies),
+            "latency_p95": window_quantile(latencies, 0.95),
+        }
+
+    def evaluate(
+        self, now: float, *, n_active: int, mean_queue_depth: float
+    ) -> str | None:
+        """Decide at ``now``; returns ``"scale_up"``, ``"scale_down"``
+        or ``None``.
+
+        The caller (the router) supplies the fleet state the window
+        cannot see: how many replicas are active and how deep their
+        queues are on average.  Decisions respect the eval cadence, the
+        ``min_requests`` floor, the cooldown, and the replica bounds.
+        The caller performs the action and then records it via
+        :meth:`record_action` so the event carries fleet detail.
+        """
+        if now < self._next_eval:
+            return None
+        self._next_eval = now + self._eval_interval
+        self._trim(now)
+        if len(self._window) < self.config.min_requests:
+            return None
+        if now - self._last_action_time < self.config.cooldown:
+            return None
+        cfg = self.config
+        latencies = [latency for _, latency in self._window]
+        p95 = window_quantile(latencies, 0.95)
+        up = False
+        if cfg.scale_up_latency_p95 is not None and p95 > cfg.scale_up_latency_p95:
+            up = True
+        if (
+            cfg.scale_up_queue_depth is not None
+            and mean_queue_depth > cfg.scale_up_queue_depth
+        ):
+            up = True
+        if up:
+            return SCALE_UP if n_active < cfg.max_shards else None
+        down = True
+        if cfg.down_latency is not None and p95 >= cfg.down_latency:
+            down = False
+        if (
+            cfg.down_queue_depth is not None
+            and mean_queue_depth >= cfg.down_queue_depth
+        ):
+            down = False
+        if down and n_active > cfg.min_shards:
+            return SCALE_DOWN
+        return None
+
+    def record_action(
+        self, action: str, now: float, *, n_before: int, n_after: int, **detail
+    ) -> dict:
+        """Record one applied transition (and start the cooldown)."""
+        self._last_action_time = now
+        event = {
+            "event": f"autoscale.{action}",
+            "time": now,
+            "replicas_before": n_before,
+            "replicas_after": n_after,
+            **self.window_stats(now),
+            **detail,
+        }
+        self.events.append(event)
+        if self.metrics is not None:
+            self.metrics.counter(
+                f"fleet.autoscale.{action}", help="autoscaler transitions"
+            ).inc()
+            self.metrics.gauge(
+                "fleet.autoscale.replicas", help="replicas after the last action"
+            ).set(n_after)
+        return event
+
+    def summary(self) -> dict:
+        """JSON-ready section for the fleet summary."""
+        return {
+            "config": {
+                "min_shards": self.config.min_shards,
+                "max_shards": self.config.max_shards,
+                "scale_up_latency_p95": self.config.scale_up_latency_p95,
+                "scale_down_latency_p95": self.config.down_latency,
+                "scale_up_queue_depth": self.config.scale_up_queue_depth,
+                "scale_down_queue_depth": self.config.down_queue_depth,
+                "window": self.config.window,
+                "cooldown": self.config.cooldown,
+            },
+            "events": list(self.events),
+        }

@@ -1,0 +1,76 @@
+"""Forest sharding: splitting-shared-forest, one tier up.
+
+The paper's splitting-shared-forest strategy splits a forest that does
+not fit shared memory into parts, runs every sample through every part,
+and combines per-part margins with a global segmented reduction — all
+inside one GPU.  The fleet generalises the same decomposition across
+*servers*: :func:`plan_forest_shards` cuts the ensemble into contiguous
+tree ranges, one per shard, and the router performs the grouped
+reduction that the strategy would have done on-device.
+
+The cut must not change the numbers.  Each sub-forest is therefore
+*neutralised*: ``aggregation="sum"``, ``base_score=0``,
+``learning_rate=1`` and ``task="regression"``, so a shard's
+"predictions" are exactly its trees' raw leaf-value sums (float64, no
+link function, no averaging).  The router adds the shard partials and
+applies the **full** forest's finalisation — base score, learning-rate
+shrinkage, mean-vs-sum aggregation, sigmoid link — once, via
+:func:`~repro.strategies.base.finalize_predictions`.  Because the
+per-shard identity transform introduces no rounding, the only floating
+point at stake is the addition order of the tree sums, which is exact
+in float64 for realistic leaf magnitudes — the fleet tests assert
+``array_equal`` against the single-server output, not ``allclose``.
+"""
+
+from __future__ import annotations
+
+from repro.trees.forest import Forest
+
+__all__ = ["neutral_sub_forest", "plan_forest_shards"]
+
+
+def neutral_sub_forest(forest: Forest, trees, name: str) -> Forest:
+    """A sub-forest that predicts raw leaf sums (identity finalisation)."""
+    return Forest(
+        trees=list(trees),
+        n_attributes=forest.n_attributes,
+        task="regression",
+        aggregation="sum",
+        base_score=0.0,
+        learning_rate=1.0,
+        name=name,
+        metadata={
+            "fleet_shard_of": forest.name,
+            "parent_aggregation": forest.aggregation,
+        },
+    )
+
+
+def plan_forest_shards(forest: Forest, n_shards: int) -> list[Forest]:
+    """Split ``forest`` into ``n_shards`` contiguous neutral sub-forests.
+
+    Contiguous ranges (not round-robin) keep each shard's trees in the
+    parent's storage order, so per-shard layout conversion sees the same
+    tree adjacency the single-server conversion does.  Tree counts
+    differ by at most one; every tree lands in exactly one shard.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    if n_shards > forest.n_trees:
+        raise ValueError(
+            f"cannot split {forest.n_trees} trees across {n_shards} shards"
+        )
+    base, extra = divmod(forest.n_trees, n_shards)
+    shards: list[Forest] = []
+    start = 0
+    for i in range(n_shards):
+        count = base + (1 if i < extra else 0)
+        shards.append(
+            neutral_sub_forest(
+                forest,
+                forest.trees[start : start + count],
+                name=f"{forest.name}-shard{i}of{n_shards}",
+            )
+        )
+        start += count
+    return shards

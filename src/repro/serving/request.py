@@ -21,6 +21,7 @@ import numpy as np
 __all__ = [
     "REJECTED_DEADLINE",
     "REJECTED_QUEUE_FULL",
+    "REJECTED_SHARD_OVERLOADED",
     "InferenceRequest",
     "InferenceResponse",
     "ServingError",
@@ -29,6 +30,7 @@ __all__ = [
 #: Error codes (the only values ``ServingError.code`` takes).
 REJECTED_QUEUE_FULL = "queue_full"
 REJECTED_DEADLINE = "deadline_exceeded"
+REJECTED_SHARD_OVERLOADED = "shard_overloaded"
 
 
 @dataclass(frozen=True)
@@ -53,6 +55,12 @@ class InferenceRequest:
         trace_id: identifier every stage span of this request is tagged
             with; derived from ``request_id`` when not supplied, so
             traces are stable across reruns of a deterministic workload.
+        model: logical model name the request targets; ``None`` means
+            the server's (or router's) default.  The fleet router's
+            per-model mode dispatches on it.
+        user: simulated-population user id the request belongs to
+            (``None`` for anonymous traffic) — lets fleet analyses
+            attribute load to the user-population model's heavy hitters.
     """
 
     request_id: int
@@ -60,6 +68,8 @@ class InferenceRequest:
     arrival_time: float
     deadline: float | None = None
     trace_id: str | None = None
+    model: str | None = None
+    user: int | None = None
 
     def __post_init__(self) -> None:
         self.X = np.asarray(self.X, dtype=np.float32)

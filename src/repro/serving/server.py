@@ -44,6 +44,7 @@ the §6 predicted one — real throughput, same scheduler.
 
 from __future__ import annotations
 
+import warnings
 from collections import Counter as TallyCounter
 from collections import deque
 from dataclasses import dataclass
@@ -65,6 +66,7 @@ from repro.obs.report import RunReport
 from repro.perfmodel.microbench import measure_hardware_parameters
 from repro.perfmodel.notation import HardwareParams
 from repro.perfmodel.selector import rank_strategies
+from repro.serving.api import PolicyConfig, SchedulerConfig, materialize_workload
 from repro.serving.request import (
     REJECTED_DEADLINE,
     REJECTED_QUEUE_FULL,
@@ -76,61 +78,32 @@ from repro.serving.slo import SLOConfig, SLOMonitor
 from repro.serving.tracing import RequestTrace, StageSpan
 from repro.trees.forest import Forest
 
-__all__ = ["ServerConfig", "ServingResult", "TahoeServer"]
+__all__ = ["SchedulerConfig", "ServerConfig", "ServingResult", "TahoeServer"]
 
 #: Cap on per-request traces carried into a RunReport (the responses
 #: themselves always carry their own trace regardless).
 MAX_REPORT_TRACES = 2000
 
 
-@dataclass(frozen=True)
-class ServerConfig:
-    """Scheduler knobs.
+class ServerConfig(SchedulerConfig):
+    """Deprecated alias of :class:`~repro.serving.api.SchedulerConfig`.
 
-    Attributes:
-        n_engines: engine replicas in the dispatch pool (simulated
-            GPUs; batches go round-robin across them).
-        max_batch: hard ceiling on coalesced samples per dispatch.
-        max_wait: longest a request may sit queued waiting for
-            coalescing (simulated seconds) before a forced flush.
-        max_queue: bounded-queue admission limit, in requests; arrivals
-            beyond it are rejected with ``queue_full`` (backpressure).
-        target_batch: explicit flush point; ``None`` lets the §6
-            performance models pick it (the knee of predicted
-            per-sample time).
-        knee_tolerance: how close to the best predicted per-sample time
-            the chosen flush point must be (0.05 = within 5 %).
-        request_tracing: record a per-stage :class:`RequestTrace` on
-            every response (cheap — a handful of tuples per request on
-            the simulated clock; disable only to shave the last few
-            percent off the serving hot path).
-        backend: ``"tahoe"`` pools simulator engines matched to the
-            model's format (the default); ``"native"`` pools
-            :class:`~repro.core.native.NativeEngine` replicas executing
-            on the host, with wall-clock service times and a *measured*
-            flush point.
+    The grab-bag ``ServerConfig`` was split into
+    :class:`~repro.serving.api.SchedulerConfig` (flush/queue/deadline
+    mechanism) and :class:`~repro.serving.api.PolicyConfig`
+    (SLO/admission/autoscale policy).  This shim keeps one release of
+    compatibility — same fields, same semantics — and will be removed.
     """
 
-    n_engines: int = 1
-    max_batch: int = 1024
-    max_wait: float = 2e-3
-    max_queue: int = 4096
-    target_batch: int | None = None
-    knee_tolerance: float = 0.05
-    request_tracing: bool = True
-    backend: str = "tahoe"
-
     def __post_init__(self) -> None:
-        if self.n_engines < 1:
-            raise ValueError("n_engines must be >= 1")
-        if self.max_batch < 1:
-            raise ValueError("max_batch must be >= 1")
-        if self.max_queue < 1:
-            raise ValueError("max_queue must be >= 1")
-        if self.max_wait < 0:
-            raise ValueError("max_wait must be >= 0")
-        if self.backend not in ("tahoe", "native"):
-            raise ValueError("backend must be 'tahoe' or 'native'")
+        warnings.warn(
+            "ServerConfig is deprecated; use SchedulerConfig for scheduler "
+            "knobs and PolicyConfig for SLO/admission/autoscale policy "
+            "(from repro.serving)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        super().__post_init__()
 
 
 @dataclass
@@ -163,7 +136,13 @@ class TahoeServer:
     Args:
         forest: trained forest to serve.
         spec: GPU model every replica runs on.
-        server_config: scheduler knobs (:class:`ServerConfig`).
+        scheduler: micro-batch mechanism knobs
+            (:class:`~repro.serving.api.SchedulerConfig`).
+        policy: service policy (:class:`~repro.serving.api.PolicyConfig`);
+            its ``slo`` member replaces the deprecated ``slo=`` kwarg
+            (admission/autoscale members are consumed by the fleet
+            router, not here).
+        server_config: deprecated spelling of ``scheduler``.
         config: engine configuration shared by every replica.
         hardware: pre-measured hardware parameters (measured once here
             otherwise and shared across the pool).
@@ -189,7 +168,9 @@ class TahoeServer:
         forest: Forest | None = None,
         spec: GPUSpec | None = None,
         *,
-        server_config: ServerConfig | None = None,
+        scheduler: SchedulerConfig | None = None,
+        policy: PolicyConfig | None = None,
+        server_config: SchedulerConfig | None = None,
         config: TahoeConfig | None = None,
         hardware: HardwareParams | None = None,
         recorder: RunRecorder | None = None,
@@ -203,7 +184,15 @@ class TahoeServer:
             raise TypeError("TahoeServer requires a GPU spec")
         if (forest is None) == (packed is None):
             raise TypeError("TahoeServer takes exactly one of forest= or packed=")
-        self.config = server_config if server_config is not None else ServerConfig()
+        if scheduler is not None and server_config is not None:
+            raise TypeError("pass scheduler= or the deprecated server_config=, not both")
+        cfg = scheduler if scheduler is not None else server_config
+        self.config = cfg if cfg is not None else SchedulerConfig()
+        self.policy = policy if policy is not None else PolicyConfig()
+        if policy is not None and policy.slo is not None:
+            if slo is not None:
+                raise TypeError("pass slo via policy= or the slo= kwarg, not both")
+            slo = policy.slo
         self.spec = spec
         self.engine_config = config if config is not None else TahoeConfig()
         hardware = hardware or measure_hardware_parameters(spec)
@@ -246,13 +235,16 @@ class TahoeServer:
             self.slo = None
         else:
             raise TypeError("slo must be an SLOConfig, an SLOMonitor, or None")
-        # Scheduler state (persists across run() calls).
+        # Scheduler state (persists across submit()/run() calls).
         self._queue: deque[InferenceRequest] = deque()
         self._queued_samples = 0
         self._engine_free = [0.0] * self.config.n_engines
         self._next_engine = 0
         self._batch_index = 0
         self._batch_sizes: TallyCounter = TallyCounter()
+        self._clock = 0.0
+        self._responses: list[InferenceResponse] = []
+        self._pending: list[InferenceRequest] = []
 
     # ------------------------------------------------------------------
     # Model store: staging and hot swap
@@ -434,53 +426,93 @@ class TahoeServer:
     # ------------------------------------------------------------------
     # Event-driven scheduling (simulated clock)
     # ------------------------------------------------------------------
-    def run(
-        self, requests: Iterable[InferenceRequest], *, report: bool = False
-    ) -> ServingResult:
-        """Serve a workload of timestamped requests to completion.
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently queued (not yet coalesced into a batch)."""
+        return len(self._queue)
 
-        Requests are processed in arrival order; the queue drains fully
-        before returning.  Returns one response per request (successes
-        and structured rejections alike).
+    @property
+    def queued_samples(self) -> int:
+        """Samples currently queued awaiting coalescing."""
+        return self._queued_samples
+
+    def submit(self, request: InferenceRequest) -> InferenceResponse | None:
+        """Admit one request at its arrival time.
+
+        Advances the simulated clock to the arrival (forced flushes
+        whose max-wait expires first happen first, in simulated-time
+        order), applies bounded-queue admission, and dispatches any
+        batches the arrival completes.  Returns the structured rejection
+        response when admission fails; ``None`` when the request is
+        queued — its response is produced by a later dispatch and
+        collected by :meth:`run`.
         """
         metrics = self.recorder.metrics
-        responses: list[InferenceResponse] = []
-        clock = 0.0
-        for req in sorted(requests, key=lambda r: r.arrival_time):
-            # Forced flushes whose max-wait deadline expires before this
-            # arrival happen first, in simulated-time order.
-            self._flush_due(req.arrival_time, responses)
-            clock = max(clock, req.arrival_time)
-            metrics.histogram(
-                "serving.queue_depth", help="queued requests at each arrival"
-            ).observe(len(self._queue))
-            metrics.counter("serving.requests_total").inc()
-            if len(self._queue) >= self.config.max_queue:
-                metrics.counter("serving.rejected.queue_full").inc()
-                responses.append(
-                    InferenceResponse(
-                        request_id=req.request_id,
-                        predictions=None,
-                        arrival_time=req.arrival_time,
-                        completion_time=clock,
-                        error=ServingError(
-                            REJECTED_QUEUE_FULL,
-                            f"queue at capacity ({self.config.max_queue} requests)",
-                        ),
-                        trace=self._reject_trace(req, clock, REJECTED_QUEUE_FULL),
-                    )
-                )
-                if self.slo is not None:
-                    self.slo.observe(now=clock, ok=False)
+        self._flush_due(request.arrival_time, self._responses)
+        self._clock = max(self._clock, request.arrival_time)
+        metrics.histogram(
+            "serving.queue_depth", help="queued requests at each arrival"
+        ).observe(len(self._queue))
+        metrics.counter("serving.requests_total").inc()
+        if len(self._queue) >= self.config.max_queue:
+            metrics.counter("serving.rejected.queue_full").inc()
+            rejection = InferenceResponse(
+                request_id=request.request_id,
+                predictions=None,
+                arrival_time=request.arrival_time,
+                completion_time=self._clock,
+                error=ServingError(
+                    REJECTED_QUEUE_FULL,
+                    f"queue at capacity ({self.config.max_queue} requests)",
+                ),
+                trace=self._reject_trace(request, self._clock, REJECTED_QUEUE_FULL),
+            )
+            self._responses.append(rejection)
+            if self.slo is not None:
+                self.slo.observe(now=self._clock, ok=False)
+            return rejection
+        self._queue.append(request)
+        self._queued_samples += request.n_samples
+        while self._queued_samples >= self.target_batch:
+            self._dispatch(self._clock, self._responses)
+        return None
+
+    def run(
+        self,
+        workload: Iterable[InferenceRequest] | None = None,
+        *,
+        until: float | None = None,
+        report: bool = False,
+    ) -> ServingResult:
+        """Serve a workload of timestamped requests.
+
+        ``workload`` is an iterable of requests or a
+        :class:`~repro.serving.api.Workload` (materialised with its own
+        seed over ``until`` — or its ``duration`` — as the horizon).
+        Requests are processed in arrival order.  With ``until=None``
+        the queue drains fully; otherwise the clock stops at ``until``
+        (due flushes applied, later arrivals held for the next call).
+        Returns one response per request this call resolved (successes
+        and structured rejections alike).
+        """
+        mark = len(self._responses)
+        requests = self._pending + materialize_workload(workload, until)
+        self._pending = []
+        requests.sort(key=lambda r: r.arrival_time)
+        for req in requests:
+            if until is not None and req.arrival_time > until:
+                self._pending.append(req)
                 continue
-            self._queue.append(req)
-            self._queued_samples += req.n_samples
-            while self._queued_samples >= self.target_batch:
-                self._dispatch(clock, responses)
-        # Drain: whatever is still queued flushes at its max-wait point.
-        while self._queue:
-            due = self._queue[0].arrival_time + self.config.max_wait
-            self._dispatch(max(clock, due), responses)
+            self.submit(req)
+        if until is None:
+            # Drain: whatever is still queued flushes at its max-wait point.
+            while self._queue:
+                due = self._queue[0].arrival_time + self.config.max_wait
+                self._dispatch(max(self._clock, due), self._responses)
+        else:
+            self._flush_due(until, self._responses)
+            self._clock = max(self._clock, until)
+        responses = self._responses[mark:]
         summary = self.summary(responses)
         run_report = None
         if report:
@@ -488,7 +520,7 @@ class TahoeServer:
             run_report = self.build_report(
                 n_samples=n_ok, serving_summary=summary, responses=responses
             )
-        responses.sort(key=lambda r: r.request_id)
+        responses = sorted(responses, key=lambda r: r.request_id)
         return ServingResult(responses=responses, summary=summary, report=run_report)
 
     def _flush_due(self, until: float, responses: list[InferenceResponse]) -> None:
@@ -690,8 +722,20 @@ class TahoeServer:
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
-    def summary(self, responses: list[InferenceResponse]) -> dict:
-        """JSON-ready aggregate of one serving run."""
+    def metrics(self):
+        """The live :class:`~repro.obs.metrics.MetricsRegistry`."""
+        return self.recorder.metrics
+
+    def summary(self, responses: list[InferenceResponse] | None = None) -> dict:
+        """JSON-ready aggregate of a serving run.
+
+        Defaults to every response this server has produced; pass an
+        explicit window (e.g. one :meth:`run` call's responses) to
+        scope the per-response fields — counters and histograms read
+        the cumulative metrics regardless.
+        """
+        if responses is None:
+            responses = list(self._responses)
         metrics = self.recorder.metrics
         latency = metrics.histogram("serving.request_latency_seconds")
         queue_wait = metrics.histogram("serving.queue_wait_seconds")

@@ -29,7 +29,7 @@ import math
 from collections import deque
 from dataclasses import dataclass
 
-__all__ = ["SLOConfig", "SLOMonitor"]
+__all__ = ["SLOConfig", "SLOMonitor", "window_quantile"]
 
 
 @dataclass(frozen=True)
@@ -73,13 +73,21 @@ class SLOConfig:
         return out
 
 
-def _window_quantile(values: list[float], q: float) -> float:
-    """Nearest-rank quantile of a small window (exact)."""
+def window_quantile(values: list[float], q: float) -> float:
+    """Nearest-rank quantile of a small window (exact).
+
+    Shared by the SLO monitor and the fleet autoscaler — both evaluate
+    rolling-window percentiles on the same footing.
+    """
     if not values:
         return 0.0
     ordered = sorted(values)
     rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
     return ordered[rank]
+
+
+#: Backwards-compatible private alias (pre-fleet name).
+_window_quantile = window_quantile
 
 
 class SLOMonitor:

@@ -131,12 +131,12 @@ class TestEngineIntegration:
     def test_serving_report_merges_engine_calibration(
         self, small_forest, p100, test_X
     ):
-        from repro.serving import InferenceRequest, ServerConfig, TahoeServer
+        from repro.serving import InferenceRequest, SchedulerConfig, TahoeServer
 
         server = TahoeServer(
             small_forest,
             p100,
-            server_config=ServerConfig(n_engines=2, target_batch=4, max_wait=1e-3),
+            scheduler=SchedulerConfig(n_engines=2, target_batch=4, max_wait=1e-3),
         )
         reqs = [
             InferenceRequest(

@@ -8,7 +8,7 @@ from repro.serving import (
     REJECTED_DEADLINE,
     REJECTED_QUEUE_FULL,
     InferenceRequest,
-    ServerConfig,
+    SchedulerConfig,
     TahoeServer,
     poisson_workload,
 )
@@ -17,7 +17,7 @@ from repro.serving import (
 def make_server(forest, spec, **overrides):
     defaults = dict(n_engines=1, max_wait=1e-3, max_batch=256)
     defaults.update(overrides)
-    return TahoeServer(forest, spec, server_config=ServerConfig(**defaults))
+    return TahoeServer(forest, spec, scheduler=SchedulerConfig(**defaults))
 
 
 def single_sample_requests(X, n, *, start=0.0, spacing=0.0, deadline=None):
@@ -185,7 +185,7 @@ class TestServingTelemetry:
         server = TahoeServer(
             small_forest,
             p100,
-            server_config=ServerConfig(n_engines=2),
+            scheduler=SchedulerConfig(n_engines=2),
             layout_cache=cache,
         )
         result = server.run(single_sample_requests(test_X, 5, spacing=1e-5))

@@ -1,0 +1,318 @@
+"""Fleet router invariants: single-shard service, grouped reduction
+bit-identity, shard_overloaded admission, and autoscaler hysteresis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    REJECTED_SHARD_OVERLOADED,
+    AdmissionConfig,
+    AutoscaleConfig,
+    BurstWorkload,
+    InferenceRequest,
+    PoissonWorkload,
+    PolicyConfig,
+    SchedulerConfig,
+    TahoeServer,
+)
+from repro.serving.fleet import TahoeRouter, plan_forest_shards
+from repro.serving.fleet.autoscaler import SCALE_DOWN, SCALE_UP, ReplicaAutoscaler
+
+
+@pytest.fixture(scope="module")
+def sched():
+    return SchedulerConfig(max_wait=1e-3, max_batch=64)
+
+
+def _assert_spans_tile(response):
+    """A fleet trace must tile [arrival, completion]: no gaps, no overlap."""
+    spans = response.trace.spans
+    assert spans[0].start == response.arrival_time
+    assert spans[-1].end == response.completion_time
+    for prev, cur in zip(spans, spans[1:]):
+        assert cur.start == prev.end
+
+
+class TestReplicateMode:
+    def test_each_request_served_by_exactly_one_shard(
+        self, small_forest, p100, test_X, sched
+    ):
+        router = TahoeRouter(small_forest, p100, n_shards=3, scheduler=sched)
+        wl = PoissonWorkload(test_X, qps=3000.0, duration=0.05, seed=5)
+        result = router.run(wl)
+        assert all(r.ok for r in result.responses)
+        summary = result.summary
+        routed = sum(s["routed_requests"] for s in summary["shards"])
+        assert routed == summary["completed"] == len(result.responses)
+        # least-outstanding dispatch spreads work across the fleet
+        assert all(s["routed_requests"] > 0 for s in summary["shards"])
+
+    def test_replicated_predictions_match_single_server(
+        self, small_forest, p100, test_X, sched
+    ):
+        wl = PoissonWorkload(test_X, qps=2000.0, duration=0.04, seed=2)
+        fleet = TahoeRouter(small_forest, p100, n_shards=3, scheduler=sched).run(wl)
+        single = TahoeServer(small_forest, p100, scheduler=sched).run(wl)
+        ref = {r.request_id: r.predictions for r in single.responses}
+        assert len(fleet.responses) == len(ref)
+        for r in fleet.responses:
+            assert np.array_equal(r.predictions, ref[r.request_id])
+
+    def test_trace_spans_tile_arrival_to_completion(
+        self, small_forest, p100, test_X, sched
+    ):
+        router = TahoeRouter(small_forest, p100, n_shards=2, scheduler=sched)
+        wl = PoissonWorkload(test_X, qps=1000.0, duration=0.03, seed=4)
+        result = router.run(wl)
+        for r in result.responses:
+            _assert_spans_tile(r)
+            assert r.trace.spans[0].stage == "router"
+
+    def test_replicas_share_one_layout(self, small_forest, p100, sched):
+        from repro.core import LayoutCache
+
+        cache = LayoutCache()
+        TahoeRouter(
+            small_forest, p100, n_shards=3, scheduler=sched, layout_cache=cache
+        )
+        stats = cache.stats()
+        assert stats["entries"] == 1 and stats["hits"] >= 2
+
+
+class TestForestMode:
+    @pytest.mark.parametrize("fixture", ["small_forest", "small_gbdt"])
+    def test_grouped_reduction_is_bit_identical(
+        self, fixture, p100, test_X, sched, request
+    ):
+        forest = request.getfixturevalue(fixture)
+        wl = PoissonWorkload(test_X, qps=2000.0, duration=0.03, seed=9)
+        single = TahoeServer(forest, p100, scheduler=sched).run(wl)
+        fleet = TahoeRouter(
+            forest, p100, n_shards=3, mode="forest", scheduler=sched
+        ).run(wl)
+        ref = {r.request_id: r.predictions for r in single.responses}
+        assert len(fleet.responses) == len(ref) > 0
+        for r in fleet.responses:
+            assert r.ok
+            assert np.array_equal(r.predictions, ref[r.request_id])
+        assert fleet.summary["grouped_reductions"] == len(ref)
+
+    def test_forest_mode_traces_record_fanout_and_reduction(
+        self, small_forest, p100, test_X, sched
+    ):
+        router = TahoeRouter(
+            small_forest, p100, n_shards=3, mode="forest", scheduler=sched
+        )
+        result = router.run(
+            [InferenceRequest(request_id=0, X=test_X[0], arrival_time=0.0)]
+        )
+        (response,) = result.responses
+        _assert_spans_tile(response)
+        stages = [s.stage for s in response.trace.spans]
+        assert stages[0] == "router"
+        assert stages[-1] == "grouped_reduction"
+        assert response.trace.spans[0].args["fanout"] == 3
+
+    def test_shard_plan_partitions_the_forest(self, small_forest):
+        shards = plan_forest_shards(small_forest, 3)
+        assert sum(len(s.trees) for s in shards) == len(small_forest.trees)
+        for sub in shards:
+            assert sub.aggregation == "sum" and sub.base_score == 0.0
+
+
+class TestAdmissionControl:
+    def test_overload_rejects_with_structured_code(
+        self, small_forest, p100, test_X, sched
+    ):
+        policy = PolicyConfig(admission=AdmissionConfig(max_outstanding_samples=8))
+        router = TahoeRouter(
+            small_forest, p100, n_shards=2, scheduler=sched, policy=policy
+        )
+        wl = PoissonWorkload(test_X, qps=50_000.0, duration=0.01, seed=6)
+        result = router.run(wl)
+        rejected = [r for r in result.responses if not r.ok]
+        assert rejected
+        for r in rejected:
+            assert r.error.code == REJECTED_SHARD_OVERLOADED
+            _assert_spans_tile(r)
+            assert r.trace.spans[0].args["rejected"] == REJECTED_SHARD_OVERLOADED
+        served = [r for r in result.responses if r.ok]
+        assert served, "admission control must shed load, not blackhole it"
+
+    def test_unknown_model_is_rejected(self, small_forest, small_gbdt, p100, test_X):
+        router = TahoeRouter(
+            spec=p100,
+            mode="models",
+            models={"rf": small_forest, "gb": small_gbdt},
+            scheduler=SchedulerConfig(max_wait=1e-3),
+        )
+        result = router.run(
+            [
+                InferenceRequest(request_id=0, X=test_X[0], arrival_time=0.0, model="rf"),
+                InferenceRequest(request_id=1, X=test_X[1], arrival_time=0.0, model="nope"),
+            ]
+        )
+        by_id = {r.request_id: r for r in result.responses}
+        assert by_id[0].ok
+        assert not by_id[1].ok
+        assert by_id[1].error.code == REJECTED_SHARD_OVERLOADED
+
+    def test_per_model_routing(self, small_forest, small_gbdt, p100, test_X):
+        router = TahoeRouter(
+            spec=p100,
+            mode="models",
+            models={"rf": small_forest, "gb": small_gbdt},
+            scheduler=SchedulerConfig(max_wait=1e-3),
+        )
+        requests = [
+            InferenceRequest(
+                request_id=i,
+                X=test_X[i],
+                arrival_time=i * 1e-4,
+                model="gb" if i % 3 == 0 else "rf",
+            )
+            for i in range(30)
+        ]
+        result = router.run(requests)
+        versions = {r.request_id: r.model_version for r in result.responses}
+        for i in range(30):
+            assert versions[i].startswith("gb@" if i % 3 == 0 else "rf@")
+
+
+class TestAutoscaler:
+    @pytest.fixture(scope="class")
+    def autoscale_policy(self):
+        return PolicyConfig(
+            autoscale=AutoscaleConfig(
+                min_shards=1,
+                max_shards=4,
+                scale_up_latency_p95=2e-3,
+                scale_down_latency_p95=9e-4,
+                scale_up_queue_depth=200,
+                scale_down_queue_depth=40,
+                window=5e-3,
+                cooldown=6e-3,
+                min_requests=10,
+            )
+        )
+
+    def test_burst_scales_up_then_drains(
+        self, small_forest, p100, test_X, autoscale_policy
+    ):
+        sched = SchedulerConfig(max_wait=5e-4, max_batch=64, max_queue=100_000)
+        router = TahoeRouter(
+            small_forest, p100, n_shards=1, scheduler=sched, policy=autoscale_policy
+        )
+        wl = BurstWorkload(
+            test_X, qps=4000.0, duration=0.12, burst_factor=80.0,
+            burst_fraction=0.25, seed=7,
+        )
+        result = router.run(wl)
+        summary = result.summary
+        events = summary["autoscale"]["events"]
+        ups = [e for e in events if e["event"] == "autoscale.scale_up"]
+        downs = [e for e in events if e["event"] == "autoscale.scale_down"]
+        assert len(ups) >= 1, "burst must add at least one replica"
+        assert len(downs) >= 1, "fleet must drain after the burst"
+        assert summary["n_shards"] < summary["n_shards_ever"]
+        # transition-only events: every record changes the replica count
+        for e in events:
+            assert e["replicas_after"] != e["replicas_before"]
+        # scale-up reuses the pinned layout: no conversion on the hot path
+        for e in ups:
+            assert e["conversion_cache_hit"] is True
+        assert all(r.ok for r in result.responses)
+
+    def test_steady_load_does_not_flap(
+        self, small_forest, p100, test_X, autoscale_policy
+    ):
+        sched = SchedulerConfig(max_wait=5e-4, max_batch=64, max_queue=100_000)
+        router = TahoeRouter(
+            small_forest, p100, n_shards=1, scheduler=sched, policy=autoscale_policy
+        )
+        wl = PoissonWorkload(test_X, qps=4000.0, duration=0.12, seed=7)
+        summary = router.run(wl).summary
+        assert summary["autoscale"]["events"] == []
+        assert summary["n_shards"] == summary["n_shards_ever"] == 1
+
+    def test_unit_hysteresis_band_takes_no_action(self):
+        cfg = AutoscaleConfig(
+            scale_up_latency_p95=2e-3,
+            scale_down_latency_p95=5e-4,
+            window=1e-2,
+            cooldown=0.0,
+            min_requests=5,
+        )
+        scaler = ReplicaAutoscaler(cfg)
+        # p95 between the thresholds: inside the hysteresis band
+        for i in range(20):
+            scaler.observe(i * 1e-4, 1e-3)
+        assert scaler.evaluate(2.1e-3, n_active=2, mean_queue_depth=0.0) is None
+
+    def test_unit_thresholds_and_cooldown(self):
+        cfg = AutoscaleConfig(
+            scale_up_latency_p95=2e-3, window=1e-2, cooldown=1.0, min_requests=5
+        )
+        scaler = ReplicaAutoscaler(cfg)
+        for i in range(20):
+            scaler.observe(i * 1e-4, 5e-3)
+        assert scaler.evaluate(2.5e-3, n_active=1, mean_queue_depth=0.0) == SCALE_UP
+        scaler.record_action(SCALE_UP, 2.5e-3, n_before=1, n_after=2)
+        # same signal immediately after: blocked by cooldown
+        assert scaler.evaluate(5e-3, n_active=2, mean_queue_depth=0.0) is None
+
+    def test_unit_scale_down_needs_all_clear(self):
+        cfg = AutoscaleConfig(
+            scale_up_latency_p95=2e-3,
+            scale_up_queue_depth=100,
+            window=1e-2,
+            cooldown=0.0,
+            min_requests=5,
+        )
+        scaler = ReplicaAutoscaler(cfg)
+        for i in range(20):
+            scaler.observe(i * 1e-4, 1e-4)  # latency well below down threshold
+        # queue still busy: no scale-down
+        assert scaler.evaluate(2.1e-3, n_active=2, mean_queue_depth=80.0) is None
+        scaler2 = ReplicaAutoscaler(cfg)
+        for i in range(20):
+            scaler2.observe(i * 1e-4, 1e-4)
+        assert (
+            scaler2.evaluate(2.1e-3, n_active=2, mean_queue_depth=1.0) == SCALE_DOWN
+        )
+        # but never below min_shards
+        scaler3 = ReplicaAutoscaler(cfg)
+        for i in range(20):
+            scaler3.observe(i * 1e-4, 1e-4)
+        assert scaler3.evaluate(2.1e-3, n_active=1, mean_queue_depth=1.0) is None
+
+
+class TestFleetReport:
+    def test_merged_report_counts_each_decision_once(
+        self, small_forest, p100, test_X, sched
+    ):
+        router = TahoeRouter(small_forest, p100, n_shards=2, scheduler=sched)
+        wl = PoissonWorkload(test_X, qps=2000.0, duration=0.04, seed=8)
+        result = router.run(wl, report=True)
+        report = result.report
+        assert report.engine == "tahoe-fleet"
+        engine_decisions = sum(
+            len(engine.recorder.decisions)
+            for shard in router.shards
+            for engine in shard.server.engines
+        )
+        assert engine_decisions > 0
+        # merged calibration equals the sum of per-shard folds — each
+        # decision counted exactly once, fractions recomputed not summed
+        per_shard = [shard.server.build_report() for shard in router.shards]
+        assert report.calibration["n_decisions"] == engine_decisions
+        assert report.calibration["n_decisions"] == sum(
+            r.calibration["n_decisions"] for r in per_shard
+        )
+        assert 0.0 <= report.calibration["ranking_at_risk_fraction"] <= 1.0
+        # batch indices re-based per shard: globally unique
+        indices = [b.index for b in report.batches]
+        assert len(indices) == len(set(indices))
+        assert len(report.meta["shards"]) == 2

@@ -10,13 +10,13 @@ from repro.core.cache import LayoutCache
 from repro.core.config import TahoeConfig
 from repro.core.engine import TahoeEngine
 from repro.modelstore import load_packed, pack_forest
-from repro.serving.server import ServerConfig, TahoeServer
+from repro.serving.server import SchedulerConfig, TahoeServer
 from repro.serving.workload import poisson_workload
 
 
 def _server(forest, spec, **kwargs):
     kwargs.setdefault(
-        "server_config", ServerConfig(n_engines=2, max_wait=1e-3, max_batch=64)
+        "scheduler", SchedulerConfig(n_engines=2, max_wait=1e-3, max_batch=64)
     )
     return TahoeServer(forest, spec, **kwargs)
 

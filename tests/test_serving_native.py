@@ -7,7 +7,7 @@ import pytest
 from repro.core import TIME_DOMAIN_SIMULATED, TIME_DOMAIN_WALL, LayoutCache
 from repro.core.native import NativeEngine
 from repro.modelstore import load_packed, pack_layout
-from repro.serving import InferenceRequest, ServerConfig, TahoeServer
+from repro.serving import InferenceRequest, SchedulerConfig, TahoeServer
 
 
 def make_server(forest, spec, **overrides):
@@ -16,7 +16,7 @@ def make_server(forest, spec, **overrides):
     return TahoeServer(
         forest,
         spec,
-        server_config=ServerConfig(**defaults),
+        scheduler=SchedulerConfig(**defaults),
         layout_cache=LayoutCache(),
     )
 
@@ -63,7 +63,7 @@ class TestNativePool:
 
     def test_invalid_backend_rejected(self):
         with pytest.raises(ValueError, match="backend"):
-            ServerConfig(backend="fpga")
+            SchedulerConfig(backend="fpga")
 
 
 class TestMeasuredFlushPoint:
@@ -92,7 +92,7 @@ class TestPackedNativePool:
         server = TahoeServer(
             packed=load_packed(path),
             spec=p100,
-            server_config=ServerConfig(
+            scheduler=SchedulerConfig(
                 n_engines=2, max_wait=1e-3, max_batch=128, backend="native"
             ),
             layout_cache=LayoutCache(),

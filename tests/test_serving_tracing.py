@@ -9,7 +9,7 @@ from repro.serving import (
     REJECTED_DEADLINE,
     REJECTED_QUEUE_FULL,
     InferenceRequest,
-    ServerConfig,
+    SchedulerConfig,
     TahoeServer,
     poisson_workload,
 )
@@ -19,7 +19,7 @@ from repro.serving.tracing import RequestTrace, StageSpan
 def make_server(forest, spec, **overrides):
     defaults = dict(n_engines=1, max_wait=1e-3, max_batch=256)
     defaults.update(overrides)
-    return TahoeServer(forest, spec, server_config=ServerConfig(**defaults))
+    return TahoeServer(forest, spec, scheduler=SchedulerConfig(**defaults))
 
 
 def single_sample_requests(X, n, *, start=0.0, spacing=0.0, deadline=None):
