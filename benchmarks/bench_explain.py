@@ -1,0 +1,280 @@
+"""Explain-workload benchmark: exact SHAP on the simulated clock.
+
+The explain subsystem (``repro.explain``) runs a GPUTreeShap-style
+path-enumeration kernel instead of plain traversal, so it gets its own
+bench artifact rather than a row in the predict benches.  Scenarios:
+
+* ``path_image`` — the PathSet the kernel consumes (path/edge/slot
+  counts, unique-depth profile, image bytes vs shared capacity): the
+  structural numbers the explain perf models key on.
+* ``strategy_sweep`` — per-batch-size predicted times for both explain
+  strategies (§6 selector) next to the simulated time of the strategy
+  the engine actually chose.
+* ``fil_comparison`` — Tahoe (model-selected strategy over the adaptive
+  layout) vs the FIL baseline (fixed direct kernel over reorg) on one
+  batch, plus the attribution agreement check.
+* ``multiclass`` — the same forest relabelled into 3 per-class tree
+  groups: grouped reduction, per-class attributions, efficiency axiom.
+* ``serving`` — a short open-loop workload with a 25% explain fraction
+  through ``TahoeServer``: kind-homogeneous micro-batching, end-to-end
+  latency, explain micro-batch count.
+
+Everything is denominated in *simulated* seconds (``time_domain:
+"simulated"``), so runs are deterministic and ``repro bench diff``
+against the committed baseline is exact — the CI job is warn-only
+anyway, matching the other bench gates.
+
+Usage::
+
+    python benchmarks/bench_explain.py            # full mode
+    python benchmarks/bench_explain.py --quick    # CI mode
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np
+
+import common
+from repro.core import FILEngine, TahoeEngine
+from repro.explain import build_path_set
+from repro.perfmodel import measure_hardware_parameters, rank_explain_strategies
+from repro.serving import InferenceRequest, SchedulerConfig, TahoeServer
+from repro.trees.forest import Forest
+
+DATASET = "letter"
+GPU = "P100"
+
+
+def _pool(X: np.ndarray, n: int) -> np.ndarray:
+    if X.shape[0] >= n:
+        return np.ascontiguousarray(X[:n])
+    reps = n // X.shape[0] + 1
+    return np.ascontiguousarray(np.tile(X, (reps, 1))[:n])
+
+
+def bench_path_image(forest: Forest, spec) -> dict:
+    ps = build_path_set(forest)
+    return {
+        "n_trees": forest.n_trees,
+        "n_paths": ps.n_paths,
+        "n_edges": ps.n_edges,
+        "n_unique_feature_slots": ps.n_slots,
+        "max_unique_depth": ps.max_unique_depth,
+        "image_bytes": ps.image_bytes,
+        "shared_capacity_bytes": spec.shared_mem_per_block,
+        "fits_in_shared": bool(ps.image_bytes <= spec.shared_mem_per_block),
+    }
+
+
+def bench_strategy_sweep(forest: Forest, spec, hw, layout, X, batch_sizes) -> dict:
+    engine = TahoeEngine(forest, spec)
+    out = {}
+    for b in batch_sizes:
+        batch = _pool(X, b)
+        choices = rank_explain_strategies(layout, b, spec, hw)
+        result = engine.explain(batch)
+        out[str(b)] = {
+            "predicted_ms": {
+                c.name: (
+                    None
+                    if c.predicted_time == float("inf")
+                    else c.predicted_time * 1e3
+                )
+                for c in choices
+            },
+            "chosen": result.strategies_used[0],
+            "simulated_ms": result.total_time * 1e3,
+            "samples_per_s": result.throughput,
+        }
+    return out
+
+
+def bench_fil_comparison(forest: Forest, spec, X, batch) -> dict:
+    batch_X = _pool(X, batch)
+    rt = TahoeEngine(forest, spec).explain(batch_X)
+    rf = FILEngine(forest, spec).explain(batch_X)
+    agree = bool(np.allclose(rt.attributions, rf.attributions, rtol=1e-9, atol=1e-12))
+    return {
+        "batch": batch,
+        "tahoe_ms": rt.total_time * 1e3,
+        "fil_ms": rf.total_time * 1e3,
+        "speedup": rf.total_time / rt.total_time if rt.total_time > 0 else float("inf"),
+        "tahoe_strategy": rt.strategies_used[0],
+        "attributions_agree": agree,
+    }
+
+
+def _relabel_multiclass(forest: Forest, n_classes: int) -> Forest:
+    """The bench forest's trees dealt round-robin into per-class groups —
+    a synthetic multiclass ensemble with the exact structure profile of
+    the single-output bench forest."""
+    trees = [
+        dataclasses.replace(tree, group=i % n_classes)
+        for i, tree in enumerate(forest.trees)
+    ]
+    return Forest(
+        trees=trees,
+        n_attributes=forest.n_attributes,
+        aggregation=forest.aggregation,
+        learning_rate=forest.learning_rate,
+        base_score=forest.base_score,
+        n_classes=n_classes,
+    )
+
+
+def bench_multiclass(forest: Forest, spec, X, batch, n_classes=3) -> dict:
+    mc = _relabel_multiclass(forest, n_classes)
+    batch_X = _pool(X, batch)
+    engine = TahoeEngine(mc, spec)
+    result = engine.explain(batch_X)
+    raw = np.asarray(mc.raw_margin(batch_X), dtype=np.float64)
+    recon = np.asarray(result.base_values)[None, :] + result.attributions.sum(axis=1)
+    return {
+        "n_classes": n_classes,
+        "batch": batch,
+        "attribution_shape": list(result.attributions.shape),
+        "simulated_ms": result.total_time * 1e3,
+        "samples_per_s": result.throughput,
+        "efficiency_holds": bool(np.allclose(recon, raw, rtol=1e-9, atol=1e-9)),
+    }
+
+
+def bench_serving(forest: Forest, spec, X, quick) -> dict:
+    n_requests = 120 if quick else 400
+    rng = np.random.default_rng(17)
+    marks = rng.random(n_requests) < 0.25
+    requests = [
+        InferenceRequest(
+            request_id=i,
+            X=X[i % X.shape[0]][None, :],
+            arrival_time=i * 2e-5,
+            kind="explain" if marks[i] else "predict",
+        )
+        for i in range(n_requests)
+    ]
+    server = TahoeServer(
+        forest,
+        spec,
+        scheduler=SchedulerConfig(n_engines=1, max_wait=1e-3, max_batch=256),
+    )
+    result = server.run(requests)
+    s = result.summary
+    explained = [r for r in result.responses if r.ok and r.attributions is not None]
+    # Every explain response must reconstruct its margins from the
+    # attributions — the axiom holds through the serving stack too.
+    reconstructs = all(
+        np.allclose(
+            np.asarray(r.base_values) + np.asarray(r.attributions).sum(axis=1),
+            np.asarray(r.predictions, dtype=np.float64),
+            rtol=1e-9,
+            atol=1e-12,
+        )
+        for r in explained
+    )
+    return {
+        "requests": s["requests"],
+        "completed": s["completed"],
+        "explain_requests": int(marks.sum()),
+        "explain_responses": len(explained),
+        "micro_batches": s["batches"],
+        "latency_p95_ms": s["latency_s"]["p95"] * 1e3,
+        "efficiency_holds_through_serving": bool(reconstructs),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI-sized run")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent / "results" / "BENCH_explain.json",
+    )
+    args = parser.parse_args()
+
+    from repro.obs.benchdiff import bench_envelope
+    from repro.obs.exporters import jsonable
+
+    trained = common.workload(DATASET)
+    forest = trained.forest
+    spec = common.bench_spec(GPU)
+    hw = measure_hardware_parameters(spec)
+    X = common.inference_X(DATASET)
+    layout = common.adaptive_layout(DATASET)
+    batch_sizes = [64, 512] if args.quick else [64, 512, 4096]
+    cmp_batch = 512 if args.quick else 4096
+
+    print(f"explain bench: {forest.n_trees} trees on {DATASET}/{GPU}")
+    payload = {
+        "time_domain": "simulated",
+        "gpu": spec.name,
+        "dataset": DATASET,
+        "quick": bool(args.quick),
+        "path_image": bench_path_image(forest, spec),
+        "strategy_sweep": bench_strategy_sweep(
+            forest, spec, hw, layout, X, batch_sizes
+        ),
+        "fil_comparison": bench_fil_comparison(forest, spec, X, cmp_batch),
+        "multiclass": bench_multiclass(forest, spec, X, cmp_batch // 2),
+        "serving": bench_serving(forest, spec, X, args.quick),
+    }
+
+    pi = payload["path_image"]
+    print(
+        f"  path image: {pi['n_paths']} paths, {pi['n_edges']} edges, "
+        f"{pi['image_bytes']:,} B "
+        f"({'fits' if pi['fits_in_shared'] else 'spills'} shared)"
+    )
+    for b, row in payload["strategy_sweep"].items():
+        print(
+            f"  batch {b:>6}: {row['simulated_ms']:9.3f} ms simulated "
+            f"({row['chosen']}, {row['samples_per_s']:,.0f} samples/s)"
+        )
+    fc = payload["fil_comparison"]
+    print(
+        f"  vs FIL @ {fc['batch']}: {fc['speedup']:.2f}x "
+        f"(agree: {fc['attributions_agree']})"
+    )
+    mc = payload["multiclass"]
+    print(
+        f"  multiclass K={mc['n_classes']}: shape {mc['attribution_shape']}, "
+        f"{mc['simulated_ms']:.3f} ms, efficiency {mc['efficiency_holds']}"
+    )
+    sv = payload["serving"]
+    print(
+        f"  serving: {sv['explain_responses']}/{sv['explain_requests']} explain "
+        f"responses over {sv['micro_batches']} micro-batches, "
+        f"p95 {sv['latency_p95_ms']:.3f} ms, "
+        f"axiom through serving: {sv['efficiency_holds_through_serving']}"
+    )
+
+    scenario = f"explain/{DATASET}/{GPU}/{'quick' if args.quick else 'full'}"
+    envelope = bench_envelope("explain", payload, scenario=scenario)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(jsonable(envelope), indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    ok = (
+        fc["attributions_agree"]
+        and mc["efficiency_holds"]
+        and sv["efficiency_holds_through_serving"]
+    )
+    if not ok:
+        print("ERROR: explain correctness gate failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -138,12 +138,20 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_rank(args: argparse.Namespace) -> int:
+    from repro.perfmodel import rank_explain_strategies
+
     forest = load_forest(args.forest)
     spec = GPU_SPECS[args.gpu]
     layout = build_adaptive_layout(forest)
     hw = measure_hardware_parameters(spec)
     print(f"predicted batch time on {spec.name}, batch={args.batch}:")
     for choice in rank_strategies(layout, args.batch, spec, hw):
+        t = choice.predicted_time
+        label = "inapplicable" if t == float("inf") else f"{t * 1e3:10.4f} ms"
+        note = choice.prediction.note
+        print(f"  {choice.name:26} {label}  {note}")
+    print("explain (SHAP) strategies:")
+    for choice in rank_explain_strategies(layout, args.batch, spec, hw):
         t = choice.predicted_time
         label = "inapplicable" if t == float("inf") else f"{t * 1e3:10.4f} ms"
         note = choice.prediction.note
@@ -264,6 +272,88 @@ def _predict_native(args, spec, forest, packed, X) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """``repro explain``: exact SHAP attributions on a dataset split.
+
+    Mirrors ``predict``: Tahoe (model-selected explain strategy) vs FIL
+    (fixed direct kernel) on the simulated clock, or ``--backend
+    native`` for wall-clock numbers.  Always checks the SHAP efficiency
+    axiom — per-sample attributions plus the base value must reconstruct
+    the engine's raw margins exactly (float64 tolerance).
+    """
+    spec = GPU_SPECS[args.gpu]
+    forest, packed = _load_any_model(args.forest, n_attributes=args.n_attributes)
+    data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    split = train_test_split(data, seed=args.seed)
+    X = split.test.X[: args.limit] if args.limit else split.test.X
+
+    if args.backend == "native":
+        from repro.core.native import HAVE_NUMBA, NativeEngine
+
+        if packed is not None:
+            engine = packed.make_engine(spec, backend="native")
+            print(f"loaded packed layout {args.forest} (conversion skipped)")
+        else:
+            engine = NativeEngine(forest, spec)
+        result = engine.explain(X, batch_size=args.batch, report=bool(args.report_json))
+        label = (
+            f"native ({engine.kernel} kernel, numba {'on' if HAVE_NUMBA else 'off'})"
+        )
+        clock = "wall"
+        runs = [(label, result)]
+    else:
+        if packed is not None and packed.engine_kind == "tahoe":
+            tahoe = packed.make_engine(spec)
+            print(f"loaded packed layout {args.forest} (conversion skipped)")
+        else:
+            tahoe = TahoeEngine(forest, spec)
+        fil = FILEngine(forest, spec)
+        result = tahoe.explain(X, batch_size=args.batch, report=bool(args.report_json))
+        rf = fil.explain(X, batch_size=args.batch)
+        # Same kernel and semantics, but the adaptive layout reorders
+        # trees, so float64 accumulation order differs from reorg.
+        if not np.allclose(result.attributions, rf.attributions, rtol=1e-9, atol=1e-12):
+            print("WARNING: engines disagree on attributions", file=sys.stderr)
+            return 1
+        clock = "simulated"
+        runs = [("Tahoe", result), ("FIL", rf)]
+
+    # Efficiency axiom: base + sum of attributions == raw margin.
+    margins = np.asarray(result.predictions, dtype=np.float64)
+    recon = np.asarray(result.base_values) + np.asarray(result.attributions).sum(axis=1)
+    if not np.allclose(recon, margins, rtol=1e-9, atol=1e-12):
+        print("WARNING: efficiency axiom violated", file=sys.stderr)
+        return 1
+    phi = result.attributions
+    K = forest.n_classes
+    print(
+        f"samples: {X.shape[0]}, features: {forest.n_attributes}, "
+        f"classes: {K}, batch: {args.batch or X.shape[0]}"
+    )
+    print(f"attributions shape: {phi.shape}  (efficiency axiom: holds)")
+    for label, run in runs:
+        strategies = ", ".join(sorted(set(run.strategies_used)))
+        print(
+            f"{label + ':':32} {run.total_time * 1e3:9.3f} ms {clock} "
+            f"({run.throughput:,.0f} samples/s; {strategies})"
+        )
+    if len(runs) == 2:
+        print(f"speedup: {runs[1][1].total_time / runs[0][1].total_time:.2f}x")
+    # Global importance: mean |phi| per feature, summed over classes.
+    flat = np.abs(phi.reshape(phi.shape[0], forest.n_attributes, -1)).mean(0).sum(1)
+    order = np.argsort(flat)[::-1][: args.top]
+    print(f"top {len(order)} features by mean |attribution|:")
+    for f in order:
+        print(f"  f{int(f):<4} {flat[f]:12.6f}")
+    if args.report_json:
+        from repro.obs import write_report_json
+
+        result.report.dataset = args.dataset
+        write_report_json(result.report, args.report_json)
+        print(f"wrote {args.report_json}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.core import LayoutCache
     from repro.obs.benchdiff import bench_envelope
@@ -314,6 +404,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.burst_factor > 1.0:
         traffic_kwargs["burst_factor"] = args.burst_factor
     requests = make_workload(traffic, workload.split.test.X, **traffic_kwargs)
+    if args.explain_fraction > 0.0:
+        # Mark a seeded fraction of the workload as SHAP explain
+        # requests; the scheduler batches the two kinds separately.
+        from repro.serving.api import materialize_workload
+
+        requests = materialize_workload(requests, args.duration)
+        rng = np.random.default_rng(args.seed + 0x5AF)
+        marks = rng.random(len(requests)) < min(args.explain_fraction, 1.0)
+        for req, mark in zip(requests, marks):
+            if mark:
+                req.kind = "explain"
+        if args.out == Path("benchmarks/results/BENCH_serving.json"):
+            args.out = Path("benchmarks/results/BENCH_explain.json")
     if args.shards > 1 or args.autoscale:
         return _serve_fleet(
             args,
@@ -359,6 +462,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     if args.traffic != "poisson":
         scenario += f"/{args.traffic}"
+    n_explained = sum(
+        1 for r in result.responses if r.ok and r.attributions is not None
+    )
+    if args.explain_fraction > 0.0:
+        scenario += f"/explain{args.explain_fraction:g}"
     payload_body = {
         "gpu": spec.name,
         "dataset": args.dataset,
@@ -378,9 +486,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "slo_error_rate": args.slo_error_rate,
             "quick": bool(args.quick),
             "baseline": bool(args.baseline),
+            "explain_fraction": args.explain_fraction,
         },
         "summary": s,
     }
+    if args.explain_fraction > 0.0:
+        payload_body["explain"] = {"completed_explain_requests": n_explained}
     if not args.baseline:
         # --baseline keeps the envelope a committable size: the summary
         # is the regression surface; the full report (per-batch records,
@@ -408,6 +519,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"({s['rejected_queue_full']} backpressure, "
         f"{s['rejected_deadline']} expired, {s['deadline_misses']} late)"
     )
+    if args.explain_fraction > 0.0:
+        print(f"explain requests completed: {n_explained}")
     print(
         f"offered {s['offered_qps']:.0f} qps (target {args.qps:.0f}) -> "
         f"achieved {s['achieved_qps']:.0f} qps "
@@ -889,6 +1002,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_predict)
 
     p = sub.add_parser(
+        "explain",
+        help="exact SHAP attributions (GPUTreeShap-style path kernel)",
+    )
+    p.add_argument("--forest", type=Path, required=True)
+    p.add_argument("--dataset", required=True, choices=DATASET_ORDER)
+    p.add_argument("--gpu", choices=sorted(GPU_SPECS), default="P100")
+    p.add_argument(
+        "--backend",
+        choices=["tahoe", "native"],
+        default="tahoe",
+        help="tahoe = simulated Tahoe vs FIL comparison; "
+        "native = vectorised host execution at wall-clock speed",
+    )
+    p.add_argument("--scale", type=float, default=0.01)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--batch", type=int, default=None)
+    p.add_argument("--limit", type=int, default=None)
+    p.add_argument(
+        "--top", type=int, default=8, help="features to list by mean |attribution|"
+    )
+    p.add_argument(
+        "--n-attributes", type=int, default=None, dest="n_attributes",
+        help="widen an imported model's attribute space to the dataset's",
+    )
+    p.add_argument("--report-json", type=Path, default=None, dest="report_json")
+    p.set_defaults(func=_cmd_explain)
+
+    p = sub.add_parser(
         "serve",
         help="micro-batching serving layer (synthetic open-loop benchmark)",
     )
@@ -950,6 +1091,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run the replica autoscaler demo (hysteresis on "
         "rolling p95/queue depth) and record its events",
+    )
+    p.add_argument(
+        "--explain-fraction",
+        type=float,
+        default=0.0,
+        dest="explain_fraction",
+        help="mark this fraction of requests as SHAP explain requests "
+        "(the scheduler coalesces kind-homogeneous micro-batches); "
+        "writes BENCH_explain.json instead of BENCH_serving.json",
     )
     p.add_argument("--qps", type=float, default=2000.0, help="offered request rate")
     p.add_argument("--duration", type=float, default=2.0, help="arrival window, seconds")

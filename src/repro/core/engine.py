@@ -32,7 +32,7 @@ from repro.formats.tree_rearrange import similarity_tree_order
 from repro.gpusim.specs import GPUSpec
 from repro.perfmodel.microbench import measure_hardware_parameters
 from repro.perfmodel.notation import HardwareParams
-from repro.perfmodel.selector import rank_strategies
+from repro.perfmodel.selector import rank_explain_strategies, rank_strategies
 from repro.strategies import StrategyNotApplicable, StrategyResult
 from repro.trees.forest import Forest
 from repro.trees.probabilities import update_visit_counts
@@ -265,7 +265,10 @@ class TahoeEngine:
         n = X.shape[0]
         if batch_size is None or batch_size >= n:
             batch_size = n
-        predictions = np.zeros(n, dtype=np.float64)
+        if self.forest.n_classes > 1:
+            predictions = np.zeros((n, self.forest.n_classes), dtype=np.float64)
+        else:
+            predictions = np.zeros(n, dtype=np.float64)
         batches: list[StrategyResult] = []
         used: list[str] = []
         total_time = 0.0
@@ -291,6 +294,83 @@ class TahoeEngine:
             self._convert(updated)
         return EngineResult(
             predictions=predictions,
+            total_time=total_time,
+            batches=batches,
+            strategies_used=used,
+            report=self.build_report(
+                n_samples=n, batch_size=batch_size, total_time=total_time
+            )
+            if report
+            else None,
+        )
+
+    def explain(
+        self,
+        X: np.ndarray,
+        *,
+        batch_size: int | None = None,
+        report: bool = False,
+    ):
+        """Exact SHAP attributions for ``X``, batch by batch.
+
+        The explain analogue of :meth:`predict`: each batch ranks the
+        explain strategy family
+        (:func:`~repro.perfmodel.selector.rank_explain_strategies`),
+        runs the cheapest applicable one on the simulator, and records
+        the decision and traffic like any prediction batch.  Returns an
+        :class:`~repro.explain.ExplainResult` whose attributions are in
+        raw-margin space (``base_values + attributions.sum(axis=1)``
+        reconstructs the pre-link margins exactly).
+        """
+        from repro.explain import ExplainResult, squeeze_single_class
+
+        X = check_batch(X)
+        n = X.shape[0]
+        if batch_size is None or batch_size >= n:
+            batch_size = n
+        K = self.forest.n_classes
+        phi = np.zeros((n, self.forest.n_attributes, K), dtype=np.float64)
+        margins = np.zeros((n, K), dtype=np.float64)
+        base = np.zeros(K, dtype=np.float64)
+        batches: list[StrategyResult] = []
+        used: list[str] = []
+        total_time = 0.0
+        with self.recorder.activate(), span(
+            "engine.explain", category="engine", samples=n, batch_size=batch_size
+        ):
+            for index, start in enumerate(range(0, n, batch_size)):
+                rows = np.arange(start, min(start + batch_size, n), dtype=np.int64)
+                ranked = rank_explain_strategies(
+                    self.layout, rows.shape[0], self.spec, self.hardware
+                )
+                result = None
+                for choice in ranked:
+                    if choice.predicted_time == float("inf"):
+                        continue
+                    try:
+                        result = choice.instantiate().run(
+                            self.layout, X, self.spec, sample_rows=rows
+                        )
+                    except StrategyNotApplicable:
+                        continue
+                    decision = self.recorder.record_decision(
+                        index, int(rows.shape[0]), ranked, choice
+                    )
+                    self.recorder.record_batch(index, result, decision)
+                    break
+                if result is None:
+                    raise RuntimeError("no applicable explain strategy for this batch")
+                phi[rows] = result.attributions
+                margins[rows] = result.predictions
+                base = result.base_values
+                batches.append(result)
+                used.append(result.strategy)
+                total_time += result.time
+        phi, base, margins = squeeze_single_class(phi, base, margins)
+        return ExplainResult(
+            attributions=phi,
+            base_values=base,
+            predictions=margins,
             total_time=total_time,
             batches=batches,
             strategies_used=used,

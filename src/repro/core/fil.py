@@ -170,7 +170,10 @@ class FILEngine:
         n = X.shape[0]
         if batch_size is None or batch_size >= n:
             batch_size = n
-        predictions = np.zeros(n, dtype=np.float64)
+        if self.forest.n_classes > 1:
+            predictions = np.zeros((n, self.forest.n_classes), dtype=np.float64)
+        else:
+            predictions = np.zeros(n, dtype=np.float64)
         batches: list[StrategyResult] = []
         total_time = 0.0
         with self.recorder.activate():
@@ -192,6 +195,63 @@ class FILEngine:
             total_time=total_time,
             batches=batches,
             strategies_used=["shared_data"] * len(batches),
+            report=self.build_report(
+                n_samples=n, batch_size=batch_size, total_time=total_time
+            )
+            if report
+            else None,
+        )
+
+    def explain(
+        self,
+        X: np.ndarray,
+        *,
+        batch_size: int | None = None,
+        report: bool = False,
+    ):
+        """Exact SHAP attributions over the reorg layout.
+
+        FIL has no model-guided selection for prediction and gets none
+        here either: every batch runs
+        :class:`~repro.strategies.explain.ExplainDirectStrategy`
+        unconditionally, mirroring its fixed shared-data choice.  The
+        attributions match the Tahoe engine's to float64 rounding (same
+        kernel, same forest semantics; the adaptive layout's tree
+        rearrangement changes the accumulation order) — only the
+        simulated traffic differs.
+        """
+        from repro.explain import ExplainResult, squeeze_single_class
+        from repro.strategies import ExplainDirectStrategy
+
+        X = check_batch(X)
+        n = X.shape[0]
+        if batch_size is None or batch_size >= n:
+            batch_size = n
+        K = self.forest.n_classes
+        phi = np.zeros((n, self.forest.n_attributes, K), dtype=np.float64)
+        margins = np.zeros((n, K), dtype=np.float64)
+        base = np.zeros(K, dtype=np.float64)
+        strategy = ExplainDirectStrategy()
+        batches: list[StrategyResult] = []
+        total_time = 0.0
+        with self.recorder.activate():
+            for index, start in enumerate(range(0, n, batch_size)):
+                rows = np.arange(start, min(start + batch_size, n), dtype=np.int64)
+                result = strategy.run(self.layout, X, self.spec, sample_rows=rows)
+                phi[rows] = result.attributions
+                margins[rows] = result.predictions
+                base = result.base_values
+                batches.append(result)
+                total_time += result.time
+                self.recorder.record_batch(index, result)
+        phi, base, margins = squeeze_single_class(phi, base, margins)
+        return ExplainResult(
+            attributions=phi,
+            base_values=base,
+            predictions=margins,
+            total_time=total_time,
+            batches=batches,
+            strategies_used=[strategy.name] * len(batches),
             report=self.build_report(
                 n_samples=n, batch_size=batch_size, total_time=total_time
             )

@@ -130,6 +130,16 @@ class NativeForest:
     max_depth: int
     mean_depth: float
     n_attributes: int
+    #: Per-tree output group and group count (1 → single-margin path).
+    tree_group: np.ndarray | None = None  # int64 (n_trees,)
+    n_groups: int = 1
+    #: Categorical bitsets (global node ids); allocated only when the
+    #: forest needs the extended kernel, ``None`` keeps the historical
+    #: hot paths untouched.
+    has_cat: bool = False
+    cat_offset: np.ndarray | None = None  # int64, -1 at numeric nodes
+    cat_count: np.ndarray | None = None  # int32 words per bitset
+    cat_bits: np.ndarray | None = None  # uint32 pool
 
     @property
     def n_trees(self) -> int:
@@ -179,6 +189,31 @@ def flatten_native(layout: ForestLayout) -> NativeForest:
         child_false[sl] = np.where(leaf, self_id, right) + base
         default_true[sl] = np.where(leaf, False, tree.default_left ^ flip)
         value[sl] = np.where(leaf, tree.value, np.float32(0.0))
+    forest = layout.forest
+    tree_group = None
+    if forest.n_classes > 1:
+        tree_group = forest.tree_class.astype(np.int64)
+    has_cat = forest.has_categorical
+    cat_offset = cat_count = cat_bits = None
+    if has_cat or tree_group is not None:
+        # The extended kernel always takes the categorical columns, so a
+        # multiclass-but-numeric forest gets all-(-1) dummies.
+        cat_offset = np.full(total, -1, dtype=np.int64)
+        cat_count = np.zeros(total, dtype=np.int32)
+        pools = []
+        pool_base = 0
+        for t, tree in enumerate(trees):
+            if tree.cat_offset is None:
+                continue
+            base = int(offsets[t])
+            sl = slice(base, base + tree.n_nodes)
+            shifted = tree.cat_offset.copy()
+            shifted[shifted >= 0] += pool_base
+            cat_offset[sl] = shifted
+            cat_count[sl] = tree.cat_count
+            pools.append(tree.cat_bits)
+            pool_base += tree.cat_bits.shape[0]
+        cat_bits = np.concatenate(pools) if pools else np.zeros(1, dtype=np.uint32)
     is_leaf = feature == LEAF
     feature_ix = np.where(is_leaf, np.int32(0), feature).astype(np.int32)
     # Interleave the children so the vectorised kernel resolves a step
@@ -202,6 +237,12 @@ def flatten_native(layout: ForestLayout) -> NativeForest:
         max_depth=int(layout.forest.max_depth()),
         mean_depth=float(layout.forest.mean_depth()),
         n_attributes=int(layout.forest.n_attributes),
+        tree_group=tree_group,
+        n_groups=int(forest.n_classes),
+        has_cat=has_cat,
+        cat_offset=cat_offset,
+        cat_count=cat_count,
+        cat_bits=cat_bits,
     )
     layout.metadata["_native"] = flat
     return flat
@@ -246,10 +287,67 @@ def _traverse_scalar(
     return out
 
 
+def _traverse_scalar_ext(
+    X,
+    feature,
+    threshold,
+    child_true,
+    child_false,
+    default_true,
+    value,
+    roots,
+    group,
+    cat_offset,
+    cat_count,
+    cat_bits,
+    out,
+):
+    """Extended scalar kernel: per-class accumulation + categorical splits.
+
+    Kept separate from :func:`_traverse_scalar` so the historical
+    single-margin numeric signature (and its on-disk numba cache) stays
+    frozen.  ``out`` is ``(n_samples, n_groups)``; single-output forests
+    with categorical nodes pass a 1-column ``out``.
+    """
+    n_samples = X.shape[0]
+    n_trees = roots.shape[0]
+    for i in range(n_samples):
+        for t in range(n_trees):
+            node = roots[t]
+            f = feature[node]
+            while f >= 0:
+                v = X[i, f]
+                if v != v:  # NaN: the (flip-resolved) default path
+                    go = default_true[node]
+                elif cat_offset[node] >= 0:
+                    # Bitset membership on the truncated category code;
+                    # negative / out-of-range codes are non-members.
+                    go = False
+                    if v >= 0:
+                        code = np.int64(v)
+                        w = code >> 5
+                        if w < cat_count[node]:
+                            bits = np.int64(cat_bits[cat_offset[node] + w])
+                            go = ((bits >> (code & 31)) & 1) == 1
+                else:
+                    go = v < threshold[node]
+                if go:
+                    node = child_true[node]
+                else:
+                    node = child_false[node]
+                f = feature[node]
+            out[i, group[t]] += float(value[node])
+    return out
+
+
 if HAVE_NUMBA:  # pragma: no cover - numba-equipped environments only
     _traverse_scalar_jit = _numba.njit(cache=True, nogil=True)(_traverse_scalar)
+    _traverse_scalar_ext_jit = _numba.njit(cache=True, nogil=True)(
+        _traverse_scalar_ext
+    )
 else:
     _traverse_scalar_jit = None
+    _traverse_scalar_ext_jit = None
 
 
 def _traverse_numpy(X: np.ndarray, flat: NativeForest, out: np.ndarray) -> np.ndarray:
@@ -305,6 +403,21 @@ def _traverse_numpy(X: np.ndarray, flat: NativeForest, out: np.ndarray) -> np.nd
             )
             vals = Xc.take(xidx[:m])
             go = vals < flat.threshold.take(cur)
+            if flat.has_cat:
+                co = flat.cat_offset.take(cur)
+                cat = co >= 0
+                if cat.any():
+                    v = vals[cat].astype(np.float64)
+                    code = np.where(
+                        np.isfinite(v) & (v >= 0), v, -1.0
+                    ).astype(np.int64)
+                    word = code >> 5
+                    valid = (code >= 0) & (
+                        word < flat.cat_count.take(cur[cat]).astype(np.int64)
+                    )
+                    slot = co[cat] + np.where(valid, word, 0)
+                    bits = flat.cat_bits.take(slot).astype(np.int64)
+                    go[cat] = valid & (((bits >> (code & 31)) & 1) == 1)
             if has_nan:
                 missing = np.isnan(vals)
                 if missing.any():
@@ -336,7 +449,20 @@ def _traverse_numpy(X: np.ndarray, flat: NativeForest, out: np.ndarray) -> np.nd
         else:
             final[origin] = cur
         leaf = flat.value.take(final).reshape(c, n_trees)
-        out[start:stop] = leaf.sum(axis=1, dtype=np.float64)
+        if flat.n_groups > 1:
+            # Grouped segment-sum via bincount on a composite
+            # (sample, class) index — deterministic addition order, so
+            # results stay bit-identical to the scalar kernel's.
+            K = flat.n_groups
+            gidx = (
+                np.arange(c, dtype=np.int64)[:, None] * K
+                + flat.tree_group[None, :]
+            ).ravel()
+            out[start:stop] = np.bincount(
+                gidx, weights=leaf.astype(np.float64).ravel(), minlength=c * K
+            ).reshape(c, K)
+        else:
+            out[start:stop] = leaf.sum(axis=1, dtype=np.float64)
     return out
 
 
@@ -530,11 +656,48 @@ class NativeEngine:
     # Execution
     # ------------------------------------------------------------------
     def _leaf_sums(self, X: np.ndarray) -> np.ndarray:
-        """Per-sample float64 leaf-value sums via the selected kernel."""
-        out = np.empty(X.shape[0], dtype=np.float64)
+        """Per-sample float64 leaf-value sums via the selected kernel.
+
+        Returns ``(n,)`` for single-output forests and ``(n, n_classes)``
+        for multiclass ones (what :func:`finalize_predictions` expects).
+        """
         flat = self.flat
+        multi = flat.n_groups > 1
         if self.kernel == "numpy":
+            if multi:
+                out = np.empty((X.shape[0], flat.n_groups), dtype=np.float64)
+            else:
+                out = np.empty(X.shape[0], dtype=np.float64)
             return _traverse_numpy(X, flat, out)
+        if multi or flat.has_cat:
+            # Scalar/numba path with classes or categorical nodes → the
+            # extended kernel (2-D accumulator, bitset membership).
+            group = flat.tree_group
+            if group is None:
+                group = np.zeros(flat.n_trees, dtype=np.int64)
+            out = np.zeros((X.shape[0], flat.n_groups), dtype=np.float64)
+            fn = (
+                _traverse_scalar_ext_jit
+                if self.kernel == "numba"
+                else _traverse_scalar_ext
+            )
+            res = fn(
+                X,
+                flat.feature,
+                flat.threshold,
+                flat.child_true,
+                flat.child_false,
+                flat.default_true,
+                flat.value,
+                flat.roots,
+                group,
+                flat.cat_offset,
+                flat.cat_count,
+                flat.cat_bits,
+                out,
+            )
+            return res if multi else res[:, 0]
+        out = np.empty(X.shape[0], dtype=np.float64)
         fn = _traverse_scalar_jit if self.kernel == "numba" else _traverse_scalar
         return fn(
             X,
@@ -645,7 +808,10 @@ class NativeEngine:
         n = X.shape[0]
         if batch_size is None or batch_size >= n:
             batch_size = n
-        predictions = np.zeros(n, dtype=np.float64)
+        if self.forest.n_classes > 1:
+            predictions = np.zeros((n, self.forest.n_classes), dtype=np.float64)
+        else:
+            predictions = np.zeros(n, dtype=np.float64)
         batches: list[StrategyResult] = []
         used: list[str] = []
         total_time = 0.0
@@ -682,6 +848,73 @@ class NativeEngine:
             total_time=total_time,
             batches=batches,
             strategies_used=used,
+            report=self.build_report(
+                n_samples=n, batch_size=batch_size, total_time=total_time
+            )
+            if report
+            else None,
+            time_domain=TIME_DOMAIN_WALL,
+        )
+
+    def explain(
+        self,
+        X: np.ndarray,
+        *,
+        batch_size: int | None = None,
+        report: bool = False,
+    ):
+        """Wall-clock SHAP attributions via the vectorised path kernel.
+
+        The same :func:`~repro.explain.kernel.compute_shap` the
+        simulated strategies run, timed for real: ``total_time`` is
+        wall seconds (``time_domain="wall"``), so explain throughput
+        from this backend is comparable to its predict throughput and
+        never to simulated numbers.
+        """
+        from repro.explain import ExplainResult, squeeze_single_class
+        from repro.explain.kernel import compute_shap
+        from repro.explain.paths import path_set_for_layout
+
+        X = check_batch(X)
+        n = X.shape[0]
+        if batch_size is None or batch_size >= n:
+            batch_size = n
+        ps = path_set_for_layout(self.layout)
+        phi = np.zeros((n, ps.n_features, ps.n_classes), dtype=np.float64)
+        margins = np.zeros((n, ps.n_classes), dtype=np.float64)
+        batches: list[StrategyResult] = []
+        total_time = 0.0
+        with self.recorder.activate(), span(
+            "engine.explain", category="engine", samples=n, batch_size=batch_size
+        ):
+            for index, start in enumerate(range(0, n, batch_size)):
+                stop = min(start + batch_size, n)
+                t0 = time.perf_counter()
+                phi_b, base, margins_b = compute_shap(ps, X[start:stop])
+                breakdown = NativeBreakdown(t_traversal=time.perf_counter() - t0)
+                phi[start:stop] = phi_b
+                margins[start:stop] = margins_b
+                result = StrategyResult(
+                    strategy="native_explain",
+                    predictions=margins_b,
+                    breakdown=breakdown,
+                    counters=TrafficCounters(),
+                    per_thread_steps=np.zeros(0, dtype=np.int64),
+                    n_blocks=0,
+                    threads_per_block=0,
+                    batch_size=stop - start,
+                )
+                self.recorder.record_batch(index, result)
+                batches.append(result)
+                total_time += breakdown.total
+        phi, base, margins = squeeze_single_class(phi, ps.base_values, margins)
+        return ExplainResult(
+            attributions=phi,
+            base_values=base,
+            predictions=margins,
+            total_time=total_time,
+            batches=batches,
+            strategies_used=["native_explain"] * len(batches),
             report=self.build_report(
                 n_samples=n, batch_size=batch_size, total_time=total_time
             )

@@ -1,0 +1,106 @@
+"""Brute-force Shapley reference: the definition, paid in full.
+
+For tiny forests (a handful of features, a few trees) the Shapley value
+can be computed straight from its definition — enumerate every subset
+``S`` of the other features, evaluate the tree-conditional expectation
+``f(S)`` (features in ``S`` fixed to the sample's values, features
+outside ``S`` marginalised by cover ratios), and average the marginal
+contributions with the permutation weights ``|S|! (F-|S|-1)! / F!``.
+
+This is exponential in the feature count and walks every tree node per
+subset, so it exists only as a differential-test oracle for the path
+kernel in :mod:`repro.explain.kernel`.  It shares *no* code with the
+kernel: expectations recurse over the original trees, not the PathSet.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import factorial
+
+import numpy as np
+
+from repro.explain.paths import _value_scale
+from repro.trees.forest import Forest
+from repro.trees.tree import DecisionTree, LEAF
+
+__all__ = ["brute_force_shapley"]
+
+
+def _tree_expectation(tree: DecisionTree, x: np.ndarray, present: frozenset) -> float:
+    """E[leaf value] with features in ``present`` fixed to ``x``'s values."""
+
+    def rec(node: int) -> float:
+        if tree.feature[node] == LEAF:
+            return float(tree.value[node])
+        f = int(tree.feature[node])
+        left, right = int(tree.left[node]), int(tree.right[node])
+        if f in present:
+            v = float(x[f])
+            if np.isnan(v):
+                go_left = bool(tree.default_left[node])
+            elif tree.cat_offset is not None and tree.cat_offset[node] >= 0:
+                member = bool(
+                    tree.cat_member(np.array([node]), np.array([v], dtype=np.float32))[
+                        0
+                    ]
+                )
+                go_left = member ^ bool(tree.flip[node])
+            else:
+                go_left = bool(
+                    (np.float32(v) < tree.threshold[node]) ^ tree.flip[node]
+                )
+            return rec(left if go_left else right)
+        total = float(tree.visit_count[node])
+        return (
+            float(tree.visit_count[left]) / total * rec(left)
+            + float(tree.visit_count[right]) / total * rec(right)
+        )
+
+    return rec(0)
+
+
+def brute_force_shapley(
+    forest: Forest, X: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exhaustive-subset Shapley values in raw-margin space.
+
+    Returns ``(phi, base_values)`` with ``phi`` of shape
+    ``(n, n_features, n_classes)`` and ``base_values`` of shape
+    ``(n_classes,)`` — the same contract as
+    :func:`repro.explain.kernel.compute_shap`.
+    """
+    X = np.asarray(X, dtype=np.float32)
+    n, F = X.shape[0], forest.n_attributes
+    K = forest.n_classes
+    scale = _value_scale(forest)
+    offset = forest.base_score if forest.aggregation != "mean" else 0.0
+
+    def margin(x: np.ndarray, present: frozenset) -> np.ndarray:
+        acc = np.full(K, offset, dtype=np.float64)
+        for tree in forest.trees:
+            g = tree.group if K > 1 else 0
+            acc[g] += scale[g] * _tree_expectation(tree, x, present)
+        return acc
+
+    phi = np.zeros((n, F, K), dtype=np.float64)
+    base = margin(X[0], frozenset())  # sample-independent: no features fixed
+    others = list(range(F))
+    fact = [factorial(i) for i in range(F + 1)]
+    for i in range(n):
+        x = X[i]
+        cache: dict[frozenset, np.ndarray] = {}
+
+        def f(present: frozenset) -> np.ndarray:
+            if present not in cache:
+                cache[present] = margin(x, present)
+            return cache[present]
+
+        for j in range(F):
+            rest = [o for o in others if o != j]
+            for size in range(F):
+                w = fact[size] * fact[F - size - 1] / fact[F]
+                for combo in combinations(rest, size):
+                    s = frozenset(combo)
+                    phi[i, j] += w * (f(s | {j}) - f(s))
+    return phi, base

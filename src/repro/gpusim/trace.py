@@ -89,6 +89,15 @@ class FlatForest:
     address: np.ndarray
     n_attributes: int
     node_size: int
+    #: Per-node output group (the owning tree's class); all zeros and
+    #: ``n_groups == 1`` for single-output forests.
+    group: np.ndarray | None = None
+    n_groups: int = 1
+    #: Categorical bitset columns; ``None`` for purely numeric forests so
+    #: the traversal hot path stays branch-free.
+    cat_offset: np.ndarray | None = None
+    cat_count: np.ndarray | None = None
+    cat_bits: np.ndarray | None = None
 
 
 def flatten_layout(layout: ForestLayout) -> FlatForest:
@@ -96,10 +105,38 @@ def flatten_layout(layout: ForestLayout) -> FlatForest:
     cached = layout.metadata.get("_flat")
     if cached is not None:
         return cached
-    trees = layout.forest.trees
+    forest = layout.forest
+    trees = forest.trees
     sizes = np.array([t.n_nodes for t in trees], dtype=np.int64)
     offsets = np.zeros(len(trees) + 1, dtype=np.int64)
     np.cumsum(sizes, out=offsets[1:])
+    group = None
+    if forest.n_classes > 1:
+        group = np.concatenate(
+            [np.full(t.n_nodes, t.group, dtype=np.int64) for t in trees]
+        )
+    cat_offset = cat_count = cat_bits = None
+    if forest.has_categorical:
+        # Per-tree bitset pools concatenate into one; each tree's offsets
+        # shift by the running pool length (-1 stays -1 for numeric nodes).
+        offs, counts, pools = [], [], []
+        pool_base = 0
+        for t in trees:
+            if t.cat_offset is None:
+                offs.append(np.full(t.n_nodes, -1, dtype=np.int64))
+                counts.append(np.zeros(t.n_nodes, dtype=np.int32))
+            else:
+                shifted = t.cat_offset.copy()
+                shifted[shifted >= 0] += pool_base
+                offs.append(shifted)
+                counts.append(t.cat_count)
+                pools.append(t.cat_bits)
+                pool_base += t.cat_bits.shape[0]
+        cat_offset = np.concatenate(offs)
+        cat_count = np.concatenate(counts)
+        cat_bits = (
+            np.concatenate(pools) if pools else np.zeros(0, dtype=np.uint32)
+        )
     flat = FlatForest(
         offsets=offsets,
         feature=np.concatenate([t.feature for t in trees]),
@@ -111,8 +148,13 @@ def flatten_layout(layout: ForestLayout) -> FlatForest:
         flip=np.concatenate([t.flip for t in trees]),
         is_leaf=np.concatenate([t.is_leaf for t in trees]),
         address=np.concatenate(layout.node_address),
-        n_attributes=layout.forest.n_attributes,
+        n_attributes=forest.n_attributes,
         node_size=layout.node_size,
+        group=group,
+        n_groups=forest.n_classes,
+        cat_offset=cat_offset,
+        cat_count=cat_count,
+        cat_bits=cat_bits,
     )
     layout.metadata["_flat"] = flat
     return flat
@@ -336,7 +378,14 @@ def _traverse_chunk(
             step_rows += alive.sum(axis=0)
         leaf_here = alive & flat.is_leaf[idx]
         if leaf_here.any():
-            leaf_idx_parts.append(sample_2d[leaf_here])
+            if flat.n_groups > 1:
+                # Composite (sample, class) index into the flat (n*K,)
+                # accumulator — one bincount covers the grouped reduction.
+                leaf_idx_parts.append(
+                    sample_2d[leaf_here] * flat.n_groups + flat.group[idx[leaf_here]]
+                )
+            else:
+                leaf_idx_parts.append(sample_2d[leaf_here])
             leaf_val_parts.append(flat.value[idx[leaf_here]].astype(np.float64))
         decide = alive & ~leaf_here
         if decide.any():
@@ -356,6 +405,22 @@ def _traverse_chunk(
             vals = X[sample_2d, feat]
             missing = np.isnan(vals)
             go_left = (vals < flat.threshold[idx]) ^ flat.flip[idx]
+            if flat.cat_offset is not None:
+                cat = decide & (flat.cat_offset[idx] >= 0)
+                if cat.any():
+                    cidx = idx[cat]
+                    v = vals[cat].astype(np.float64)
+                    code = np.where(
+                        np.isfinite(v) & (v >= 0), v, -1.0
+                    ).astype(np.int64)
+                    word = code >> 5
+                    valid = (code >= 0) & (
+                        word < flat.cat_count[cidx].astype(np.int64)
+                    )
+                    slot = flat.cat_offset[cidx] + np.where(valid, word, 0)
+                    bits = flat.cat_bits[slot].astype(np.int64)
+                    member = valid & (((bits >> (code & 31)) & 1) == 1)
+                    go_left[cat] = member ^ flat.flip[cidx]
             go_left = np.where(missing, flat.default_left[idx], go_left)
             nxt = np.where(go_left, flat.left[idx], flat.right[idx])
             cur = np.where(decide, nxt, cur)
@@ -426,7 +491,7 @@ def trace_tree_parallel(
     n_rounds = max((a.shape[0] for a in assignments), default=0)
     counters = TrafficCounters()
     level_stats = LevelStats(max_levels) if collect_level_stats else None
-    leaf_sum = np.zeros(X.shape[0], dtype=np.float64)
+    leaf_sum = np.zeros(X.shape[0] * flat.n_groups, dtype=np.float64)
     per_thread_steps = np.zeros(pad_threads, dtype=np.int64)
     sample_rows = np.asarray(sample_rows, dtype=np.int64)
     if shared_batch_rows is None:
@@ -455,6 +520,8 @@ def trace_tree_parallel(
                     leaf_sum, per_thread_steps, warp_major=False,
                 )
         sp.set(node_visits=visits)
+    if flat.n_groups > 1:
+        leaf_sum = leaf_sum.reshape(X.shape[0], flat.n_groups)
     return TraceResult(
         leaf_sum=leaf_sum,
         per_thread_steps=per_thread_steps[:n_threads],
@@ -500,7 +567,7 @@ def trace_sample_parallel(
     valid = grid >= 0
     counters = TrafficCounters()
     level_stats = LevelStats(max_levels) if collect_level_stats else None
-    leaf_sum = np.zeros(X.shape[0], dtype=np.float64)
+    leaf_sum = np.zeros(X.shape[0] * flat.n_groups, dtype=np.float64)
     per_thread_steps = np.zeros(pad, dtype=np.int64)
     visits = 0
     tree_positions = np.asarray(tree_positions, dtype=np.int64)
@@ -534,6 +601,8 @@ def trace_sample_parallel(
         sp.set(node_visits=visits)
     # Padding lanes pointed at sample row 0 but were inactive (tree -1),
     # so leaf_sum is exact; steps for pad threads are zero.
+    if flat.n_groups > 1:
+        leaf_sum = leaf_sum.reshape(X.shape[0], flat.n_groups)
     return TraceResult(
         leaf_sum=leaf_sum,
         per_thread_steps=per_thread_steps[:n],

@@ -54,7 +54,17 @@ __all__ = [
 ]
 
 ARTIFACT_MAGIC = b"TAHOEPK\x00"
-ARTIFACT_VERSION = 1
+#: Current writer version.  v2 adds multiclass tree groups and optional
+#: per-tree categorical bitset sections; v1 files still load.
+ARTIFACT_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
+
+#: Optional per-tree categorical sections (written only when present).
+_CAT_FIELDS = (
+    ("cat_offset", np.int64),
+    ("cat_count", np.int32),
+    ("cat_bits", np.uint32),
+)
 
 #: Tree arrays serialised per tree, in section order.
 _TREE_FIELDS = (
@@ -104,6 +114,9 @@ class _SectionReader:
     def __init__(self, body: bytes, table: list[dict]) -> None:
         self._body = body
         self._by_name = {entry["name"]: entry for entry in table}
+
+    def has(self, name: str) -> bool:
+        return name in self._by_name
 
     def get(self, name: str) -> np.ndarray:
         entry = self._by_name.get(name)
@@ -167,6 +180,9 @@ def pack_layout(
     for i, tree in enumerate(forest.trees):
         for field, dtype in _TREE_FIELDS:
             writer.add(f"tree{i}/{field}", getattr(tree, field), dtype)
+        if tree.cat_offset is not None:
+            for field, dtype in _CAT_FIELDS:
+                writer.add(f"tree{i}/{field}", getattr(tree, field), dtype)
         writer.add(f"tree{i}/address", layout.node_address[i], np.int64)
     writer.add("tree_order", np.asarray(layout.tree_order), np.int64)
     writer.add("level_base", layout.level_base, np.int64)
@@ -181,6 +197,8 @@ def pack_layout(
         "forest": {
             "n_trees": forest.n_trees,
             "tree_nodes": [tree.n_nodes for tree in forest.trees],
+            "n_classes": forest.n_classes,
+            "tree_groups": [tree.group for tree in forest.trees],
             "n_attributes": forest.n_attributes,
             "task": forest.task,
             "aggregation": forest.aggregation,
@@ -276,19 +294,25 @@ def load_packed(path: str | Path) -> "PackedModel":
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise ArtifactError(f"{path} has a corrupt header: {exc}") from exc
     version = header.get("artifact_version")
-    if version != ARTIFACT_VERSION:
+    if version not in _READABLE_VERSIONS:
         raise ArtifactError(
             f"{path} has artifact version {version!r}; this build reads "
-            f"version {ARTIFACT_VERSION}"
+            f"versions {_READABLE_VERSIONS}"
         )
     reader = _SectionReader(raw[header_end:], header["sections"])
 
     fmeta = header["forest"]
+    tree_groups = fmeta.get("tree_groups") or [0] * fmeta["n_trees"]
     trees = []
     for i in range(fmeta["n_trees"]):
         fields = {
             field: reader.get(f"tree{i}/{field}") for field, _ in _TREE_FIELDS
         }
+        cats = {}
+        if reader.has(f"tree{i}/cat_offset"):
+            cats = {
+                field: reader.get(f"tree{i}/{field}") for field, _ in _CAT_FIELDS
+            }
         trees.append(
             DecisionTree(
                 feature=fields["feature"],
@@ -299,12 +323,15 @@ def load_packed(path: str | Path) -> "PackedModel":
                 default_left=fields["default_left"].astype(bool),
                 visit_count=fields["visit_count"],
                 flip=fields["flip"].astype(bool),
+                group=int(tree_groups[i]),
                 validate_on_init=False,
+                **cats,
             )
         )
     forest = Forest(
         trees=trees,
         n_attributes=int(fmeta["n_attributes"]),
+        n_classes=int(fmeta.get("n_classes", 1) or 1),
         task=fmeta["task"],
         aggregation=fmeta["aggregation"],
         base_score=float(fmeta["base_score"]),

@@ -28,8 +28,20 @@ done sloppily):
   ``leaf_count`` for LightGBM, ``n_node_samples`` for scikit-learn;
   subtree-leaf-count fallback when a dump carries no statistics.
 
-Multiclass models (``num_class > 2``) are rejected with a clear error —
-the engine's forests are single-output.
+Multiclass models import as per-class tree groups: every tree carries a
+``group`` (its output class), ``Forest.n_classes`` counts the classes,
+and the engines produce ``(n, K)`` margins finalized with softmax (sum
+aggregation) or per-class means (random forests).  XGBoost class
+assignment comes from ``tree_info``, LightGBM's from tree order modulo
+``num_class``, scikit-learn random forests replicate each estimator
+into one probability tree per class.
+
+LightGBM categorical splits (``decision_type & 1``) import as bitset
+nodes: the tree-level ``cat_boundaries``/``cat_threshold`` pool maps
+onto the tree's ``cat_offset``/``cat_count``/``cat_bits`` arrays and a
+sample goes left exactly when its truncated integer category is a
+member of the node's set (NaN follows the default path, negative or
+out-of-range codes are non-members).
 """
 
 from __future__ import annotations
@@ -122,21 +134,30 @@ def from_xgboost_json(
     if booster not in ("gbtree", "dart"):
         raise ModelImportError(f"unsupported XGBoost booster {booster!r} (need gbtree)")
     num_class = int(model_param.get("num_class", "0") or 0)
-    if num_class > 2:
-        raise ModelImportError(
-            f"multiclass XGBoost models are unsupported (num_class={num_class})"
-        )
+    n_classes = num_class if num_class > 2 else 1
     objective = learner.get("objective", {}).get("name", "reg:squarederror")
-    task = "classification" if ("logistic" in objective or "binary" in objective) else "regression"
+    task = (
+        "classification"
+        if ("logistic" in objective or "binary" in objective or "multi" in objective)
+        else "regression"
+    )
     base_score = float(model_param.get("base_score", "0") or 0.0)
-    if task == "classification" and 0.0 < base_score < 1.0:
+    if task == "classification" and n_classes == 1 and 0.0 < base_score < 1.0:
         # save_model stores base_score in probability space for logistic
-        # objectives; our margin accumulator needs the log-odds.
+        # objectives; our margin accumulator needs the log-odds.  The
+        # multiclass margin keeps it raw: softmax is invariant to the
+        # uniform shift, so probabilities match either way.
         base_score = math.log(base_score / (1.0 - base_score))
     n_features = int(model_param.get("num_feature", "0") or 0)
+    tree_info = model.get("tree_info") or []
+    if n_classes > 1 and len(tree_info) != len(trees_raw):
+        raise ModelImportError(
+            f"multiclass XGBoost model (num_class={num_class}) has no usable "
+            f"tree_info ({len(tree_info)} entries for {len(trees_raw)} trees)"
+        )
 
     trees = []
-    for raw in trees_raw:
+    for tree_ix, raw in enumerate(trees_raw):
         left = np.asarray(raw["left_children"], dtype=np.int32)
         right = np.asarray(raw["right_children"], dtype=np.int32)
         split_idx = np.asarray(raw["split_indices"], dtype=np.int64)
@@ -164,6 +185,7 @@ def from_xgboost_json(
                 value=value,
                 default_left=default,
                 visit_count=visit,
+                group=int(tree_info[tree_ix]) if n_classes > 1 else 0,
             )
         )
     if not trees:
@@ -172,6 +194,7 @@ def from_xgboost_json(
     return Forest(
         trees=trees,
         n_attributes=n_attrs,
+        n_classes=n_classes,
         task=task,
         aggregation="sum",
         base_score=base_score,
@@ -291,12 +314,18 @@ def from_lightgbm_text(
     if not tree_sections:
         raise ModelImportError("not a LightGBM model dump: no Tree= sections found")
     num_class = int(header.get("num_class", "1") or 1)
-    if num_class > 1:
+    n_classes = num_class if num_class > 1 else 1
+    if n_classes > 1 and len(tree_sections) % n_classes != 0:
         raise ModelImportError(
-            f"multiclass LightGBM models are unsupported (num_class={num_class})"
+            f"multiclass LightGBM model (num_class={num_class}) has "
+            f"{len(tree_sections)} trees, not a multiple of num_class"
         )
     objective = header.get("objective", "regression")
-    task = "classification" if objective.startswith("binary") else "regression"
+    task = (
+        "classification"
+        if objective.startswith(("binary", "multiclass", "multiclassova"))
+        else "regression"
+    )
     n_features = int(header.get("max_feature_idx", "-1")) + 1
 
     def ints(section: dict, key: str) -> list[int]:
@@ -308,16 +337,17 @@ def from_lightgbm_text(
         return [float(v) for v in raw.split()] if raw else []
 
     trees = []
-    for section in tree_sections:
+    for tree_ix, section in enumerate(tree_sections):
+        group = tree_ix % n_classes if n_classes > 1 else 0
         num_leaves = int(section.get("num_leaves", "1"))
         leaf_value = floats(section, "leaf_value") or [0.0]
         leaf_count = ints(section, "leaf_count")
         if num_leaves == 1:
-            trees.append(
-                DecisionTree.single_leaf(
-                    leaf_value[0], visit_count=leaf_count[0] if leaf_count else 1
-                )
+            stump = DecisionTree.single_leaf(
+                leaf_value[0], visit_count=leaf_count[0] if leaf_count else 1
             )
+            stump.group = group
+            trees.append(stump)
             continue
         n_internal = num_leaves - 1
         split_feature = ints(section, "split_feature")
@@ -326,6 +356,9 @@ def from_lightgbm_text(
         right_child = ints(section, "right_child")
         decision_type = ints(section, "decision_type") or [2] * n_internal
         internal_count = ints(section, "internal_count")
+        num_cat = int(section.get("num_cat", "0") or 0)
+        cat_boundaries = ints(section, "cat_boundaries")
+        cat_threshold = ints(section, "cat_threshold")
         n = n_internal + num_leaves
 
         def child_id(c: int) -> int:
@@ -338,15 +371,30 @@ def from_lightgbm_text(
         value = np.zeros(n, dtype=np.float32)
         default = np.ones(n, dtype=bool)
         visit = np.ones(n, dtype=np.int64)
+        cat_offset = np.full(n, -1, dtype=np.int64) if num_cat else None
+        cat_count = np.zeros(n, dtype=np.int32) if num_cat else None
         for i in range(n_internal):
             dt = decision_type[i]
-            if dt & 1:
-                raise ModelImportError(
-                    "categorical LightGBM splits are unsupported "
-                    f"(decision_type={dt} at node {i})"
-                )
             feature[i] = split_feature[i]
-            threshold[i] = _leq_to_lt(raw_threshold[i])
+            if dt & 1:
+                # Categorical split: `threshold` holds the index into the
+                # tree's cat_boundaries, which bracket this node's slice
+                # of the uint32 cat_threshold bitset pool.
+                if not cat_boundaries or not cat_threshold:
+                    raise ModelImportError(
+                        f"categorical split at node {i} but the tree carries "
+                        "no cat_boundaries/cat_threshold arrays"
+                    )
+                cat_ix = int(raw_threshold[i])
+                if cat_ix < 0 or cat_ix + 1 >= len(cat_boundaries):
+                    raise ModelImportError(
+                        f"categorical split at node {i} references cat index "
+                        f"{cat_ix} outside cat_boundaries"
+                    )
+                cat_offset[i] = cat_boundaries[cat_ix]
+                cat_count[i] = cat_boundaries[cat_ix + 1] - cat_boundaries[cat_ix]
+            else:
+                threshold[i] = _leq_to_lt(raw_threshold[i])
             left[i] = child_id(left_child[i])
             right[i] = child_id(right_child[i])
             default[i] = bool(dt & 2)
@@ -369,18 +417,29 @@ def from_lightgbm_text(
                 value=value,
                 default_left=default,
                 visit_count=visit,
+                group=group,
+                cat_offset=cat_offset,
+                cat_count=cat_count,
+                cat_bits=np.asarray(cat_threshold, dtype=np.uint32)
+                if num_cat
+                else None,
             )
         )
     n_attrs = _resolve_width(trees, n_attributes, n_features)
+    metadata = {"source_format": "lightgbm-text", "objective": objective}
+    if objective.startswith("multiclassova"):
+        # One-vs-all trains independent sigmoid heads, not a softmax.
+        metadata["multiclass_link"] = "ovr"
     return Forest(
         trees=trees,
         n_attributes=n_attrs,
+        n_classes=n_classes,
         task=task,
         aggregation="sum",
         base_score=0.0,  # LightGBM folds the boost-from-average into tree 0
         learning_rate=1.0,  # shrinkage already applied to leaf values
         name=name,
-        metadata={"source_format": "lightgbm-text", "objective": objective},
+        metadata=metadata,
     )
 
 
@@ -392,9 +451,15 @@ def sklearn_to_export_dict(model) -> dict:
     schema by duck-typing its public attributes (``estimators_``, each
     tree's ``tree_`` arrays) — scikit-learn itself is never imported.
 
-    Supported: binary ``RandomForestClassifier``,
-    ``RandomForestRegressor``, binary ``GradientBoostingClassifier``,
-    ``GradientBoostingRegressor``.
+    Supported: ``RandomForestClassifier`` (binary and multiclass),
+    ``RandomForestRegressor``, ``GradientBoostingClassifier`` (binary
+    and multiclass) and ``GradientBoostingRegressor``.  A multiclass
+    random forest replicates every estimator into one tree per class
+    (class-``k`` replica carries the class-``k`` leaf probabilities and
+    ``group: k``); multiclass gradient boosting flattens the
+    ``(n_stages, K)`` estimator grid with ``group`` = stage column, and
+    the per-class log priors become leaf-only prior trees (our
+    ``base_score`` is a scalar, the priors are not).
     """
     estimators = getattr(model, "estimators_", None)
     if estimators is None:
@@ -403,30 +468,42 @@ def sklearn_to_export_dict(model) -> dict:
         )
     is_gb = hasattr(model, "learning_rate")
     classes = getattr(model, "classes_", None)
-    if classes is not None and len(classes) > 2:
-        raise ModelImportError(
-            f"multiclass scikit-learn models are unsupported ({len(classes)} classes)"
-        )
+    n_classes = len(classes) if classes is not None and len(classes) > 2 else 1
+    prior_trees: list[dict] = []
     if is_gb:
+        learning_rate = float(model.learning_rate)
         stages = np.asarray(estimators, dtype=object)
-        if stages.ndim == 2:
-            if stages.shape[1] != 1:
+        if stages.ndim == 2 and stages.shape[1] != 1:
+            if stages.shape[1] != n_classes:
                 raise ModelImportError(
-                    "multiclass gradient boosting is unsupported "
-                    f"(K={stages.shape[1]} trees per stage)"
+                    f"gradient boosting grid has {stages.shape[1]} trees per "
+                    f"stage but the model declares {n_classes} classes"
                 )
-            flat = [stage[0] for stage in stages]
+            flat = [
+                (stage[k], k) for stage in stages for k in range(stages.shape[1])
+            ]
+            # Prior leaves are pre-divided by the learning rate so the
+            # margin's `lr * leaf_sum` restores the exact log prior.
+            priors = _sklearn_gb_class_priors(model, n_classes)
+            prior_trees = [
+                _leaf_only_tree_dict(float(priors[k]) / learning_rate, k)
+                for k in range(n_classes)
+            ]
+            base_score = 0.0
         else:
-            flat = list(stages)
+            flat = [
+                (stage[0] if np.ndim(stage) else stage, 0) for stage in stages
+            ]
+            base_score = _sklearn_gb_base_score(model, classes is not None)
         model_type = (
             "gradient_boosting_classifier"
             if classes is not None
             else "gradient_boosting_regressor"
         )
-        learning_rate = float(model.learning_rate)
-        base_score = _sklearn_gb_base_score(model, classes is not None)
     else:
-        flat = list(estimators)
+        # A multiclass random forest replicates each estimator K times,
+        # replica k carrying that class's leaf probability column.
+        flat = [(est, k) for est in estimators for k in range(n_classes)]
         model_type = (
             "random_forest_classifier" if classes is not None else "random_forest_regressor"
         )
@@ -434,33 +511,62 @@ def sklearn_to_export_dict(model) -> dict:
         base_score = 0.0
 
     trees = []
-    for est in flat:
+    for est, k in flat:
         t = est.tree_
         values = np.asarray(t.value, dtype=np.float64)  # (n_nodes, 1, n_outputs)
         if model_type == "random_forest_classifier":
             totals = values.sum(axis=2, keepdims=True)
-            node_value = (values[:, 0, 1] / np.maximum(totals[:, 0, 0], 1e-12))
+            col = k if n_classes > 1 else 1
+            node_value = (values[:, 0, col] / np.maximum(totals[:, 0, 0], 1e-12))
         else:
             node_value = values[:, 0, 0]
-        trees.append(
-            {
-                "children_left": np.asarray(t.children_left, dtype=int).tolist(),
-                "children_right": np.asarray(t.children_right, dtype=int).tolist(),
-                "feature": np.asarray(t.feature, dtype=int).tolist(),
-                "threshold": np.asarray(t.threshold, dtype=float).tolist(),
-                "value": np.asarray(node_value, dtype=float).tolist(),
-                "n_node_samples": np.asarray(t.n_node_samples, dtype=int).tolist(),
-            }
-        )
-    return {
+        tree_dict = {
+            "children_left": np.asarray(t.children_left, dtype=int).tolist(),
+            "children_right": np.asarray(t.children_right, dtype=int).tolist(),
+            "feature": np.asarray(t.feature, dtype=int).tolist(),
+            "threshold": np.asarray(t.threshold, dtype=float).tolist(),
+            "value": np.asarray(node_value, dtype=float).tolist(),
+            "n_node_samples": np.asarray(t.n_node_samples, dtype=int).tolist(),
+        }
+        if n_classes > 1:
+            tree_dict["group"] = int(k)
+        trees.append(tree_dict)
+    payload = {
         "format": "sklearn-export",
         "version": 1,
         "model_type": model_type,
         "n_features": int(getattr(model, "n_features_in_", 0)),
         "learning_rate": learning_rate,
         "base_score": base_score,
-        "trees": trees,
+        "trees": prior_trees + trees,
     }
+    if n_classes > 1:
+        payload["n_classes"] = int(n_classes)
+    return payload
+
+
+def _leaf_only_tree_dict(value: float, group: int) -> dict:
+    """A one-leaf tree dict in the sklearn-export schema (GB priors)."""
+    return {
+        "children_left": [-1],
+        "children_right": [-1],
+        "feature": [-2],
+        "threshold": [0.0],
+        "value": [value],
+        "n_node_samples": [1],
+        "group": int(group),
+        "is_prior": True,
+    }
+
+
+def _sklearn_gb_class_priors(model, n_classes: int) -> np.ndarray:
+    """Per-class initial raw predictions (log priors) of a multiclass GB."""
+    init = getattr(model, "init_", None)
+    prior = getattr(init, "class_prior_", None) if init is not None else None
+    if prior is not None and len(prior) == n_classes:
+        p = np.clip(np.asarray(prior, dtype=np.float64), 1e-12, 1.0)
+        return np.log(p)
+    return np.zeros(n_classes, dtype=np.float64)
 
 
 def _sklearn_gb_base_score(model, is_classifier: bool) -> float:
@@ -489,6 +595,7 @@ def from_sklearn_export(
     model_type = payload.get("model_type", "")
     is_classifier = model_type.endswith("classifier")
     is_gb = model_type.startswith("gradient_boosting")
+    n_classes = int(payload.get("n_classes", 1) or 1)
     trees = []
     for raw in payload["trees"]:
         cl = np.asarray(raw["children_left"], dtype=np.int32)
@@ -513,6 +620,7 @@ def from_sklearn_export(
                 value=np.where(is_leaf, val, np.float32(0.0)).astype(np.float32),
                 default_left=np.ones(cl.shape[0], dtype=bool),
                 visit_count=np.maximum(samples, 1),
+                group=int(raw.get("group", 0)),
             )
         )
     if not trees:
@@ -521,6 +629,7 @@ def from_sklearn_export(
     return Forest(
         trees=trees,
         n_attributes=n_attrs,
+        n_classes=n_classes,
         task="classification" if is_classifier else "regression",
         aggregation="sum" if is_gb else "mean",
         base_score=float(payload.get("base_score", 0.0)),

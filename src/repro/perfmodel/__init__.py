@@ -25,12 +25,19 @@ from repro.perfmodel.native import (
 )
 from repro.perfmodel.models import (
     predict_direct,
+    predict_explain_direct,
+    predict_explain_shared_paths,
     predict_shared_data,
     predict_shared_forest,
     predict_splitting_shared_forest,
 )
 from repro.perfmodel.notation import ForestParams, HardwareParams, SampleParams, workload_params
-from repro.perfmodel.selector import StrategyChoice, rank_strategies, select_strategy
+from repro.perfmodel.selector import (
+    StrategyChoice,
+    rank_explain_strategies,
+    rank_strategies,
+    select_strategy,
+)
 from repro.perfmodel.validation import ValidationReport, validate_selection
 
 __all__ = [
@@ -45,10 +52,13 @@ __all__ = [
     "calibrate_native_model",
     "measure_hardware_parameters",
     "predict_direct",
+    "predict_explain_direct",
+    "predict_explain_shared_paths",
     "predict_shared_data",
     "predict_shared_forest",
     "predict_splitting_shared_forest",
     "rank_hardware_targets",
+    "rank_explain_strategies",
     "rank_strategies",
     "select_strategy",
     "ValidationReport",

@@ -44,6 +44,8 @@ __all__ = [
     "predict_direct",
     "predict_shared_forest",
     "predict_splitting_shared_forest",
+    "predict_explain_direct",
+    "predict_explain_shared_paths",
     "expected_imbalance",
 ]
 
@@ -271,6 +273,98 @@ def predict_shared_forest(
         strategy="shared_forest",
         t_smem=n * t_smem_s * scale,
         t_gmem=n * t_gmem_s * scale,
+        t_block_reduce=0.0,
+        t_global_reduce=0.0,
+        t_launch=hw.launch_latency,
+    )
+
+
+def _explain_attr_read_time(ps, hw: HardwareParams, util: float) -> float:
+    """Per-sample attribute-gather time for the explain kernel.
+
+    Every edge test reads one attribute value (uncoalesced, like the
+    direct strategy's gathers); after the row's first touch the reads
+    are L2-resident.
+    """
+    total = ps.n_edges * 4
+    first = min(total, ps.n_features * 4)
+    return first / (hw.bw_r_gmem_ncoa * util) + (total - first) / (
+        hw.bw_r_gmem_ncoa_hot * util
+    )
+
+
+def predict_explain_direct(n_batch: int, ps, hw: HardwareParams) -> PredictedTime:
+    """Explain analogue of equation 5: path image streamed from global.
+
+    Sample-per-thread warps process the path image in lockstep, so each
+    edge record is fetched once per warp (broadcast) — the per-sample
+    record traffic is the image divided across the warp.  Attribute
+    gathers and the dense attribution write-back pay full per-sample
+    cost, and the O(d²) recurrences enter through the latency roofline.
+    """
+    n = n_batch
+    util = hw.gmem_utilization(n)
+    rec_bytes = ps.n_edges * ps.EDGE_BYTES
+    bw_rec = (
+        hw.bw_r_gmem_coa_hot if ps.image_bytes <= hw.l2_capacity else hw.bw_r_gmem_coa
+    )
+    t_gmem_s = (
+        (rec_bytes / _WARP) / (bw_rec * util)
+        + _explain_attr_read_time(ps, hw, util)
+        + ps.n_features * ps.n_classes * 8 / (hw.bw_r_gmem_coa * util)
+    )
+    n_blocks = max(1, math.ceil(n / _TPB_CAP))
+    waves = math.ceil(n_blocks / hw.concurrent_blocks(_TPB_CAP))
+    steps = ps.n_edges + 2 * ps.unique_depth_squares
+    t_chain = steps * waves * hw.memory_latency
+    return PredictedTime(
+        strategy="explain_direct",
+        t_smem=0.0,
+        t_gmem=max(n * t_gmem_s, t_chain),
+        t_block_reduce=0.0,
+        t_global_reduce=0.0,
+        t_launch=hw.launch_latency,
+    )
+
+
+def predict_explain_shared_paths(n_batch: int, ps, hw: HardwareParams) -> PredictedTime:
+    """Explain analogue of equation 6: path image staged to shared memory.
+
+    One coalesced staging pass per block amortises the image over the
+    block's samples; edge-record reads are then served at shared-memory
+    bandwidth.  Inapplicable when the image exceeds shared capacity.
+    """
+    n = n_batch
+    if ps.image_bytes > hw.shared_capacity:
+        return PredictedTime(
+            strategy="explain_shared_paths",
+            t_smem=0.0,
+            t_gmem=0.0,
+            t_block_reduce=0.0,
+            t_global_reduce=0.0,
+            t_launch=0.0,
+            applicable=False,
+            note=f"path image {ps.image_bytes} B > shared {hw.shared_capacity} B",
+        )
+    tpb = _TPB_CAP
+    n_blocks = max(1, math.ceil(n / tpb))
+    util = hw.gmem_utilization(n)
+    smem_util = hw.smem_utilization(n_blocks)
+    t_smem_s = ps.n_edges * ps.EDGE_BYTES / (hw.bw_r_smem * smem_util)
+    t_gmem_s = _explain_attr_read_time(ps, hw, util) + ps.n_features * ps.n_classes * 8 / (
+        hw.bw_r_gmem_coa * util
+    )
+    t_stage_gmem = n_blocks * ps.image_bytes / (hw.bw_r_gmem_coa * util)
+    t_stage_smem = n_blocks * ps.image_bytes / (hw.bw_w_smem * smem_util)
+    waves = math.ceil(n_blocks / hw.concurrent_blocks(tpb, ps.image_bytes))
+    steps = ps.n_edges + 2 * ps.unique_depth_squares
+    t_chain = steps * waves * hw.memory_latency
+    t_bandwidth = n * (t_smem_s + t_gmem_s)
+    scale = max(t_bandwidth, t_chain) / t_bandwidth if t_bandwidth > 0 else 1.0
+    return PredictedTime(
+        strategy="explain_shared_paths",
+        t_smem=n * t_smem_s * scale + t_stage_smem,
+        t_gmem=n * t_gmem_s * scale + t_stage_gmem,
         t_block_reduce=0.0,
         t_global_reduce=0.0,
         t_launch=hw.launch_latency,

@@ -18,6 +18,8 @@ from repro.perfmodel.microbench import measure_hardware_parameters
 from repro.perfmodel.models import (
     PredictedTime,
     predict_direct,
+    predict_explain_direct,
+    predict_explain_shared_paths,
     predict_shared_data,
     predict_shared_forest,
     predict_splitting_shared_forest,
@@ -25,18 +27,27 @@ from repro.perfmodel.models import (
 from repro.perfmodel.notation import HardwareParams, workload_params
 from repro.strategies import (
     DirectStrategy,
+    ExplainDirectStrategy,
+    ExplainSharedPathsStrategy,
     SharedDataStrategy,
     SharedForestStrategy,
     SplittingSharedForestStrategy,
 )
 
-__all__ = ["StrategyChoice", "rank_strategies", "select_strategy"]
+__all__ = [
+    "StrategyChoice",
+    "rank_strategies",
+    "rank_explain_strategies",
+    "select_strategy",
+]
 
 _STRATEGY_CLASSES = {
     "shared_data": SharedDataStrategy,
     "direct": DirectStrategy,
     "shared_forest": SharedForestStrategy,
     "splitting_shared_forest": SplittingSharedForestStrategy,
+    "explain_direct": ExplainDirectStrategy,
+    "explain_shared_paths": ExplainSharedPathsStrategy,
 }
 
 
@@ -100,6 +111,35 @@ def rank_strategies(
             if p.strategy == "splitting_shared_forest" and biggest_tree > hw.shared_capacity:
                 p.applicable = False
                 p.note = "a single tree exceeds shared memory"
+        choices = [StrategyChoice(prediction=p) for p in predictions]
+        choices.sort(key=lambda c: c.predicted_time)
+        sp.set(best=choices[0].name)
+    return choices
+
+
+def rank_explain_strategies(
+    layout: ForestLayout,
+    n_batch: int,
+    spec: GPUSpec,
+    hw: HardwareParams | None = None,
+) -> list[StrategyChoice]:
+    """Predict every explain strategy's batch time, best first.
+
+    The explain workload has its own cost structure (path image instead
+    of node arrays, O(d²) recurrences instead of a root→leaf walk), so
+    it gets its own model family; the choice is still the paper's §6
+    move — evaluate each model per batch, run the cheapest applicable.
+    """
+    from repro.explain.paths import path_set_for_layout
+
+    if hw is None:
+        hw = measure_hardware_parameters(spec)
+    with span("rank_explain_strategies", category="selector", batch=n_batch) as sp:
+        ps = path_set_for_layout(layout)
+        predictions = [
+            predict_explain_direct(n_batch, ps, hw),
+            predict_explain_shared_paths(n_batch, ps, hw),
+        ]
         choices = [StrategyChoice(prediction=p) for p in predictions]
         choices.sort(key=lambda c: c.predicted_time)
         sp.set(best=choices[0].name)

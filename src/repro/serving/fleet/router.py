@@ -316,8 +316,28 @@ class TahoeRouter:
             if self.slo is not None:
                 self.slo.observe(now=response.completion_time, ok=False)
 
+    def _finalize_scale(self) -> tuple[np.ndarray | float, float]:
+        """(scale, offset) mapping summed neutral-shard partials onto the
+        full forest's margin space — the linear part of finalisation
+        (``margin = offset + scale * raw_sum``), applied once post-sum."""
+        forest = self.forest
+        if forest.aggregation == "mean":
+            if forest.n_classes > 1:
+                return 1.0 / np.maximum(forest.trees_per_class(), 1), 0.0
+            return 1.0 / forest.n_trees, 0.0
+        return forest.learning_rate, forest.base_score
+
     def _reduce(self, pending: dict) -> InferenceResponse:
-        """Grouped reduction: sum shard leaf-sum partials, finalise once."""
+        """Grouped reduction: sum shard partials, finalise once.
+
+        Predict requests sum shard leaf-sum partials and run the full
+        forest's finalisation.  Explain requests sum the shards' raw
+        attribution partials (each shard explains its neutral sub-forest,
+        so partials live in unscaled leaf-sum space) and apply the
+        parent's linear finalisation — shrinkage/averaging scale plus
+        base score — after the sum, keeping the efficiency axiom intact
+        against the full forest's margins.
+        """
         request: InferenceRequest = pending["request"]
         parts = [r for _, r in sorted(pending["parts"])]
         completion = max(r.completion_time for r in parts)
@@ -333,10 +353,25 @@ class TahoeRouter:
             )
             self._observe(merged)
             return merged
-        total = parts[0].predictions.astype(np.float64, copy=True)
-        for part in parts[1:]:
-            total += part.predictions
-        predictions = finalize_predictions(self.forest, total)
+        attributions = base_values = None
+        if request.kind == "explain":
+            phi = parts[0].attributions.astype(np.float64, copy=True)
+            base = np.asarray(parts[0].base_values, dtype=np.float64)
+            for part in parts[1:]:
+                phi += part.attributions
+                base = base + np.asarray(part.base_values, dtype=np.float64)
+            scale, offset = self._finalize_scale()
+            attributions = phi * scale
+            base_values = base * scale + offset
+            # Margins reconstruct from the scaled partials: base + Σ_f φ.
+            predictions = base_values + attributions.sum(axis=1)
+            if np.ndim(base_values) == 0:
+                base_values = float(base_values)
+        else:
+            total = parts[0].predictions.astype(np.float64, copy=True)
+            for part in parts[1:]:
+                total += part.predictions
+            predictions = finalize_predictions(self.forest, total)
         missed = request.deadline is not None and completion > request.deadline
         trace = None
         if self.scheduler.request_tracing:
@@ -375,6 +410,8 @@ class TahoeRouter:
             missed_deadline=missed,
             model_version=f"{self.model_name}@forest{len(parts)}",
             trace=trace,
+            attributions=attributions,
+            base_values=base_values,
         )
         self._observe(merged)
         return merged

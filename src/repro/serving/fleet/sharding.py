@@ -34,6 +34,9 @@ def neutral_sub_forest(forest: Forest, trees, name: str) -> Forest:
     return Forest(
         trees=list(trees),
         n_attributes=forest.n_attributes,
+        # Shards keep the parent's class space: their trees carry class
+        # groups, so partials come back as (n, K) raw per-class sums.
+        n_classes=forest.n_classes,
         task="regression",
         aggregation="sum",
         base_score=0.0,

@@ -19,6 +19,8 @@ from dataclasses import dataclass
 import numpy as np
 
 __all__ = [
+    "KIND_EXPLAIN",
+    "KIND_PREDICT",
     "REJECTED_DEADLINE",
     "REJECTED_QUEUE_FULL",
     "REJECTED_SHARD_OVERLOADED",
@@ -31,6 +33,10 @@ __all__ = [
 REJECTED_QUEUE_FULL = "queue_full"
 REJECTED_DEADLINE = "deadline_exceeded"
 REJECTED_SHARD_OVERLOADED = "shard_overloaded"
+
+#: Request kinds (the only values ``InferenceRequest.kind`` takes).
+KIND_PREDICT = "predict"
+KIND_EXPLAIN = "explain"
 
 
 @dataclass(frozen=True)
@@ -61,6 +67,10 @@ class InferenceRequest:
         user: simulated-population user id the request belongs to
             (``None`` for anonymous traffic) — lets fleet analyses
             attribute load to the user-population model's heavy hitters.
+        kind: ``"predict"`` (the default) or ``"explain"`` — explain
+            requests ask for exact SHAP attributions instead of
+            predictions.  The scheduler coalesces kind-homogeneous
+            micro-batches only (the two kinds run different kernels).
     """
 
     request_id: int
@@ -70,6 +80,7 @@ class InferenceRequest:
     trace_id: str | None = None
     model: str | None = None
     user: int | None = None
+    kind: str = KIND_PREDICT
 
     def __post_init__(self) -> None:
         self.X = np.asarray(self.X, dtype=np.float32)
@@ -77,6 +88,8 @@ class InferenceRequest:
             self.X = self.X[None, :]
         if self.X.shape[0] == 0:
             raise ValueError("empty inference request")
+        if self.kind not in (KIND_PREDICT, KIND_EXPLAIN):
+            raise ValueError(f"unknown request kind {self.kind!r}")
         if self.trace_id is None:
             self.trace_id = f"req-{self.request_id:08d}"
 
@@ -104,6 +117,12 @@ class InferenceResponse:
         trace: per-stage decomposition of the request's lifetime
             (:class:`~repro.serving.tracing.RequestTrace`); ``None``
             when request tracing is disabled.
+        attributions: per-sample SHAP values (explain requests only) —
+            ``(k, n_features)`` or ``(k, n_features, n_classes)``; for
+            explain requests ``predictions`` holds the reconstructed
+            raw margins.
+        base_values: the model's expected margin (explain requests
+            only) — a float, or ``(n_classes,)`` for multiclass.
     """
 
     request_id: int
@@ -114,6 +133,8 @@ class InferenceResponse:
     missed_deadline: bool = False
     model_version: str | None = None
     trace: object | None = None
+    attributions: np.ndarray | None = None
+    base_values: np.ndarray | float | None = None
 
     @property
     def ok(self) -> bool:

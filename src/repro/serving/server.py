@@ -545,6 +545,11 @@ class TahoeServer:
             nxt = self._queue[0]
             if batch and total + nxt.n_samples > self.config.max_batch:
                 break
+            # Kind-homogeneous coalescing: predict and explain requests
+            # run different kernels, so a micro-batch never mixes them —
+            # a kind boundary in the queue closes the batch early.
+            if batch and nxt.kind != batch[0].kind:
+                break
             batch.append(self._queue.popleft())
             total += nxt.n_samples
             self._queued_samples -= nxt.n_samples
@@ -582,7 +587,14 @@ class TahoeServer:
         start = max(now, self._engine_free[g])
         X = np.concatenate([req.X for req in live], axis=0)
         cache_hit = bool(self.engines[g].conversion_stats.cache_hit)
-        result = self.engines[g].predict(X)
+        explaining = live[0].kind == "explain"
+        if explaining:
+            result = self.engines[g].explain(X)
+            metrics.counter(
+                "serving.explain_batches", help="explain micro-batches dispatched"
+            ).inc()
+        else:
+            result = self.engines[g].predict(X)
         service = result.total_time
         completion = start + service
         self._engine_free[g] = completion
@@ -662,6 +674,11 @@ class TahoeServer:
         offset = 0
         for req in live:
             preds = result.predictions[offset : offset + req.n_samples]
+            attrs = (
+                result.attributions[offset : offset + req.n_samples]
+                if explaining
+                else None
+            )
             offset += req.n_samples
             missed = req.deadline is not None and completion > req.deadline
             if missed:
@@ -701,6 +718,8 @@ class TahoeServer:
                     missed_deadline=missed,
                     model_version=label,
                     trace=trace,
+                    attributions=attrs,
+                    base_values=result.base_values if explaining else None,
                 )
             )
 

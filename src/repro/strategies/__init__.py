@@ -26,6 +26,11 @@ from repro.strategies.base import (
     finalize_predictions,
 )
 from repro.strategies.direct import DirectStrategy
+from repro.strategies.explain import (
+    ExplainDirectStrategy,
+    ExplainSharedPathsStrategy,
+    ExplainStrategyResult,
+)
 from repro.strategies.shared_data import SharedDataStrategy
 from repro.strategies.shared_forest import SharedForestStrategy
 from repro.strategies.splitting_shared_forest import SplittingSharedForestStrategy
@@ -33,6 +38,9 @@ from repro.strategies.splitting_shared_forest import SplittingSharedForestStrate
 __all__ = [
     "ALL_STRATEGIES",
     "DirectStrategy",
+    "ExplainDirectStrategy",
+    "ExplainSharedPathsStrategy",
+    "ExplainStrategyResult",
     "SharedDataStrategy",
     "SharedForestStrategy",
     "SplittingSharedForestStrategy",

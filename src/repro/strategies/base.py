@@ -70,12 +70,32 @@ class StrategyResult:
 
 
 def finalize_predictions(forest: Forest, leaf_sum: np.ndarray) -> np.ndarray:
-    """Apply the forest's aggregation and link to raw leaf-value sums."""
+    """Apply the forest's aggregation and link to raw leaf-value sums.
+
+    ``leaf_sum`` is ``(n,)`` for single-output forests (the historical
+    path, bit-for-bit unchanged) or ``(n, n_classes)`` for multiclass —
+    column ``k`` holding the summed leaves of the ``group == k`` trees.
+    Multiclass "mean" divides each column by its own class's tree count;
+    multiclass boosted classification applies softmax instead of the
+    sigmoid link.
+    """
+    leaf_sum = np.asarray(leaf_sum)
+    multiclass = leaf_sum.ndim == 2 and forest.n_classes > 1
     if forest.aggregation == "mean":
-        margin = leaf_sum / forest.n_trees
+        if multiclass:
+            margin = leaf_sum / np.maximum(forest.trees_per_class(), 1)
+        else:
+            margin = leaf_sum / forest.n_trees
     else:
         margin = forest.base_score + forest.learning_rate * leaf_sum
     if forest.task == "classification" and forest.aggregation == "sum":
+        if multiclass:
+            if forest.metadata.get("multiclass_link") == "ovr":
+                # One-vs-all heads: an independent sigmoid per class.
+                return 1.0 / (1.0 + np.exp(-margin))
+            shifted = margin - margin.max(axis=1, keepdims=True)
+            e = np.exp(shifted)
+            return e / e.sum(axis=1, keepdims=True)
         return 1.0 / (1.0 + np.exp(-margin))
     return margin
 

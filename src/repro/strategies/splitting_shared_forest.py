@@ -61,7 +61,10 @@ class SplittingSharedForestStrategy:
             parts = cached_partition(layout, spec.shared_mem_per_block)
         except PartitionError as exc:
             raise StrategyNotApplicable(str(exc)) from exc
-        leaf_sum = np.zeros(n, dtype=np.float64)
+        if forest.n_classes > 1:
+            leaf_sum = np.zeros((n, forest.n_classes), dtype=np.float64)
+        else:
+            leaf_sum = np.zeros(n, dtype=np.float64)
         per_thread_steps: list[np.ndarray] = []
         counters = None
         staged_bytes = 0

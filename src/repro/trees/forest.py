@@ -25,6 +25,12 @@ def _sigmoid(z: np.ndarray) -> np.ndarray:
     return 1.0 / (1.0 + np.exp(-z))
 
 
+def _softmax(z: np.ndarray) -> np.ndarray:
+    shifted = z - z.max(axis=1, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=1, keepdims=True)
+
+
 @dataclass
 class Forest:
     """A decision-tree ensemble.
@@ -40,6 +46,10 @@ class Forest:
             (GBDT's initial prediction; 0 for random forests).
         learning_rate: shrinkage applied to each tree's output under
             ``"sum"`` aggregation.
+        n_classes: output groups.  1 for binary/regression forests (the
+            historical single-margin path); multiclass ensembles set
+            ``n_classes=K`` and tag each tree with its class via
+            ``DecisionTree.group``, making margins ``(n, K)``.
         name: provenance label (usually the dataset name).
     """
 
@@ -50,6 +60,7 @@ class Forest:
     base_score: float = 0.0
     learning_rate: float = 1.0
     name: str = "forest"
+    n_classes: int = 1
     metadata: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -59,12 +70,18 @@ class Forest:
             raise ValueError(f"unknown aggregation {self.aggregation!r}")
         if self.task not in ("classification", "regression"):
             raise ValueError(f"unknown task {self.task!r}")
+        if self.n_classes < 1:
+            raise ValueError(f"n_classes must be >= 1, got {self.n_classes}")
         for t, tree in enumerate(self.trees):
             used = tree.feature[tree.feature >= 0]
             if used.size and used.max() >= self.n_attributes:
                 raise ValueError(
                     f"tree {t} references attribute {int(used.max())} "
                     f">= n_attributes={self.n_attributes}"
+                )
+            if tree.group >= self.n_classes:
+                raise ValueError(
+                    f"tree {t} has group {tree.group} >= n_classes={self.n_classes}"
                 )
 
     @property
@@ -85,6 +102,20 @@ class Forest:
     def tree_depths(self) -> np.ndarray:
         return np.array([tree.depth() for tree in self.trees], dtype=np.int32)
 
+    @property
+    def tree_class(self) -> np.ndarray:
+        """Per-tree output group, in storage order."""
+        return np.array([tree.group for tree in self.trees], dtype=np.int32)
+
+    def trees_per_class(self) -> np.ndarray:
+        """Tree count per output group (the "mean" divisor per class)."""
+        return np.bincount(self.tree_class, minlength=self.n_classes).astype(np.int64)
+
+    @property
+    def has_categorical(self) -> bool:
+        """True when any tree carries bitset (categorical) splits."""
+        return any(tree.cat_offset is not None for tree in self.trees)
+
     def distinct_attributes(self) -> np.ndarray:
         """Sorted attribute indices actually referenced by any tree."""
         used = [tree.feature[tree.feature >= 0] for tree in self.trees]
@@ -96,27 +127,46 @@ class Forest:
     # Prediction
     # ------------------------------------------------------------------
     def raw_margin(self, X: np.ndarray) -> np.ndarray:
-        """Aggregate tree outputs before any link function."""
+        """Aggregate tree outputs before any link function.
+
+        Shape ``(n,)`` for single-output forests, ``(n, n_classes)`` for
+        multiclass (column ``k`` aggregates the trees with ``group == k``).
+        """
         X = np.asarray(X, dtype=np.float32)
-        acc = np.zeros(X.shape[0], dtype=np.float64)
+        if self.n_classes == 1:
+            acc = np.zeros(X.shape[0], dtype=np.float64)
+            for tree in self.trees:
+                acc += tree.predict(X)
+            if self.aggregation == "mean":
+                return acc / self.n_trees
+            return self.base_score + self.learning_rate * acc
+        acc = np.zeros((X.shape[0], self.n_classes), dtype=np.float64)
         for tree in self.trees:
-            acc += tree.predict(X)
+            acc[:, tree.group] += tree.predict(X)
         if self.aggregation == "mean":
-            return acc / self.n_trees
+            return acc / np.maximum(self.trees_per_class(), 1)
         return self.base_score + self.learning_rate * acc
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Final prediction: probabilities for classification, values for
-        regression."""
+        regression.  Multiclass classification returns ``(n, n_classes)``
+        probabilities (softmax over summed margins for boosted models,
+        per-class mean votes for random forests)."""
         margin = self.raw_margin(X)
         if self.task == "classification" and self.aggregation == "sum":
+            if self.n_classes > 1:
+                if self.metadata.get("multiclass_link") == "ovr":
+                    return _sigmoid(margin)
+                return _softmax(margin)
             return _sigmoid(margin)
         return margin
 
     def predict_class(self, X: np.ndarray) -> np.ndarray:
-        """Hard 0/1 labels for classification forests."""
+        """Hard labels for classification forests."""
         if self.task != "classification":
             raise ValueError("predict_class is only valid for classification")
+        if self.n_classes > 1:
+            return np.argmax(self.predict(X), axis=1).astype(np.int32)
         return (self.predict(X) > 0.5).astype(np.int32)
 
     # ------------------------------------------------------------------
@@ -139,6 +189,7 @@ class Forest:
             base_score=self.base_score,
             learning_rate=self.learning_rate,
             name=self.name,
+            n_classes=self.n_classes,
             metadata=dict(self.metadata),
         )
 
@@ -152,6 +203,7 @@ class Forest:
             base_score=self.base_score,
             learning_rate=self.learning_rate,
             name=self.name,
+            n_classes=self.n_classes,
             metadata=dict(self.metadata),
         )
 
@@ -171,6 +223,11 @@ class Forest:
             f"{self.n_attributes}|{self.task}|{self.aggregation}|"
             f"{self.base_score!r}|{self.learning_rate!r}|{self.n_trees}".encode()
         )
+        # New capabilities fold in only when present, so fingerprints of
+        # pre-existing single-class numeric forests are unchanged (cache
+        # keys and packed artifacts stay valid across the upgrade).
+        if self.n_classes > 1:
+            h.update(f"|classes={self.n_classes}".encode())
         for tree in self.trees:
             for arr in (
                 tree.feature,
@@ -182,4 +239,9 @@ class Forest:
                 tree.visit_count,
             ):
                 h.update(np.ascontiguousarray(arr).tobytes())
+            if tree.group:
+                h.update(f"|group={tree.group}".encode())
+            if tree.cat_offset is not None:
+                for arr in (tree.cat_offset, tree.cat_count, tree.cat_bits):
+                    h.update(np.ascontiguousarray(arr).tobytes())
         return h.hexdigest()

@@ -59,6 +59,25 @@ def _decode_array(payload: dict) -> np.ndarray:
     return arr.astype(dtype.newbyteorder("="))  # native-endian, writable copy
 
 
+#: Optional categorical-bitset arrays (present only on trees that carry
+#: LightGBM-style categorical splits); absent keys keep old files valid.
+_CAT_ARRAYS = {
+    "cat_offset": np.int64,
+    "cat_count": np.int32,
+    "cat_bits": np.uint32,
+}
+
+
+def _tree_extras_v1(tree: DecisionTree) -> dict:
+    extras: dict = {}
+    if tree.group:
+        extras["group"] = int(tree.group)
+    if tree.cat_offset is not None:
+        for name in _CAT_ARRAYS:
+            extras[name] = getattr(tree, name).tolist()
+    return extras
+
+
 def _tree_to_dict_v1(tree: DecisionTree) -> dict:
     return {
         "feature": tree.feature.tolist(),
@@ -69,17 +88,29 @@ def _tree_to_dict_v1(tree: DecisionTree) -> dict:
         "default_left": tree.default_left.tolist(),
         "visit_count": tree.visit_count.tolist(),
         "flip": tree.flip.tolist(),
+        **_tree_extras_v1(tree),
     }
 
 
 def _tree_to_dict_v2(tree: DecisionTree) -> dict:
-    return {
+    payload = {
         name: _encode_array(getattr(tree, name), dtype)
         for name, dtype in _TREE_ARRAYS.items()
     }
+    if tree.group:
+        payload["group"] = int(tree.group)
+    if tree.cat_offset is not None:
+        for name, dtype in _CAT_ARRAYS.items():
+            payload[name] = _encode_array(getattr(tree, name), dtype)
+    return payload
 
 
 def _tree_from_dict_v1(payload: dict) -> DecisionTree:
+    cats = {
+        name: np.array(payload[name], dtype=dtype)
+        for name, dtype in _CAT_ARRAYS.items()
+        if name in payload
+    }
     return DecisionTree(
         feature=np.array(payload["feature"], dtype=np.int32),
         threshold=np.array(payload["threshold"], dtype=np.float32),
@@ -89,6 +120,8 @@ def _tree_from_dict_v1(payload: dict) -> DecisionTree:
         default_left=np.array(payload["default_left"], dtype=bool),
         visit_count=np.array(payload["visit_count"], dtype=np.int64),
         flip=np.array(payload.get("flip", [False] * len(payload["feature"])), dtype=bool),
+        group=int(payload.get("group", 0)),
+        **cats,
     )
 
 
@@ -96,10 +129,13 @@ def _tree_from_dict_v2(payload: dict) -> DecisionTree:
     arrays = {
         name: _decode_array(payload[name]) for name in _TREE_ARRAYS if name in payload
     }
+    arrays.update(
+        {name: _decode_array(payload[name]) for name in _CAT_ARRAYS if name in payload}
+    )
     # ``flip`` is optional in both versions: pre-rearrangement forests
     # may omit it, and the loader defaults it to all-False.
     arrays.setdefault("flip", None)
-    return DecisionTree(**arrays)
+    return DecisionTree(group=int(payload.get("group", 0)), **arrays)
 
 
 def forest_to_dict(forest: Forest, *, format_version: int = _FORMAT_VERSION) -> dict:
@@ -113,7 +149,7 @@ def forest_to_dict(forest: Forest, *, format_version: int = _FORMAT_VERSION) -> 
     if format_version not in (1, 2):
         raise ValueError(f"unsupported forest format version: {format_version!r}")
     to_tree = _tree_to_dict_v1 if format_version == 1 else _tree_to_dict_v2
-    return {
+    payload = {
         "format_version": format_version,
         "n_attributes": forest.n_attributes,
         "task": forest.task,
@@ -124,6 +160,11 @@ def forest_to_dict(forest: Forest, *, format_version: int = _FORMAT_VERSION) -> 
         "metadata": forest.metadata,
         "trees": [to_tree(tree) for tree in forest.trees],
     }
+    # Written only for multiclass forests so single-output files are
+    # byte-identical to what earlier writers produced.
+    if forest.n_classes > 1:
+        payload["n_classes"] = int(forest.n_classes)
+    return payload
 
 
 def forest_from_dict(payload: dict) -> Forest:
@@ -139,6 +180,7 @@ def forest_from_dict(payload: dict) -> Forest:
     return Forest(
         trees=[from_tree(t) for t in payload["trees"]],
         n_attributes=int(payload["n_attributes"]),
+        n_classes=int(payload.get("n_classes", 1) or 1),
         task=payload["task"],
         aggregation=payload["aggregation"],
         base_score=float(payload["base_score"]),

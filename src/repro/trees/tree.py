@@ -18,6 +18,18 @@ decision node stores:
   sample goes left when ``x[feature] >= threshold``.  The real engine
   stores this bit in the node record; we store it as a parallel array.
 
+Categorical splits (LightGBM's ``decision_type & 1`` nodes) are stored as
+bitsets: a node with ``cat_offset[i] >= 0`` tests membership of
+``int(x[feature])`` in the set whose ``cat_count[i]`` uint32 words start
+at ``cat_bits[cat_offset[i]]``.  Membership routes left before the flip
+bit; NaN follows the default path; negative or out-of-range codes are
+non-members.  Numeric nodes keep ``cat_offset[i] == -1``, and purely
+numeric trees keep ``cat_offset is None`` so the hot paths stay
+branch-free.
+
+Multiclass ensembles tag each tree with the class (``group``) its leaf
+values contribute to; single-output trees keep the default group 0.
+
 The layout is intentionally decoupled from any on-GPU storage format —
 :mod:`repro.formats` flattens trees into reorg / adaptive layouts.
 """
@@ -50,6 +62,10 @@ class DecisionTree:
     default_left: np.ndarray
     visit_count: np.ndarray
     flip: np.ndarray | None = None
+    group: int = 0
+    cat_offset: np.ndarray | None = None
+    cat_count: np.ndarray | None = None
+    cat_bits: np.ndarray | None = None
     validate_on_init: bool = field(default=True, repr=False)
 
     def __post_init__(self) -> None:
@@ -64,6 +80,13 @@ class DecisionTree:
             self.flip = np.zeros(self.feature.shape[0], dtype=bool)
         else:
             self.flip = np.asarray(self.flip, dtype=bool)
+        self.group = int(self.group)
+        if self.cat_offset is not None:
+            self.cat_offset = np.asarray(self.cat_offset, dtype=np.int64)
+            self.cat_count = np.asarray(self.cat_count, dtype=np.int32)
+            self.cat_bits = np.asarray(
+                self.cat_bits if self.cat_bits is not None else [], dtype=np.uint32
+            )
         if self.validate_on_init:
             self.validate()
 
@@ -82,6 +105,33 @@ class DecisionTree:
     @property
     def n_leaves(self) -> int:
         return int(np.count_nonzero(self.is_leaf))
+
+    @property
+    def has_categorical(self) -> bool:
+        """True when any node tests bitset membership."""
+        return self.cat_offset is not None and bool((self.cat_offset >= 0).any())
+
+    @property
+    def is_categorical(self) -> np.ndarray:
+        """Boolean mask of categorical decision nodes."""
+        if self.cat_offset is None:
+            return np.zeros(self.n_nodes, dtype=bool)
+        return self.cat_offset >= 0
+
+    def cat_member(self, nodes: np.ndarray, vals: np.ndarray) -> np.ndarray:
+        """Bitset membership of ``int(vals)`` at categorical ``nodes``.
+
+        NaN, negative, and out-of-range codes are non-members (LightGBM's
+        routing: only codes present in the stored set go left).
+        """
+        nodes = np.asarray(nodes)
+        vals = np.asarray(vals, dtype=np.float64)
+        code = np.where(np.isfinite(vals) & (vals >= 0), vals, -1.0).astype(np.int64)
+        word = code >> 5
+        valid = (code >= 0) & (word < self.cat_count[nodes].astype(np.int64))
+        slot = self.cat_offset[nodes] + np.where(valid, word, 0)
+        bits = self.cat_bits[slot].astype(np.int64)
+        return valid & (((bits >> (code & 31)) & 1) == 1)
 
     def depth(self) -> int:
         """Depth of the tree: number of edges on the longest root→leaf path."""
@@ -179,6 +229,11 @@ class DecisionTree:
             vals = X[np.nonzero(active)[0], feat]
             missing = np.isnan(vals)
             go_left = (vals < self.threshold[cur]) ^ self.flip[cur]
+            if self.cat_offset is not None:
+                cat = self.cat_offset[cur] >= 0
+                if cat.any():
+                    member = self.cat_member(cur[cat], vals[cat])
+                    go_left[cat] = member ^ self.flip[cur[cat]]
             go_left = np.where(missing, self.default_left[cur], go_left)
             nxt = np.where(go_left, self.left[cur], self.right[cur])
             node[active] = nxt
@@ -194,6 +249,9 @@ class DecisionTree:
             v = x[self.feature[node]]
             if np.isnan(v):
                 go_left = bool(self.default_left[node])
+            elif self.cat_offset is not None and self.cat_offset[node] >= 0:
+                member = bool(self.cat_member(np.array([node]), np.array([v]))[0])
+                go_left = member ^ bool(self.flip[node])
             else:
                 go_left = bool(v < self.threshold[node]) ^ bool(self.flip[node])
             node = int(self.left[node] if go_left else self.right[node])
@@ -240,6 +298,10 @@ class DecisionTree:
             default_left=self.default_left.copy(),
             visit_count=self.visit_count.copy(),
             flip=self.flip.copy(),
+            group=self.group,
+            cat_offset=None if self.cat_offset is None else self.cat_offset.copy(),
+            cat_count=None if self.cat_count is None else self.cat_count.copy(),
+            cat_bits=None if self.cat_bits is None else self.cat_bits.copy(),
             validate_on_init=False,
         )
 
@@ -260,9 +322,23 @@ class DecisionTree:
             "visit_count": self.visit_count.shape[0],
             "flip": self.flip.shape[0],
         }
+        if self.cat_offset is not None:
+            lengths["cat_offset"] = self.cat_offset.shape[0]
+            lengths["cat_count"] = self.cat_count.shape[0]
         for name, length in lengths.items():
             if length != n:
                 raise ValueError(f"array {name} has length {length}, expected {n}")
+        if self.group < 0:
+            raise ValueError(f"tree group must be >= 0, got {self.group}")
+        if self.cat_offset is not None:
+            cat = self.cat_offset >= 0
+            if (cat & self.is_leaf).any():
+                raise ValueError("leaf nodes cannot carry categorical bitsets")
+            if (self.cat_count[cat] < 1).any():
+                raise ValueError("categorical nodes need at least one bitset word")
+            ends = self.cat_offset[cat] + self.cat_count[cat]
+            if cat.any() and int(ends.max()) > self.cat_bits.shape[0]:
+                raise ValueError("categorical bitset extends past cat_bits pool")
         is_leaf = self.is_leaf
         for node in range(n):
             lo, hi = int(self.left[node]), int(self.right[node])

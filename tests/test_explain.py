@@ -1,0 +1,396 @@
+"""Tests for the SHAP explanation subsystem (``repro.explain``).
+
+Two pillars pin correctness:
+
+* The **efficiency axiom** — per-sample attributions plus the base value
+  reconstruct the engine's raw margin exactly (float64 tolerance) — on
+  hypothesis-generated random forests including NaN routing and
+  threshold ties, through every engine path (simulated Tahoe and FIL,
+  native numpy, native numba when present).
+* A **differential test** against a brute-force exhaustive-subset
+  Shapley reference on tiny forests (≤4 features, ≤3 trees), per class
+  for multiclass — the kernel's polynomial-time recurrence must match
+  the O(2^F) definition, not just sum correctly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FILEngine, TahoeEngine
+from repro.core.native import HAVE_NUMBA, NativeEngine
+from repro.explain import (
+    brute_force_shapley,
+    build_path_set,
+    compute_shap,
+    path_set_for_layout,
+)
+from repro.formats import build_adaptive_layout
+from repro.gpusim.specs import GPU_SPECS
+from repro.trees.forest import Forest
+from repro.trees.tree import LEAF, DecisionTree
+
+SPEC = GPU_SPECS["P100"]
+
+#: Threshold grid shared with the sample generator so draws produce
+#: exact ties (x == threshold) often.
+_GRID = np.array([-1.0, -0.5, 0.0, 0.5, 1.0], dtype=np.float32)
+
+
+def _grow_tree(rng, n_features, max_depth, group=0):
+    feature, threshold, left, right = [], [], [], []
+    value, default_left, visits = [], [], []
+
+    def grow(depth, visit):
+        node = len(feature)
+        feature.append(LEAF)
+        threshold.append(0.0)
+        left.append(LEAF)
+        right.append(LEAF)
+        value.append(float(rng.standard_normal()))
+        default_left.append(bool(rng.random() < 0.5))
+        visits.append(int(visit))
+        if depth < max_depth and visit >= 2 and rng.random() < 0.75:
+            feature[node] = int(rng.integers(0, n_features))
+            threshold[node] = float(rng.choice(_GRID))
+            lv = int(rng.integers(1, visit))
+            left[node] = grow(depth + 1, lv)
+            right[node] = grow(depth + 1, visit - lv)
+        return node
+
+    grow(0, int(rng.integers(4, 500)))
+    return DecisionTree(
+        feature=np.array(feature, dtype=np.int32),
+        threshold=np.array(threshold, dtype=np.float32),
+        left=np.array(left, dtype=np.int32),
+        right=np.array(right, dtype=np.int32),
+        value=np.array(value, dtype=np.float32),
+        default_left=np.array(default_left),
+        visit_count=np.array(visits, dtype=np.int64),
+        group=group,
+    )
+
+
+@st.composite
+def random_forests(draw, max_trees=6, max_features=6, max_depth=4):
+    """A random forest plus a sample block with NaNs and exact ties."""
+    seed = draw(st.integers(0, 2**31 - 1))
+    n_features = draw(st.integers(1, max_features))
+    n_classes = draw(st.sampled_from([1, 1, 2, 3]))
+    n_trees = draw(st.integers(max(1, n_classes), max_trees))
+    aggregation = draw(st.sampled_from(["sum", "mean"]))
+    rng = np.random.default_rng(seed)
+    trees = [
+        _grow_tree(rng, n_features, max_depth, group=i % n_classes)
+        for i in range(n_trees)
+    ]
+    forest = Forest(
+        trees=trees,
+        n_attributes=n_features,
+        aggregation=aggregation,
+        learning_rate=float(rng.uniform(0.1, 1.0)) if aggregation == "sum" else 1.0,
+        base_score=float(rng.normal()) if aggregation == "sum" else 0.0,
+        n_classes=n_classes,
+    )
+    n_samples = draw(st.integers(1, 12))
+    # Draw from the threshold grid (ties), off-grid noise, and NaN.
+    X = rng.choice(_GRID, size=(n_samples, n_features)).astype(np.float32)
+    noise = rng.random((n_samples, n_features))
+    X = np.where(noise < 0.3, rng.normal(size=X.shape).astype(np.float32), X)
+    X[noise > 0.85] = np.nan
+    return forest, X
+
+
+def _check_efficiency(forest, X, attributions, base_values, predictions):
+    raw = np.asarray(forest.raw_margin(X), dtype=np.float64)
+    phi = np.asarray(attributions, dtype=np.float64)
+    if phi.ndim == 2:
+        raw = raw[:, 0] if raw.ndim == 2 else raw
+    recon = np.asarray(base_values) + phi.sum(axis=1)
+    np.testing.assert_allclose(recon, raw, rtol=1e-9, atol=1e-9)
+    # The result's own predictions are the same margins.
+    np.testing.assert_allclose(
+        np.asarray(predictions, dtype=np.float64), raw, rtol=1e-9, atol=1e-9
+    )
+
+
+class TestEfficiencyAxiom:
+    @given(random_forests())
+    @settings(max_examples=40, deadline=None)
+    def test_tahoe_engine(self, forest_X):
+        forest, X = forest_X
+        result = TahoeEngine(forest, SPEC).explain(X)
+        _check_efficiency(
+            forest, X, result.attributions, result.base_values, result.predictions
+        )
+
+    @given(random_forests())
+    @settings(max_examples=15, deadline=None)
+    def test_fil_engine(self, forest_X):
+        forest, X = forest_X
+        result = FILEngine(forest, SPEC).explain(X)
+        _check_efficiency(
+            forest, X, result.attributions, result.base_values, result.predictions
+        )
+
+    @given(random_forests())
+    @settings(max_examples=15, deadline=None)
+    def test_native_engine_numpy(self, forest_X):
+        forest, X = forest_X
+        result = NativeEngine(forest, SPEC, kernel="numpy").explain(X)
+        assert result.time_domain == "wall"
+        _check_efficiency(
+            forest, X, result.attributions, result.base_values, result.predictions
+        )
+
+    @pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+    def test_native_engine_numba(self):
+        rng = np.random.default_rng(3)
+        trees = [_grow_tree(rng, 5, 4) for _ in range(6)]
+        forest = Forest(trees=trees, n_attributes=5, aggregation="mean")
+        X = rng.normal(size=(20, 5)).astype(np.float32)
+        X[2, 1] = np.nan
+        result = NativeEngine(forest, SPEC, kernel="numba").explain(X)
+        _check_efficiency(
+            forest, X, result.attributions, result.base_values, result.predictions
+        )
+
+
+@st.composite
+def tiny_forests(draw):
+    """Forests small enough for the O(2^F · paths) reference."""
+    seed = draw(st.integers(0, 2**31 - 1))
+    n_features = draw(st.integers(1, 4))
+    n_classes = draw(st.sampled_from([1, 1, 2]))
+    n_trees = draw(st.integers(max(1, n_classes), 3))
+    aggregation = draw(st.sampled_from(["sum", "mean"]))
+    rng = np.random.default_rng(seed)
+    trees = [
+        _grow_tree(rng, n_features, 3, group=i % n_classes) for i in range(n_trees)
+    ]
+    forest = Forest(
+        trees=trees,
+        n_attributes=n_features,
+        aggregation=aggregation,
+        learning_rate=float(rng.uniform(0.1, 1.0)) if aggregation == "sum" else 1.0,
+        base_score=float(rng.normal()) if aggregation == "sum" else 0.0,
+        n_classes=n_classes,
+    )
+    X = rng.choice(_GRID, size=(draw(st.integers(1, 4)), n_features)).astype(
+        np.float32
+    )
+    if draw(st.booleans()):
+        X[0, 0] = np.nan
+    return forest, X
+
+
+class TestBruteForceDifferential:
+    @given(tiny_forests())
+    @settings(max_examples=30, deadline=None)
+    def test_kernel_matches_exhaustive_shapley(self, forest_X):
+        forest, X = forest_X
+        ps = build_path_set(forest)
+        phi, base, _margins = compute_shap(ps, X)
+        ref_phi, ref_base = brute_force_shapley(forest, X)
+        np.testing.assert_allclose(phi, ref_phi, rtol=1e-9, atol=1e-10)
+        np.testing.assert_allclose(base, ref_base, rtol=1e-9, atol=1e-10)
+
+    def test_multiclass_per_class_attributions(self):
+        rng = np.random.default_rng(11)
+        trees = [_grow_tree(rng, 3, 3, group=i % 2) for i in range(2)]
+        forest = Forest(
+            trees=trees,
+            n_attributes=3,
+            aggregation="sum",
+            learning_rate=0.5,
+            base_score=0.2,
+            n_classes=2,
+        )
+        X = rng.choice(_GRID, size=(5, 3)).astype(np.float32)
+        phi, base, _ = compute_shap(build_path_set(forest), X)
+        ref_phi, ref_base = brute_force_shapley(forest, X)
+        assert phi.shape == (5, 3, 2)
+        for k in range(2):
+            np.testing.assert_allclose(
+                phi[:, :, k], ref_phi[:, :, k], rtol=1e-9, atol=1e-10
+            )
+        np.testing.assert_allclose(base, ref_base, rtol=1e-9, atol=1e-10)
+
+
+class TestCategoricalExplain:
+    def _cat_forest(self):
+        # Root: categorical membership on feature 0 ({2, 5} of 8 codes);
+        # left subtree splits numerically on feature 1.
+        tree = DecisionTree(
+            feature=np.array([0, 1, LEAF, LEAF, LEAF], dtype=np.int32),
+            threshold=np.array([0.0, 0.5, 0.0, 0.0, 0.0], dtype=np.float32),
+            left=np.array([1, 3, LEAF, LEAF, LEAF], dtype=np.int32),
+            right=np.array([2, 4, LEAF, LEAF, LEAF], dtype=np.int32),
+            value=np.array([0.0, 0.0, 0.3, -0.2, 0.7], dtype=np.float32),
+            default_left=np.array([False, True, False, False, False]),
+            visit_count=np.array([100, 60, 40, 35, 25], dtype=np.int64),
+            cat_offset=np.array([0, -1, -1, -1, -1], dtype=np.int64),
+            cat_count=np.array([1, 0, 0, 0, 0], dtype=np.int32),
+            cat_bits=np.array([(1 << 2) | (1 << 5)], dtype=np.uint32),
+        )
+        return Forest(trees=[tree], n_attributes=2, aggregation="sum")
+
+    def test_efficiency_with_bitset_nan_and_out_of_range(self):
+        forest = self._cat_forest()
+        X = np.array(
+            [[2.0, 0.1], [2.0, 0.9], [5.0, 0.4], [3.0, 0.0],
+             [np.nan, 0.0], [-4.0, 0.2], [999.0, 0.2]],
+            dtype=np.float32,
+        )
+        result = TahoeEngine(forest, SPEC).explain(X)
+        _check_efficiency(
+            forest, X, result.attributions, result.base_values, result.predictions
+        )
+
+    def test_matches_brute_force(self):
+        forest = self._cat_forest()
+        X = np.array(
+            [[2.0, 0.1], [5.0, 0.9], [3.0, 0.4], [np.nan, 0.0]], dtype=np.float32
+        )
+        phi, base, _ = compute_shap(build_path_set(forest), X)
+        ref_phi, ref_base = brute_force_shapley(forest, X)
+        np.testing.assert_allclose(phi, ref_phi, rtol=1e-9, atol=1e-10)
+        np.testing.assert_allclose(base, ref_base, rtol=1e-9, atol=1e-10)
+
+
+class TestStrategies:
+    def test_shared_paths_matches_direct_bitwise(self, small_forest):
+        from repro.strategies import ExplainDirectStrategy, ExplainSharedPathsStrategy
+
+        layout = build_adaptive_layout(small_forest)
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(32, small_forest.n_attributes)).astype(np.float32)
+        rows = np.arange(32, dtype=np.int64)
+        direct = ExplainDirectStrategy().run(layout, X, SPEC, sample_rows=rows)
+        ps = path_set_for_layout(layout)
+        if ps.image_bytes <= SPEC.shared_mem_per_block:
+            shared = ExplainSharedPathsStrategy().run(
+                layout, X, SPEC, sample_rows=rows
+            )
+            np.testing.assert_array_equal(direct.attributions, shared.attributions)
+            np.testing.assert_array_equal(direct.predictions, shared.predictions)
+
+    def test_rank_explain_strategies(self, small_forest):
+        from repro.perfmodel import measure_hardware_parameters, rank_explain_strategies
+
+        layout = build_adaptive_layout(small_forest)
+        hw = measure_hardware_parameters(SPEC)
+        choices = rank_explain_strategies(layout, 1000, SPEC, hw)
+        assert [c.name for c in choices][0] in (
+            "explain_direct",
+            "explain_shared_paths",
+        )
+        assert choices[0].predicted_time < float("inf")
+        assert choices == sorted(choices, key=lambda c: c.predicted_time)
+
+    def test_engine_records_explain_decisions(self, small_forest):
+        engine = TahoeEngine(small_forest, SPEC)
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(40, small_forest.n_attributes)).astype(np.float32)
+        result = engine.explain(X, batch_size=20, report=True)
+        assert len(result.batches) == 2
+        assert all(
+            s in ("explain_direct", "explain_shared_paths")
+            for s in result.strategies_used
+        )
+        assert result.report is not None
+
+
+class TestServingExplain:
+    def test_mixed_kinds_batch_homogeneously(self, small_forest, p100, test_X):
+        from repro.serving import InferenceRequest, SchedulerConfig, TahoeServer
+
+        server = TahoeServer(
+            small_forest,
+            p100,
+            scheduler=SchedulerConfig(n_engines=1, max_wait=1e-3, max_batch=256),
+        )
+        reqs = [
+            InferenceRequest(
+                request_id=i,
+                X=test_X[i % test_X.shape[0]][None, :],
+                arrival_time=i * 1e-5,
+                kind="explain" if i % 3 == 0 else "predict",
+            )
+            for i in range(30)
+        ]
+        result = server.run(reqs)
+        assert all(r.ok for r in result.responses)
+        engine = TahoeEngine(small_forest, p100)
+        for r in result.responses:
+            x = test_X[r.request_id % test_X.shape[0]][None, :]
+            if r.request_id % 3 == 0:
+                assert r.attributions is not None
+                single = engine.explain(x)
+                np.testing.assert_array_equal(r.attributions, single.attributions)
+                np.testing.assert_array_equal(r.predictions, single.predictions)
+            else:
+                assert r.attributions is None
+                np.testing.assert_allclose(
+                    r.predictions, small_forest.predict(x), rtol=1e-5
+                )
+
+    def test_unknown_kind_rejected(self, test_X):
+        from repro.serving import InferenceRequest
+
+        with pytest.raises(ValueError, match="unknown request kind"):
+            InferenceRequest(
+                request_id=0, X=test_X[0], arrival_time=0.0, kind="interpret"
+            )
+
+    def test_fleet_forest_mode_explains(self, small_forest, p100, test_X):
+        from repro.serving import InferenceRequest, SchedulerConfig
+        from repro.serving.fleet import TahoeRouter
+
+        sched = SchedulerConfig(n_engines=1, max_wait=1e-3, max_batch=256)
+        reqs = [
+            InferenceRequest(
+                request_id=i,
+                X=test_X[i][None, :],
+                arrival_time=i * 1e-5,
+                kind="explain",
+            )
+            for i in range(8)
+        ]
+        router = TahoeRouter(
+            small_forest, p100, n_shards=3, mode="forest", scheduler=sched
+        )
+        result = router.run(reqs)
+        engine = TahoeEngine(small_forest, p100)
+        assert len(result.responses) == 8
+        for r in result.responses:
+            assert r.ok
+            single = engine.explain(test_X[r.request_id][None, :])
+            np.testing.assert_allclose(
+                r.attributions, single.attributions, rtol=1e-9, atol=1e-12
+            )
+            np.testing.assert_allclose(r.base_values, single.base_values, rtol=1e-9)
+            np.testing.assert_allclose(
+                r.predictions, single.predictions, rtol=1e-9, atol=1e-12
+            )
+            assert [s.stage for s in r.trace.spans][-1] == "grouped_reduction"
+
+
+class TestPathSet:
+    def test_counts_and_caching(self, small_forest):
+        layout = build_adaptive_layout(small_forest)
+        ps = path_set_for_layout(layout)
+        assert ps is path_set_for_layout(layout)  # cached on the layout
+        assert ps.n_paths == sum(
+            int((t.feature == LEAF).sum()) for t in small_forest.trees
+        )
+        assert ps.n_edges >= ps.n_paths - small_forest.n_trees
+        assert ps.image_bytes > 0
+
+    def test_leaf_only_tree_contributes_base_only(self):
+        stump = DecisionTree.single_leaf(1.5, visit_count=10)
+        forest = Forest(trees=[stump], n_attributes=2, aggregation="sum")
+        phi, base, margins = compute_shap(build_path_set(forest), np.zeros((3, 2), np.float32))
+        np.testing.assert_allclose(phi, 0.0)
+        np.testing.assert_allclose(margins[:, 0], 1.5)

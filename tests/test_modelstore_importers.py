@@ -27,10 +27,19 @@ def _sigmoid(m):
     return 1.0 / (1.0 + math.exp(-m))
 
 
-def _xgb_payload(trees, objective="binary:logistic", base_score="5E-1", num_class="0"):
+def _xgb_payload(
+    trees,
+    objective="binary:logistic",
+    base_score="5E-1",
+    num_class="0",
+    tree_info=None,
+):
+    model = {"trees": trees}
+    if tree_info is not None:
+        model["tree_info"] = tree_info
     return {
         "learner": {
-            "gradient_booster": {"name": "gbtree", "model": {"trees": trees}},
+            "gradient_booster": {"name": "gbtree", "model": model},
             "learner_model_param": {
                 "base_score": base_score,
                 "num_class": num_class,
@@ -73,8 +82,37 @@ class TestXGBoostJSON:
             forest.trees[0].visit_count, [100, 60, 40, 35, 25]
         )
 
-    def test_multiclass_rejected(self):
-        with pytest.raises(ModelImportError, match="multiclass"):
+    def test_multiclass_imports_per_class_groups(self):
+        def leaf(v):
+            return {
+                "left_children": [-1],
+                "right_children": [-1],
+                "split_indices": [0],
+                "split_conditions": [v],
+                "default_left": [0],
+                "sum_hessian": [1.0],
+            }
+
+        forest = from_xgboost_json(
+            _xgb_payload(
+                [leaf(1.0), leaf(0.5), leaf(-0.5)],
+                objective="multi:softprob",
+                base_score="0.5",
+                num_class="3",
+                tree_info=[0, 1, 2],
+            )
+        )
+        assert forest.n_classes == 3
+        assert [t.group for t in forest.trees] == [0, 1, 2]
+        probs = forest.predict(np.zeros((2, 2), dtype=np.float32))
+        assert probs.shape == (2, 3)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-12)
+        # softmax over the per-class margins (base_score shift cancels)
+        e = np.exp([1.0, 0.5, -0.5])
+        np.testing.assert_allclose(probs[0], e / e.sum(), rtol=1e-6)
+
+    def test_multiclass_without_tree_info_rejected(self):
+        with pytest.raises(ModelImportError, match="tree_info"):
             from_xgboost_json(_xgb_payload([_XGB_TREE], num_class="3"))
 
     def test_regression_objective_keeps_base_score(self):
@@ -156,14 +194,72 @@ end of trees
         assert forest.metadata["source_format"] == "lightgbm-text"
         assert forest.task == "classification"
 
-    def test_categorical_split_rejected(self):
-        text = self.TEXT.replace("decision_type=2 0", "decision_type=1 0")
-        with pytest.raises(ModelImportError, match="categorical"):
+    CAT_TEXT = """tree
+num_class=1
+max_feature_idx=1
+objective=binary sigmoid:1
+
+Tree=0
+num_leaves=3
+num_cat=1
+split_feature=0 1
+threshold=0 1.5
+decision_type=1 0
+left_child=-1 -2
+right_child=1 -3
+leaf_value=-0.2 0.7 0.3
+leaf_count=60 25 15
+internal_count=100 40
+cat_boundaries=0 1
+cat_threshold=10
+
+end of trees
+"""
+
+    def test_categorical_split_bitset_routing(self):
+        # Node 0 is categorical on feature 0 with bitset 10 = {1, 3}:
+        # members go left (leaf -0.2), everything else (including NaN,
+        # default right for decision_type=1) goes to the numeric subtree.
+        forest = from_lightgbm_text(self.CAT_TEXT)
+        assert forest.has_categorical
+        X = np.array(
+            [[1.0, 0.0], [3.0, 0.0], [2.0, 1.0], [2.0, 2.0], [np.nan, 2.0], [-1.0, 2.0]],
+            dtype=np.float32,
+        )
+        expected = [_sigmoid(m) for m in (-0.2, -0.2, 0.7, 0.3, 0.3, 0.3)]
+        np.testing.assert_allclose(forest.predict(X), expected, rtol=1e-6)
+
+    def test_categorical_without_bitsets_rejected(self):
+        text = self.CAT_TEXT.replace("cat_boundaries=0 1\ncat_threshold=10\n", "")
+        with pytest.raises(ModelImportError, match="cat_boundaries"):
             from_lightgbm_text(text)
 
-    def test_multiclass_rejected(self):
+    def test_multiclass_tree_groups_and_softmax(self):
+        stump = """Tree={i}
+num_leaves=1
+leaf_value={v}
+
+"""
+        text = (
+            "tree\nnum_class=3\nmax_feature_idx=1\nobjective=multiclass "
+            "num_class:3\n\n"
+            + "".join(
+                stump.format(i=i, v=v)
+                for i, v in enumerate([1.0, 0.5, -0.5, 0.2, -0.2, 0.1])
+            )
+            + "end of trees\n"
+        )
+        forest = from_lightgbm_text(text, n_attributes=2)
+        assert forest.n_classes == 3
+        # tree i belongs to class i % num_class
+        assert [t.group for t in forest.trees] == [0, 1, 2, 0, 1, 2]
+        probs = forest.predict(np.zeros((1, 2), dtype=np.float32))
+        e = np.exp([1.2, 0.3, -0.4])
+        np.testing.assert_allclose(probs[0], e / e.sum(), rtol=1e-6)
+
+    def test_multiclass_tree_count_mismatch_rejected(self):
         text = self.TEXT.replace("num_class=1", "num_class=3")
-        with pytest.raises(ModelImportError, match="multiclass"):
+        with pytest.raises(ModelImportError, match="multiple of num_class"):
             from_lightgbm_text(text)
 
     def test_single_leaf_tree(self):
@@ -243,12 +339,54 @@ class TestSklearn:
             forest.predict(X), [3.0 + 0.1 * 1.5, 3.0 + 0.1 * (-0.75)], rtol=1e-6
         )
 
-    def test_multiclass_rejected(self):
+    def test_multiclass_rf_replicates_per_class(self):
         rf = type("RF", (), {})()
-        rf.estimators_ = [_FakeEstimator([[[1, 1]]])]
+        rf.estimators_ = [
+            _FakeEstimator([[[80, 10, 10]], [[50, 5, 5]], [[30, 5, 5]]]),
+            _FakeEstimator([[[20, 40, 40]], [[10, 40, 10]], [[10, 0, 30]]]),
+        ]
         rf.classes_ = np.array([0, 1, 2])
-        with pytest.raises(ModelImportError, match="multiclass"):
-            sklearn_to_export_dict(rf)
+        rf.n_features_in_ = 1
+        forest = from_sklearn(rf)
+        assert forest.n_classes == 3
+        # each estimator replicated once per class, replica k grouped k
+        assert [t.group for t in forest.trees] == [0, 1, 2, 0, 1, 2]
+        X = np.array([[0.0], [1.0]], dtype=np.float32)
+        probs = forest.predict(X)
+        assert probs.shape == (2, 3)
+        # float32 leaves: the per-class means sum to 1 up to rounding
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-6)
+        # left leaves: (50,5,5)/60 and (10,40,10)/60 averaged per class
+        np.testing.assert_allclose(
+            probs[0],
+            [(50 / 60 + 10 / 60) / 2, (5 / 60 + 40 / 60) / 2, (5 / 60 + 10 / 60) / 2],
+            rtol=1e-6,
+        )
+
+    def test_multiclass_gb_flattens_stage_grid_with_priors(self):
+        gb = type("GB", (), {})()
+        gb.estimators_ = np.array(
+            [
+                [
+                    _FakeEstimator([[[0.0]], [[1.0]], [[-1.0]]]),
+                    _FakeEstimator([[[0.0]], [[0.5]], [[0.25]]]),
+                    _FakeEstimator([[[0.0]], [[-0.5]], [[0.75]]]),
+                ]
+            ],
+            dtype=object,
+        )
+        gb.learning_rate = 0.1
+        gb.classes_ = np.array([0, 1, 2])
+        gb.n_features_in_ = 1
+        prior = np.array([0.5, 0.3, 0.2])
+        gb.init_ = type("Init", (), {"class_prior_": prior})()
+        forest = from_sklearn(gb)
+        assert forest.n_classes == 3
+        assert forest.aggregation == "sum"
+        X = np.array([[0.0]], dtype=np.float32)
+        margins = np.log(prior) + 0.1 * np.array([1.0, 0.5, -0.5])
+        e = np.exp(margins - margins.max())
+        np.testing.assert_allclose(forest.predict(X)[0], e / e.sum(), rtol=1e-6)
 
     def test_export_dict_round_trips_through_json(self):
         rf = type("RF", (), {})()
