@@ -138,7 +138,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_rank(args: argparse.Namespace) -> int:
-    from repro.perfmodel import rank_explain_strategies
+    from repro.perfmodel import rank_explain_strategies, rank_node_encodings
 
     forest = load_forest(args.forest)
     spec = GPU_SPECS[args.gpu]
@@ -156,6 +156,22 @@ def _cmd_rank(args: argparse.Namespace) -> int:
         label = "inapplicable" if t == float("inf") else f"{t * 1e3:10.4f} ms"
         note = choice.prediction.note
         print(f"  {choice.name:26} {label}  {note}")
+    print("node encodings ranked by predicted bytes moved:")
+    ranked = rank_node_encodings(layout, args.batch, spec, hw)
+    for i, enc in enumerate(ranked):
+        marks = []
+        if i == 0:
+            marks.append("<- pick")
+        if enc.current:
+            marks.append("(current)")
+        if enc.shared_forest_fits:
+            marks.append("fits shared mem")
+        print(
+            f"  {enc.name:10} {enc.node_bytes} B/node  "
+            f"{enc.bytes_moved / 1e6:10.3f} MB moved  "
+            f"s_forest {enc.s_forest:>10} B  "
+            f"best {enc.best_strategy:24} {' '.join(marks)}"
+        )
     return 0
 
 
@@ -795,7 +811,7 @@ def _cmd_import(args: argparse.Namespace) -> int:
 
 def _cmd_pack(args: argparse.Namespace) -> int:
     from repro.core import TahoeEngine
-    from repro.core.fil import _FIL_CONVERSION_KEY, FILEngine
+    from repro.core.fil import FILEngine, fil_conversion_key
     from repro.modelstore import pack_layout
 
     spec = GPU_SPECS[args.gpu]
@@ -804,12 +820,16 @@ def _cmd_pack(args: argparse.Namespace) -> int:
         print(f"{args.forest} is already a packed artifact", file=sys.stderr)
         return 2
     fingerprint = forest.fingerprint()
+    node_width = args.node_width
+    if node_width is not None and node_width != "auto":
+        node_width = int(node_width)
+    config = TahoeConfig(node_width=node_width, threshold_mode=args.threshold_mode)
     if args.engine == "fil":
-        engine = FILEngine(forest, spec)
-        conversion_key = _FIL_CONVERSION_KEY
+        engine = FILEngine(forest, spec, config=config)
+        conversion_key = fil_conversion_key(config)
     else:
-        engine = TahoeEngine(forest, spec)
-        conversion_key = engine.config.conversion_key()
+        engine = TahoeEngine(forest, spec, config=config)
+        conversion_key = config.conversion_key()
     result = pack_layout(
         engine.layout,
         args.out,
@@ -831,6 +851,21 @@ def _cmd_pack(args: argparse.Namespace) -> int:
         f"{result.layout.forest.n_trees} trees, "
         f"{result.layout.total_bytes} layout bytes -> {args.out} ({size} B on disk)"
     )
+    record = result.layout.record
+    print(
+        f"node encoding: {record.encoding_label} "
+        f"({record.node_bytes} B/node = {record.attr_bytes} attr"
+        f" + {record.threshold_bytes} float + {record.flags_bytes} flags)"
+    )
+    enc_meta = result.layout.metadata.get("node_encoding")
+    if enc_meta is not None and not enc_meta.get("lossless", True):
+        print("  (lossy float field: predictions bounded, not bit-identical)")
+    sizes = result.section_sizes()
+    node_kinds = ("words", "tfield", "vfield", "feature", "threshold", "value",
+                  "default_left", "flip")
+    node_total = sum(sizes.get(k, 0) for k in node_kinds)
+    parts = "  ".join(f"{k}={sizes[k]}" for k in node_kinds if k in sizes)
+    print(f"packed sections: node arrays {node_total} B ({parts})")
     return 0
 
 
@@ -846,7 +881,10 @@ def _cmd_models(args: argparse.Namespace) -> int:
             )
         else:
             paths.append(p)
-    print(f"{'file':32} {'format':16} {'trees':>6} {'nodes':>8} {'attrs':>6} target")
+    print(
+        f"{'file':32} {'format':16} {'trees':>6} {'nodes':>8} {'attrs':>6} "
+        f"{'encoding':10} target"
+    )
     status = 0
     for p in paths:
         try:
@@ -858,14 +896,16 @@ def _cmd_models(args: argparse.Namespace) -> int:
         if isinstance(model, PackedModel):
             forest = model.layout.forest
             fmt = "tahoe-artifact"
+            encoding = model.node_encoding
             target = f"{model.engine_kind}/{model.spec_name}"
         else:
             forest = model
             fmt = forest.metadata.get("source_format", "forest-json")
+            encoding = "-"
             target = "-"
         print(
             f"{p.name:32} {fmt:16} {forest.n_trees:>6} {forest.n_nodes:>8} "
-            f"{forest.n_attributes:>6} {target}"
+            f"{forest.n_attributes:>6} {encoding:10} {target}"
         )
     return status
 
@@ -953,6 +993,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--n-attributes", type=int, default=None, dest="n_attributes",
         help="widen the attribute space before converting",
+    )
+    p.add_argument(
+        "--node-width", choices=["auto", "8", "16", "32"], default=None,
+        dest="node_width",
+        help="bit-pack fid+flags into 8/16/32-bit node words "
+        "(auto = narrowest width that fits; default keeps the legacy record)",
+    )
+    p.add_argument(
+        "--threshold-mode", choices=["f32", "f16", "q8", "q16"], default="f32",
+        dest="threshold_mode",
+        help="float-field storage for packed records (f32 is lossless; "
+        "q8/q16 ceil-quantise thresholds, nextafter-safe)",
     )
     p.add_argument("--out", type=Path, required=True)
     p.set_defaults(func=_cmd_pack)

@@ -53,7 +53,9 @@ class ConversionStats:
     is the only cost paid.  ``source`` records where the layout came
     from: ``"pipeline"`` (the five stages ran), ``"cache"`` (layout-cache
     hit) or ``"artifact"`` (loaded pre-converted from a packed ``.tahoe``
-    file — every stage time is exactly zero).
+    file — every stage time is exactly zero).  ``node_encoding`` is the
+    layout's node-record label (``w8/f32``, ``legacy-a1``, ...), filled
+    in by the engine adopting the layout.
     """
 
     t_fetch_probabilities: float = 0.0
@@ -64,6 +66,7 @@ class ConversionStats:
     t_cache_lookup: float = 0.0
     cache_hit: bool = False
     source: str = "pipeline"
+    node_encoding: str | None = None
 
     @property
     def total(self) -> float:

@@ -42,6 +42,14 @@ class TahoeConfig:
         variable_width: use the just-wide-enough attribute index.
         similarity_method: ``"lsh"`` (online) or ``"pairwise"`` (exact,
             quadratic — the section 7.4 baseline).
+        node_width: packed node-word width — ``None`` (legacy separate
+            flags byte, the default), ``"auto"`` (narrowest of 8/16/32
+            bits whose fid capacity covers the forest, like
+            ``encode_node_adaptive``), or an explicit ``8``/``16``/``32``.
+        threshold_mode: float-field storage for packed records —
+            ``"f32"`` (lossless default), ``"f16"``, ``"q8"``, ``"q16"``
+            (nextafter-safe ceil-quantised thresholds).  Only meaningful
+            when ``node_width`` is set.
         strategy_override: force a strategy by name instead of using the
             performance models (ablation hook).
         count_edge_probabilities: blend inference-time routing back into
@@ -58,6 +66,8 @@ class TahoeConfig:
     tree_rearrangement: bool = True
     variable_width: bool = True
     similarity_method: str = "lsh"
+    node_width: int | str | None = None
+    threshold_mode: str = "f32"
     strategy_override: str | None = None
     count_edge_probabilities: bool = False
     edge_count_decay: float = 0.9
@@ -71,7 +81,7 @@ class TahoeConfig:
         edge counting) deliberately excluded — they never change the
         layout.
         """
-        return (
+        key = (
             self.t_nodes,
             self.l_hash,
             self.m_chunks,
@@ -80,3 +90,8 @@ class TahoeConfig:
             self.variable_width,
             self.similarity_method,
         )
+        # Appended only when packing is requested, so legacy keys (and
+        # the artifacts that embed them) are untouched.
+        if self.node_width is not None:
+            key += ("node_encoding", str(self.node_width), self.threshold_mode)
+        return key

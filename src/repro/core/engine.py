@@ -86,13 +86,21 @@ def convert_forest(forest: Forest, config: TahoeConfig) -> tuple[ForestLayout, C
     stats.t_similarity_detection = t3 - t2
     # Stage 4: convert to the adaptive format.
     with span("format_conversion", category="conversion"):
-        record = (
-            NodeRecordLayout.variable(structured)
-            if config.variable_width
-            else NodeRecordLayout.fixed()
+        encoding = None
+        if config.node_width is not None:
+            from repro.formats.encoding import make_encoding
+
+            encoding = make_encoding(structured, config.node_width, config.threshold_mode)
+            record = NodeRecordLayout.packed_record(encoding)
+        elif config.variable_width:
+            record = NodeRecordLayout.variable(structured)
+        else:
+            record = NodeRecordLayout.fixed()
+        layout = build_interleaved_layout(
+            structured, record, order, "adaptive", encoding=encoding
         )
-        layout = build_interleaved_layout(structured, record, order, "adaptive")
     stats.t_format_conversion = time.perf_counter() - t3
+    stats.node_encoding = record.encoding_label
     return layout, stats
 
 
@@ -183,6 +191,7 @@ class TahoeEngine:
         """Install a finished layout and record its conversion stats."""
         self.layout = layout
         self.forest = layout.forest
+        stats.node_encoding = layout.record.encoding_label
         self.conversion_stats = stats
         self.recorder.record_conversion(stats)
         if self.layout_cache is not None and cache_key is not None:

@@ -29,10 +29,26 @@ from repro.perfmodel.notation import HardwareParams
 from repro.strategies import SharedDataStrategy, StrategyResult
 from repro.trees.forest import Forest
 
-__all__ = ["FILEngine"]
+__all__ = ["FILEngine", "fil_conversion_key"]
 
 #: FIL's conversion has no tunables; this constant keys its cache slot.
 _FIL_CONVERSION_KEY = ("reorg",)
+
+
+def fil_conversion_key(config: TahoeConfig | None) -> tuple:
+    """Cache key of FIL's reorg conversion.
+
+    Historically the constant ``("reorg",)``; a packed node encoding is
+    the one knob that changes the reorg layout's bytes, so it extends
+    the key — legacy keys (and artifacts embedding them) are untouched.
+    """
+    if config is not None and config.node_width is not None:
+        return _FIL_CONVERSION_KEY + (
+            "node_encoding",
+            str(config.node_width),
+            config.threshold_mode,
+        )
+    return _FIL_CONVERSION_KEY
 
 
 def fil_block_size(n_trees: int, spec: GPUSpec, cap: int = 256) -> int:
@@ -120,6 +136,7 @@ class FILEngine:
     def _adopt_layout(self, layout, stats: ConversionStats, cache_key=None) -> None:
         self.layout = layout
         self.forest = layout.forest
+        stats.node_encoding = layout.record.encoding_label
         self.conversion_stats = stats
         self.recorder.record_conversion(stats)
         if self.layout_cache is not None and cache_key is not None:
@@ -129,7 +146,7 @@ class FILEngine:
         cache_key = None
         if self.layout_cache is not None:
             t0 = time.perf_counter()
-            cache_key = LayoutCache.key(forest, self.spec, _FIL_CONVERSION_KEY)
+            cache_key = LayoutCache.key(forest, self.spec, fil_conversion_key(self.config))
             cached = self.layout_cache.get(cache_key)
             lookup = time.perf_counter() - t0
             if cached is not None:
@@ -140,7 +157,14 @@ class FILEngine:
                 return
         stats = ConversionStats()
         t0 = time.perf_counter()
-        layout = build_reorg_layout(forest)
+        encoding = None
+        if self.config.node_width is not None:
+            from repro.formats.encoding import make_encoding
+
+            encoding = make_encoding(
+                forest, self.config.node_width, self.config.threshold_mode
+            )
+        layout = build_reorg_layout(forest, node_encoding=encoding)
         t1 = time.perf_counter()
         stats.t_format_conversion = t1 - t0
         from repro.gpusim.trace import flatten_layout

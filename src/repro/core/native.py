@@ -606,6 +606,7 @@ class NativeEngine:
         """Install a finished layout: flatten it and record the stats."""
         self.layout = layout
         self.forest = layout.forest
+        stats.node_encoding = layout.record.encoding_label
         self.flat = flatten_native(layout)
         self._cost_model = None  # re-calibrate for the new forest shape
         self._ranked_cache = {}

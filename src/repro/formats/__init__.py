@@ -11,10 +11,20 @@ This package is the heart of the paper's contribution (sections 4.1–4.3):
   rearrangement (SimHash+LSH order, round-robin thread assignment),
 * :mod:`repro.formats.reorg` — FIL's reorg format (the baseline),
 * :mod:`repro.formats.adaptive` — Tahoe's adaptive forest format, the
-  composition of all three techniques.
+  composition of all three techniques,
+* :mod:`repro.formats.encoding` — packed 8/16/32-bit node words
+  (``encode_node_adaptive``) with optional f16/quantised float fields.
 """
 
 from repro.formats.adaptive import build_adaptive_layout
+from repro.formats.encoding import (
+    NodeEncoding,
+    apply_encoding,
+    make_encoding,
+    pack_node_words,
+    resolve_width_bits,
+    unpack_node_words,
+)
 from repro.formats.io import load_layout, save_layout
 from repro.formats.layout import ForestLayout, NodeRecordLayout, attr_index_bytes
 from repro.formats.node_rearrange import rearrange_forest_nodes, rearrange_nodes_by_probability
@@ -24,9 +34,15 @@ from repro.formats.tree_rearrange import round_robin_assignment, similarity_tree
 
 __all__ = [
     "ForestLayout",
+    "NodeEncoding",
     "NodeRecordLayout",
+    "apply_encoding",
     "attr_index_bytes",
     "build_adaptive_layout",
+    "make_encoding",
+    "pack_node_words",
+    "resolve_width_bits",
+    "unpack_node_words",
     "build_reorg_layout",
     "load_layout",
     "save_layout",

@@ -29,6 +29,7 @@ def build_adaptive_layout(
     l_hash: int = 128,
     m_chunks: int = 64,
     similarity_method: str = "lsh",
+    node_encoding=None,
 ) -> ForestLayout:
     """Convert a forest to the adaptive format.
 
@@ -40,6 +41,10 @@ def build_adaptive_layout(
         t_nodes / l_hash / m_chunks: similarity parameters (paper defaults
             4 / 128 / 64, section 7.1).
         similarity_method: ``"lsh"`` or ``"pairwise"``.
+        node_encoding: optional
+            :class:`~repro.formats.encoding.NodeEncoding`; when given the
+            node record is the bit-packed word of ``encode_node_adaptive``
+            (supersedes ``variable_width``'s record choice).
 
     Returns:
         The laid-out forest; ``metadata["techniques"]`` records which
@@ -56,16 +61,18 @@ def build_adaptive_layout(
         )
     else:
         order = None
-    record = (
-        NodeRecordLayout.variable(structured)
-        if variable_width
-        else NodeRecordLayout.fixed()
-    )
+    if node_encoding is not None:
+        record = NodeRecordLayout.packed_record(node_encoding)
+    elif variable_width:
+        record = NodeRecordLayout.variable(structured)
+    else:
+        record = NodeRecordLayout.fixed()
     layout = build_interleaved_layout(
         structured,
         record=record,
         tree_order=order,
         format_name="adaptive",
+        encoding=node_encoding,
     )
     layout.metadata["techniques"] = {
         "node_rearrangement": node_rearrangement,

@@ -21,7 +21,11 @@ from repro.trees.tree import DecisionTree
 
 __all__ = ["save_layout", "load_layout"]
 
-_FORMAT_VERSION = 1
+#: Version 2 added the packed-record keys (``packed``/``threshold_mode``)
+#: to the header's ``record`` dict; version-1 archives still load (the
+#: missing keys default to the legacy record).
+_FORMAT_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
 
 
 def save_layout(layout: ForestLayout, path: str | Path) -> None:
@@ -42,6 +46,8 @@ def save_layout(layout: ForestLayout, path: str | Path) -> None:
             "attr_bytes": layout.record.attr_bytes,
             "threshold_bytes": layout.record.threshold_bytes,
             "flags_bytes": layout.record.flags_bytes,
+            "packed": layout.record.packed,
+            "threshold_mode": layout.record.threshold_mode,
         },
         "total_bytes": layout.total_bytes,
         "tree_sizes": [t.n_nodes for t in forest.trees],
@@ -78,7 +84,7 @@ def load_layout(path: str | Path) -> ForestLayout:
     """
     with np.load(path) as data:
         header = json.loads(bytes(data["header"].tobytes()).decode())
-        if header.get("format_version") != _FORMAT_VERSION:
+        if header.get("format_version") not in _READABLE_VERSIONS:
             raise ValueError(
                 f"unsupported layout version: {header.get('format_version')!r}"
             )

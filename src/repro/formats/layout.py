@@ -54,26 +54,55 @@ def attr_index_bytes(n_distinct_attributes: int) -> int:
 class NodeRecordLayout:
     """Byte layout of one stored tree node.
 
-    A record holds the attribute index, the split threshold (shared with
-    the leaf value — a node is either a split or a leaf), and one flags
-    byte packing the leaf marker, default direction, and the
-    rearrangement flip bit.
+    Two families exist.  *Legacy* records (``packed=False``) store the
+    attribute index, the float field (split threshold or leaf value — a
+    node is either a split or a leaf), and a separate flags byte for the
+    leaf marker, default direction, and rearrangement flip bit.  *Packed*
+    records (``packed=True``, paper section 4.3 ``encode_node_adaptive``)
+    bit-pack the flags into the attribute word itself — an 8/16/32-bit
+    node word — so ``flags_bytes`` is 0, and may narrow the float field
+    (``threshold_mode``: ``f32``/``f16``/``q8``/``q16``).
 
     Attributes:
-        attr_bytes: width of the attribute index (4 in FIL's fixed-length
-            format; 1/2/4 in the adaptive format).
-        threshold_bytes: width of the threshold / leaf value (float32).
-        flags_bytes: packed flag byte(s).
+        attr_bytes: width of the attribute index / node word (4 in FIL's
+            fixed-length format; 1/2/4 in the adaptive and packed forms).
+        threshold_bytes: width of the stored float field — 4 for float32,
+            2 for float16/q16, 1 for q8.  Its meaning is governed by
+            ``threshold_mode``.
+        flags_bytes: separate flag byte(s); 0 when the flags live inside
+            a packed node word.
+        packed: True when fid + flags share one bit-packed node word.
+        threshold_mode: float-field storage codec (``f32`` default).
     """
 
     attr_bytes: int = 4
     threshold_bytes: int = 4
     flags_bytes: int = 1
+    packed: bool = False
+    threshold_mode: str = "f32"
+
+    @property
+    def node_bytes(self) -> int:
+        """Total bytes per node record (the paper's ``S_node``).
+
+        The single source of truth for every byte-accounting consumer:
+        gpusim transaction counting, the section-6 performance models,
+        and the shared-memory capacity checks all read this (via the
+        ``node_size`` alias on layouts).
+        """
+        return self.attr_bytes + self.threshold_bytes + self.flags_bytes
 
     @property
     def node_size(self) -> int:
-        """Total bytes per node record (the paper's ``S_node``)."""
-        return self.attr_bytes + self.threshold_bytes + self.flags_bytes
+        """Alias of :attr:`node_bytes` (historic name)."""
+        return self.node_bytes
+
+    @property
+    def encoding_label(self) -> str:
+        """Human/report label, e.g. ``w8/f32`` or ``legacy-a1``."""
+        if self.packed:
+            return f"w{8 * self.attr_bytes}/{self.threshold_mode}"
+        return f"legacy-a{self.attr_bytes}"
 
     @staticmethod
     def fixed() -> "NodeRecordLayout":
@@ -85,6 +114,17 @@ class NodeRecordLayout:
         """Adaptive record sized to the forest's distinct attribute count."""
         n_distinct = max(1, forest.distinct_attributes().size)
         return NodeRecordLayout(attr_bytes=attr_index_bytes(n_distinct))
+
+    @staticmethod
+    def packed_record(encoding) -> "NodeRecordLayout":
+        """Record for a :class:`~repro.formats.encoding.NodeEncoding`."""
+        return NodeRecordLayout(
+            attr_bytes=encoding.word_bytes,
+            threshold_bytes=encoding.threshold_bytes,
+            flags_bytes=0,
+            packed=True,
+            threshold_mode=encoding.threshold_mode,
+        )
 
 
 def heap_positions(tree: DecisionTree) -> tuple[np.ndarray, np.ndarray]:
@@ -169,6 +209,7 @@ def build_interleaved_layout(
     record: NodeRecordLayout,
     tree_order: list[int] | None,
     format_name: str,
+    encoding=None,
 ) -> ForestLayout:
     """Shared constructor for level-major interleaved layouts.
 
@@ -179,7 +220,19 @@ def build_interleaved_layout(
         tree_order: permutation placing original tree ``tree_order[p]`` at
             layout position ``p``; ``None`` keeps training order.
         format_name: label recorded on the result.
+        encoding: optional :class:`~repro.formats.encoding.NodeEncoding`;
+            when given, the forest's floats are replaced with their
+            decoded images (decode-at-build) so every consumer executes
+            the stored codec, and the codec metadata is recorded under
+            ``metadata["node_encoding"]``.  ``record`` should then be
+            ``NodeRecordLayout.packed_record(encoding)``.
     """
+    encoding_meta = None
+    if encoding is not None:
+        from repro.formats.encoding import apply_encoding, resolve_width_bits
+
+        resolve_width_bits(forest, encoding.width_bits)  # capacity check
+        forest, encoding_meta = apply_encoding(forest, encoding)
     if tree_order is None:
         tree_order = list(range(forest.n_trees))
     laid_out = forest.reordered(tree_order)
@@ -198,7 +251,7 @@ def build_interleaved_layout(
     for pos, (level, slot) in enumerate(positions):
         addr = level_base[level] + (slot * n_trees + pos) * size
         node_address.append(addr.astype(np.int64))
-    return ForestLayout(
+    layout = ForestLayout(
         forest=laid_out,
         record=record,
         tree_order=list(tree_order),
@@ -208,3 +261,6 @@ def build_interleaved_layout(
         total_bytes=total_bytes,
         format_name=format_name,
     )
+    if encoding_meta is not None:
+        layout.metadata["node_encoding"] = encoding_meta
+    return layout

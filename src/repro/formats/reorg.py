@@ -13,17 +13,29 @@ from repro.trees.forest import Forest
 __all__ = ["build_reorg_layout"]
 
 
-def build_reorg_layout(forest: Forest) -> ForestLayout:
+def build_reorg_layout(forest: Forest, node_encoding=None) -> ForestLayout:
     """Lay out a forest in the reorg format.
 
     The forest is stored as trained: no node swaps, no tree reordering,
-    fixed-width records.
+    fixed-width records — unless ``node_encoding`` (a
+    :class:`~repro.formats.encoding.NodeEncoding`) asks for bit-packed
+    node words; the level-major interleaving is unchanged either way.
     """
+    record = (
+        NodeRecordLayout.packed_record(node_encoding)
+        if node_encoding is not None
+        else NodeRecordLayout.fixed()
+    )
     layout = build_interleaved_layout(
         forest,
-        record=NodeRecordLayout.fixed(),
+        record=record,
         tree_order=None,
         format_name="reorg",
+        encoding=node_encoding,
     )
-    layout.metadata["description"] = "FIL reorg format (fixed 4-byte attribute index)"
+    layout.metadata["description"] = (
+        f"FIL reorg format (packed {record.encoding_label} node words)"
+        if node_encoding is not None
+        else "FIL reorg format (fixed 4-byte attribute index)"
+    )
     return layout

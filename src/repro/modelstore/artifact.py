@@ -54,10 +54,16 @@ __all__ = [
 ]
 
 ARTIFACT_MAGIC = b"TAHOEPK\x00"
-#: Current writer version.  v2 adds multiclass tree groups and optional
-#: per-tree categorical bitset sections; v1 files still load.
-ARTIFACT_VERSION = 2
-_READABLE_VERSIONS = (1, 2)
+#: Current writer version.  v2 added multiclass tree groups and optional
+#: per-tree categorical bitset sections; v3 adds packed node encodings —
+#: layouts with a packed record store ``tree{i}/words`` (the bit-packed
+#: fid+flags node word) plus ``tree{i}/tfield``/``tree{i}/vfield`` (the
+#: possibly-narrowed float fields) *instead of* the five legacy sections
+#: (feature/threshold/value/default_left/flip), so artifacts genuinely
+#: shrink on disk.  v1/v2 files still load; legacy-record layouts still
+#: write the legacy sections.
+ARTIFACT_VERSION = 3
+_READABLE_VERSIONS = (1, 2, 3)
 
 #: Optional per-tree categorical sections (written only when present).
 _CAT_FIELDS = (
@@ -76,6 +82,14 @@ _TREE_FIELDS = (
     ("default_left", np.uint8),
     ("visit_count", np.int64),
     ("flip", np.uint8),
+)
+
+#: Tree arrays a *packed*-record layout serialises instead of the five
+#: node-level `_TREE_FIELDS` entries it supersedes (v3 artifacts).
+_PACKED_STRUCT_FIELDS = (
+    ("left", np.int32),
+    ("right", np.int32),
+    ("visit_count", np.int64),
 )
 
 
@@ -177,9 +191,36 @@ def pack_layout(
     """
     forest = layout.forest
     writer = _SectionWriter()
+    packed = layout.record.packed
+    if packed:
+        from repro.formats.encoding import NodeEncoding, encode_field, pack_node_words
+
+        encoding = NodeEncoding(8 * layout.record.attr_bytes, layout.record.threshold_mode)
+        nmeta = layout.metadata.get("node_encoding") or {}
+        tgrid = tuple(nmeta["tgrid"]) if nmeta.get("tgrid") else None
+        vgrid = tuple(nmeta["vgrid"]) if nmeta.get("vgrid") else None
+        mode = encoding.threshold_mode
     for i, tree in enumerate(forest.trees):
-        for field, dtype in _TREE_FIELDS:
-            writer.add(f"tree{i}/{field}", getattr(tree, field), dtype)
+        if packed:
+            # The forest's floats are already the codec's decoded images
+            # (decode-at-build), so this re-encode is a bit-exact fixed
+            # point: load_packed reproduces the arrays exactly.
+            writer.add(f"tree{i}/words", pack_node_words(tree, encoding), encoding.word_dtype)
+            writer.add(
+                f"tree{i}/tfield",
+                encode_field(tree.threshold, mode, tgrid, rounding="ceil"),
+                encoding.field_dtype,
+            )
+            writer.add(
+                f"tree{i}/vfield",
+                encode_field(tree.value, mode, vgrid, rounding="nearest"),
+                encoding.field_dtype,
+            )
+            for field, dtype in _PACKED_STRUCT_FIELDS:
+                writer.add(f"tree{i}/{field}", getattr(tree, field), dtype)
+        else:
+            for field, dtype in _TREE_FIELDS:
+                writer.add(f"tree{i}/{field}", getattr(tree, field), dtype)
         if tree.cat_offset is not None:
             for field, dtype in _CAT_FIELDS:
                 writer.add(f"tree{i}/{field}", getattr(tree, field), dtype)
@@ -214,6 +255,8 @@ def pack_layout(
                 "attr_bytes": layout.record.attr_bytes,
                 "threshold_bytes": layout.record.threshold_bytes,
                 "flags_bytes": layout.record.flags_bytes,
+                "packed": layout.record.packed,
+                "threshold_mode": layout.record.threshold_mode,
             },
             "metadata": _json_safe_metadata(layout.metadata),
         },
@@ -245,7 +288,7 @@ def pack_forest(
     """
     from repro.core.config import TahoeConfig
     from repro.core.engine import TahoeEngine
-    from repro.core.fil import _FIL_CONVERSION_KEY, FILEngine
+    from repro.core.fil import FILEngine, fil_conversion_key
 
     fingerprint = forest.fingerprint()
     if engine == "tahoe":
@@ -254,7 +297,7 @@ def pack_forest(
         conversion_key = config.conversion_key()
     elif engine == "fil":
         built = FILEngine(forest, spec, config=config)
-        conversion_key = _FIL_CONVERSION_KEY
+        conversion_key = fil_conversion_key(config)
     else:
         raise ArtifactError(f"unknown engine kind {engine!r} (need tahoe or fil)")
     return pack_layout(
@@ -302,12 +345,39 @@ def load_packed(path: str | Path) -> "PackedModel":
     reader = _SectionReader(raw[header_end:], header["sections"])
 
     fmeta = header["forest"]
+    lmeta = header["layout"]
+    record = NodeRecordLayout(**lmeta["record"])
+    if record.packed:
+        from repro.formats.encoding import NodeEncoding, decode_field, unpack_node_words
+
+        encoding = NodeEncoding(8 * record.attr_bytes, record.threshold_mode)
+        nmeta = lmeta.get("metadata", {}).get("node_encoding") or {}
+        tgrid = tuple(nmeta["tgrid"]) if nmeta.get("tgrid") else None
+        vgrid = tuple(nmeta["vgrid"]) if nmeta.get("vgrid") else None
     tree_groups = fmeta.get("tree_groups") or [0] * fmeta["n_trees"]
     trees = []
     for i in range(fmeta["n_trees"]):
-        fields = {
-            field: reader.get(f"tree{i}/{field}") for field, _ in _TREE_FIELDS
-        }
+        if record.packed:
+            unpacked = unpack_node_words(reader.get(f"tree{i}/words"), encoding)
+            fields = {
+                field: reader.get(f"tree{i}/{field}")
+                for field, _ in _PACKED_STRUCT_FIELDS
+            }
+            fields.update(
+                feature=unpacked["feature"],
+                threshold=decode_field(
+                    reader.get(f"tree{i}/tfield"), record.threshold_mode, tgrid
+                ),
+                value=decode_field(
+                    reader.get(f"tree{i}/vfield"), record.threshold_mode, vgrid
+                ),
+                default_left=unpacked["default_left"],
+                flip=unpacked["flip"],
+            )
+        else:
+            fields = {
+                field: reader.get(f"tree{i}/{field}") for field, _ in _TREE_FIELDS
+            }
         cats = {}
         if reader.has(f"tree{i}/cat_offset"):
             cats = {
@@ -320,9 +390,9 @@ def load_packed(path: str | Path) -> "PackedModel":
                 left=fields["left"],
                 right=fields["right"],
                 value=fields["value"],
-                default_left=fields["default_left"].astype(bool),
+                default_left=np.asarray(fields["default_left"]).astype(bool),
                 visit_count=fields["visit_count"],
-                flip=fields["flip"].astype(bool),
+                flip=np.asarray(fields["flip"]).astype(bool),
                 group=int(tree_groups[i]),
                 validate_on_init=False,
                 **cats,
@@ -339,10 +409,9 @@ def load_packed(path: str | Path) -> "PackedModel":
         name=fmeta.get("name", "forest"),
         metadata=dict(fmeta.get("metadata", {})),
     )
-    lmeta = header["layout"]
     layout = ForestLayout(
         forest=forest,
-        record=NodeRecordLayout(**lmeta["record"]),
+        record=record,
         tree_order=[int(v) for v in reader.get("tree_order")],
         node_address=[reader.get(f"tree{i}/address") for i in range(fmeta["n_trees"])],
         level_base=reader.get("level_base"),
@@ -389,6 +458,19 @@ class PackedModel:
         """The :class:`~repro.core.cache.LayoutCache` key a cold engine
         built from the *source* forest would compute."""
         return (self.source_fingerprint, self.spec_name, self.conversion_key)
+
+    @property
+    def node_encoding(self) -> str:
+        """On-disk node-record label (``w8/f32``, ``legacy-a1``, ...)."""
+        return self.layout.record.encoding_label
+
+    def section_sizes(self) -> dict[str, int]:
+        """On-disk bytes per section kind (``tree{i}/x`` summed over trees)."""
+        sizes: dict[str, int] = {}
+        for entry in self.header.get("sections", []):
+            kind = entry["name"].split("/", 1)[-1]
+            sizes[kind] = sizes.get(kind, 0) + int(entry["length"])
+        return sizes
 
     def resolve_spec(self):
         """Find the artifact's GPU spec among the known presets."""

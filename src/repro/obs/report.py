@@ -107,11 +107,14 @@ class ConversionRecord:
 
     ``cache_hit`` marks a conversion the layout cache satisfied without
     running the pipeline (stage timings then hold only the lookup cost).
+    ``node_encoding`` is the produced layout's node-record label
+    (``w8/f32``, ``legacy-a1``, ...).
     """
 
     stages: dict = field(default_factory=dict)
     total: float = 0.0
     cache_hit: bool = False
+    node_encoding: str | None = None
 
     @classmethod
     def from_stats(cls, stats) -> "ConversionRecord":
@@ -125,6 +128,7 @@ class ConversionRecord:
             stages=stages,
             total=sum(stages.values()),
             cache_hit=bool(getattr(stats, "cache_hit", False)),
+            node_encoding=getattr(stats, "node_encoding", None),
         )
 
     def to_dict(self) -> dict:
@@ -132,6 +136,7 @@ class ConversionRecord:
             "stages": dict(self.stages),
             "total": self.total,
             "cache_hit": self.cache_hit,
+            "node_encoding": self.node_encoding,
         }
 
     @classmethod
@@ -140,6 +145,7 @@ class ConversionRecord:
             stages=dict(d["stages"]),
             total=d["total"],
             cache_hit=bool(d.get("cache_hit", False)),
+            node_encoding=d.get("node_encoding"),
         )
 
 

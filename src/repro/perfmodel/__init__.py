@@ -11,11 +11,18 @@
 * :mod:`repro.perfmodel.native` — the wall-clock cost model for the
   native CPU backend, and the two-target hardware ranking
   (simulated-GPU vs native-CPU) it enables.
+* :mod:`repro.perfmodel.encodings` — ranks packed node encodings by
+  predicted bytes moved (the §4.3 width choice, quantified).
 """
 
 # Calibration drift lives in repro.obs (to keep obs dependency-free) but
 # is conceptually the §6 models' health check, so re-export it here.
 from repro.obs.drift import CalibrationDriftWarning, CalibrationTracker
+from repro.perfmodel.encodings import (
+    EncodingChoice,
+    predicted_node_bytes_moved,
+    rank_node_encodings,
+)
 from repro.perfmodel.microbench import measure_hardware_parameters
 from repro.perfmodel.native import (
     HardwareTarget,
@@ -43,6 +50,7 @@ from repro.perfmodel.validation import ValidationReport, validate_selection
 __all__ = [
     "CalibrationDriftWarning",
     "CalibrationTracker",
+    "EncodingChoice",
     "ForestParams",
     "HardwareParams",
     "HardwareTarget",
@@ -57,7 +65,9 @@ __all__ = [
     "predict_shared_data",
     "predict_shared_forest",
     "predict_splitting_shared_forest",
+    "predicted_node_bytes_moved",
     "rank_hardware_targets",
+    "rank_node_encodings",
     "rank_explain_strategies",
     "rank_strategies",
     "select_strategy",

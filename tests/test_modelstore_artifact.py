@@ -144,7 +144,7 @@ class TestIntegrity:
         (header_len,) = struct.unpack_from("<I", raw, len(ARTIFACT_MAGIC))
         start = len(ARTIFACT_MAGIC) + 4
         header = raw[start : start + header_len].replace(
-            b'"artifact_version":2', b'"artifact_version":9'
+            b'"artifact_version":3', b'"artifact_version":9'
         )
         assert len(header) == header_len  # same-length in-place edit
         future = tmp_path / "future.tahoe"
